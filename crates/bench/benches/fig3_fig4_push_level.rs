@@ -1,0 +1,30 @@
+//! Figures 3 and 4: total and miss cost versus push level.
+//!
+//! Bench-scale version of the paper's push-level sweep; prints the series
+//! so `cargo bench` output doubles as a shape check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cup_bench::Scale;
+use cup_simnet::{report, sweeps};
+
+fn fig3_fig4(c: &mut Criterion) {
+    let scale = Scale::Bench;
+    let base = scale.base_scenario();
+    let rates = scale.rates();
+    let levels = scale.push_levels();
+
+    // Print the series once so the bench log shows the figure's shape.
+    let points = sweeps::push_level_sweep(&base, &rates, &levels);
+    println!("\n{}", report::render_push_level(&points));
+
+    let mut group = c.benchmark_group("fig3_fig4_push_level");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| {
+        b.iter(|| sweeps::push_level_sweep(&base, &rates, &levels))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig3_fig4);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figures 5 and 6: total cost versus reduced outgoing capacity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cup_bench::Scale;
+use cup_simnet::{report, sweeps};
+
+fn fig5_fig6(c: &mut Criterion) {
+    let scale = Scale::Bench;
+    let base = scale.base_scenario();
+    let capacities = scale.capacities();
+
+    let points = sweeps::capacity_sweep(&base, &capacities);
+    println!("\n{}", report::render_capacity(&points));
+
+    let mut group = c.benchmark_group("fig5_fig6_capacity");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| {
+        b.iter(|| sweeps::capacity_sweep(&base, &capacities))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig5_fig6);
+criterion_main!(benches);

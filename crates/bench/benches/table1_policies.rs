@@ -1,0 +1,26 @@
+//! Table 1: total cost for varying cut-off policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cup_bench::Scale;
+use cup_simnet::{report, sweeps};
+
+fn table1(c: &mut Criterion) {
+    let scale = Scale::Bench;
+    let base = scale.base_scenario();
+    let rates = scale.rates();
+    let levels = scale.push_levels();
+
+    let rows = sweeps::policy_table(&base, &rates, &levels);
+    println!("\n{}", report::render_policy_table(&rows, &rates));
+
+    let mut group = c.benchmark_group("table1_policies");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| {
+        b.iter(|| sweeps::policy_table(&base, &rates, &levels))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table 2: CUP versus standard caching across network sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cup_bench::Scale;
+use cup_simnet::{report, sweeps};
+
+fn table2(c: &mut Criterion) {
+    let scale = Scale::Bench;
+    let base = scale.base_scenario();
+    let sizes = scale.sizes();
+
+    let cols = sweeps::size_sweep(&base, &sizes);
+    println!("\n{}", report::render_size_table(&cols));
+
+    let mut group = c.benchmark_group("table2_sizes");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| b.iter(|| sweeps::size_sweep(&base, &sizes)));
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 3: naive versus replica-independent cut-off across replica
+//! counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cup_bench::Scale;
+use cup_simnet::{report, sweeps};
+
+fn table3(c: &mut Criterion) {
+    let scale = Scale::Bench;
+    let base = scale.base_scenario();
+    let counts = scale.replica_counts();
+
+    let rows = sweeps::replica_sweep(&base, &counts);
+    println!("\n{}", report::render_replica_table(&rows));
+
+    let mut group = c.benchmark_group("table3_replicas");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| {
+        b.iter(|| sweeps::replica_sweep(&base, &counts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Per-node protocol configuration.
+
+use cup_des::SimDuration;
+
+use crate::policy::CutoffPolicy;
+use crate::popularity::ResetMode;
+
+/// Which protocol a node runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Full CUP: coalescing query channels, interest tracking, controlled
+    /// update propagation.
+    Cup,
+    /// The baseline of every experiment in the paper: plain pull caching
+    /// with expiration times. Queries are forwarded individually (no
+    /// coalescing — this is the "open connection" model of
+    /// Gnutella/Freenet-style systems, §4), responses are cached along the
+    /// reverse path, and no maintenance updates are ever propagated.
+    StandardCaching,
+}
+
+/// Configuration of one CUP node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// Protocol mode (CUP or the standard-caching baseline).
+    pub mode: Mode,
+    /// Cut-off policy for incoming updates (§3.4).
+    pub policy: CutoffPolicy,
+    /// When popularity decision windows reset (§3.6).
+    pub reset_mode: ResetMode,
+    /// If `true`, outgoing updates pass through the bounded §2.8 queues
+    /// and are released by `service_outgoing`; if `false` the node has
+    /// full capacity and pushes updates immediately.
+    pub capacity_limited: bool,
+    /// How long a Pending-First-Update flag may coalesce queries before a
+    /// retry is pushed. Guards against responses lost to churn; the paper
+    /// assumes reliable channels, so this only matters under failure
+    /// injection.
+    pub pfu_timeout: SimDuration,
+    /// §3.6 overhead reduction: with many replicas per key, the authority
+    /// may "selectively choose to propagate a subset of the replica
+    /// refreshes and suppress others". A value of `k` propagates every
+    /// k-th refresh per key; 1 propagates all (the paper's base
+    /// behaviour).
+    pub refresh_keep_one_in: u32,
+    /// §3.6 overhead reduction: the authority may "aggregate replica
+    /// refreshes ... batch all updates that arrive within that time and
+    /// propagate them together as one update". `Some(window)` enables
+    /// batching with that threshold ("a function of the lifetime of a
+    /// replica"); `None` disables it.
+    pub refresh_batch_window: Option<SimDuration>,
+}
+
+impl NodeConfig {
+    /// Full-capacity CUP with the paper's best policy (second-chance).
+    pub fn cup_default() -> Self {
+        NodeConfig {
+            mode: Mode::Cup,
+            policy: CutoffPolicy::second_chance(),
+            reset_mode: ResetMode::ReplicaIndependent,
+            capacity_limited: false,
+            pfu_timeout: SimDuration::from_secs(30),
+            refresh_keep_one_in: 1,
+            refresh_batch_window: None,
+        }
+    }
+
+    /// The standard-caching baseline.
+    pub fn standard_caching() -> Self {
+        NodeConfig {
+            mode: Mode::StandardCaching,
+            policy: CutoffPolicy::Never,
+            ..NodeConfig::cup_default()
+        }
+    }
+
+    /// CUP with a specific cut-off policy.
+    pub fn cup_with_policy(policy: CutoffPolicy) -> Self {
+        NodeConfig {
+            policy,
+            ..NodeConfig::cup_default()
+        }
+    }
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig::cup_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_cup_second_chance() {
+        let c = NodeConfig::default();
+        assert_eq!(c.mode, Mode::Cup);
+        assert_eq!(c.policy, CutoffPolicy::second_chance());
+        assert_eq!(c.reset_mode, ResetMode::ReplicaIndependent);
+        assert!(!c.capacity_limited);
+    }
+
+    #[test]
+    fn baseline_never_receives_updates() {
+        let c = NodeConfig::standard_caching();
+        assert_eq!(c.mode, Mode::StandardCaching);
+        assert_eq!(c.policy, CutoffPolicy::Never);
+    }
+
+    #[test]
+    fn with_policy_overrides_policy_only() {
+        let c = NodeConfig::cup_with_policy(CutoffPolicy::Linear { alpha: 0.1 });
+        assert_eq!(c.mode, Mode::Cup);
+        assert_eq!(c.policy, CutoffPolicy::Linear { alpha: 0.1 });
+    }
+}

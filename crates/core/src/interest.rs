@@ -1,0 +1,126 @@
+//! Per-key interest tracking: which neighbors want updates for a key.
+//!
+//! The paper stores this as a bit vector with one bit per neighbor plus a
+//! mapping from bit position to neighbor address, and describes the
+//! patching needed when neighborhoods change (§2.9). We store the
+//! equivalent *set of interested neighbor ids*: semantically identical
+//! (a neighbor is either interested or not), and churn patching becomes
+//! plain set operations instead of bit-vector surgery. The paper itself
+//! notes this bookkeeping is local and "involves no network overhead".
+
+use std::collections::BTreeSet;
+
+use cup_des::NodeId;
+
+/// The set of neighbors interested in updates for one key.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InterestSet {
+    interested: BTreeSet<NodeId>,
+}
+
+impl InterestSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        InterestSet::default()
+    }
+
+    /// Marks `neighbor` as interested (sets its bit).
+    pub fn set(&mut self, neighbor: NodeId) {
+        self.interested.insert(neighbor);
+    }
+
+    /// Clears `neighbor`'s interest (a Clear-Bit message arrived, or the
+    /// neighbor departed). Returns `true` if it was set.
+    pub fn clear(&mut self, neighbor: NodeId) -> bool {
+        self.interested.remove(&neighbor)
+    }
+
+    /// Returns `true` if `neighbor` is interested.
+    pub fn contains(&self, neighbor: NodeId) -> bool {
+        self.interested.contains(&neighbor)
+    }
+
+    /// Returns `true` if no neighbor is interested.
+    pub fn is_empty(&self) -> bool {
+        self.interested.is_empty()
+    }
+
+    /// Number of interested neighbors.
+    pub fn len(&self) -> usize {
+        self.interested.len()
+    }
+
+    /// Iterates the interested neighbors in ascending id order (the
+    /// deterministic order keeps simulations reproducible).
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.interested.iter().copied()
+    }
+
+    /// §2.9 patching: a neighbor departed and `successor` (if any) took
+    /// over its place in the topology. The bit that pointed at the old
+    /// neighbor is remapped to the successor, preserving the update flow
+    /// for nodes that depended on the departed node.
+    pub fn remap(&mut self, departed: NodeId, successor: Option<NodeId>) {
+        if self.interested.remove(&departed) {
+            if let Some(s) = successor {
+                self.interested.insert(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_contains() {
+        let mut s = InterestSet::new();
+        assert!(s.is_empty());
+        s.set(NodeId(3));
+        s.set(NodeId(3));
+        s.set(NodeId(5));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId(3)));
+        assert!(!s.contains(NodeId(4)));
+        assert!(s.clear(NodeId(3)));
+        assert!(!s.clear(NodeId(3)), "second clear is a no-op");
+        assert!(!s.contains(NodeId(3)));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut s = InterestSet::new();
+        s.set(NodeId(9));
+        s.set(NodeId(1));
+        s.set(NodeId(4));
+        let order: Vec<NodeId> = s.iter().collect();
+        assert_eq!(order, vec![NodeId(1), NodeId(4), NodeId(9)]);
+    }
+
+    #[test]
+    fn remap_moves_interest_to_successor() {
+        let mut s = InterestSet::new();
+        s.set(NodeId(2));
+        s.remap(NodeId(2), Some(NodeId(7)));
+        assert!(!s.contains(NodeId(2)));
+        assert!(s.contains(NodeId(7)));
+    }
+
+    #[test]
+    fn remap_without_successor_drops_interest() {
+        let mut s = InterestSet::new();
+        s.set(NodeId(2));
+        s.remap(NodeId(2), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn remap_of_uninterested_neighbor_is_noop() {
+        let mut s = InterestSet::new();
+        s.set(NodeId(1));
+        s.remap(NodeId(2), Some(NodeId(7)));
+        assert!(s.contains(NodeId(1)));
+        assert!(!s.contains(NodeId(7)));
+    }
+}

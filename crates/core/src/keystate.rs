@@ -1,0 +1,213 @@
+//! Per-key bookkeeping at a node (§2.3).
+//!
+//! For every non-local key a node has seen, it keeps the cached index
+//! entries, the Pending-First-Update flag, the interest record over
+//! neighbors, the popularity measure, and any local clients whose
+//! connections are held open awaiting a fresh answer.
+
+use cup_des::SimTime;
+
+use crate::entry::IndexEntry;
+use crate::interest::InterestSet;
+use crate::message::{ClientId, Requester, Update, UpdateKind};
+use crate::popularity::Popularity;
+
+/// All state a node keeps for one cached (non-local) key.
+#[derive(Debug, Clone, Default)]
+pub struct KeyState {
+    /// Cached index entries (disjoint from any local directory).
+    entries: Vec<IndexEntry>,
+    /// Set while a first-time update is awaited; coalesces query bursts.
+    pub pending_first_update: bool,
+    /// When the flag was set (guards against lost responses).
+    pub pfu_since: SimTime,
+    /// Which neighbors want updates for this key.
+    pub interest: InterestSet,
+    /// Popularity measure driving cut-off decisions.
+    pub popularity: Popularity,
+    /// Local clients with connections held open (CUP mode; §2.5).
+    pub waiting_clients: Vec<ClientId>,
+    /// Pending requesters in standard-caching mode (per-query response
+    /// routing, no coalescing).
+    pub pending_requesters: Vec<Requester>,
+    /// Distance from the authority as carried by the most recent update.
+    pub last_depth: u32,
+}
+
+impl KeyState {
+    /// Creates empty state for a key.
+    pub fn new() -> Self {
+        KeyState::default()
+    }
+
+    /// The cached entries that are still fresh at `now`.
+    pub fn fresh_entries(&self, now: SimTime) -> Vec<IndexEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.is_fresh(now))
+            .copied()
+            .collect()
+    }
+
+    /// Returns `true` if at least one cached entry is fresh.
+    pub fn has_fresh(&self, now: SimTime) -> bool {
+        self.entries.iter().any(|e| e.is_fresh(now))
+    }
+
+    /// Returns `true` if the key has never had entries cached (first-time
+    /// miss) as opposed to holding only expired entries (freshness miss).
+    pub fn never_cached(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All cached entries, fresh or not.
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.entries
+    }
+
+    /// Applies an update to the cached entry set.
+    ///
+    /// First-time updates replace the whole set (they carry the
+    /// authoritative fresh answer); refreshes and appends upsert the entry
+    /// for their replica; deletes remove it.
+    pub fn apply(&mut self, update: &Update) {
+        match update.kind {
+            UpdateKind::FirstTime => {
+                self.entries = update.entries.clone();
+            }
+            UpdateKind::Refresh | UpdateKind::Append => {
+                for e in &update.entries {
+                    self.upsert(*e);
+                }
+            }
+            UpdateKind::Delete => {
+                self.entries.retain(|e| e.replica != update.replica);
+                self.popularity.untrack_if(update.replica);
+            }
+        }
+        self.last_depth = update.depth;
+    }
+
+    /// Inserts or replaces the entry for one replica.
+    fn upsert(&mut self, entry: IndexEntry) {
+        match self.entries.iter_mut().find(|e| e.replica == entry.replica) {
+            Some(slot) => *slot = entry,
+            None => self.entries.push(entry),
+        }
+    }
+
+    /// Drops expired entries (housekeeping; freshness checks are already
+    /// time-based so this only bounds memory).
+    pub fn evict_expired(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.is_fresh(now));
+        before - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cup_des::{KeyId, ReplicaId, SimDuration};
+
+    fn entry(replica: u32, at: u64, life: u64) -> IndexEntry {
+        IndexEntry::new(
+            KeyId(1),
+            ReplicaId(replica),
+            SimDuration::from_secs(life),
+            SimTime::from_secs(at),
+        )
+    }
+
+    fn update(kind: UpdateKind, replica: u32, entries: Vec<IndexEntry>) -> Update {
+        Update {
+            key: KeyId(1),
+            kind,
+            entries,
+            replica: ReplicaId(replica),
+            depth: 2,
+            origin: SimTime::ZERO,
+            window_end: SimTime::MAX,
+        }
+    }
+
+    #[test]
+    fn fresh_filtering() {
+        let mut st = KeyState::new();
+        st.apply(&update(
+            UpdateKind::FirstTime,
+            0,
+            vec![entry(0, 0, 100), entry(1, 0, 500)],
+        ));
+        let now = SimTime::from_secs(200);
+        assert!(st.has_fresh(now));
+        let fresh = st.fresh_entries(now);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].replica, ReplicaId(1));
+        assert!(!st.never_cached());
+        assert_eq!(st.last_depth, 2);
+    }
+
+    #[test]
+    fn first_time_replaces_set() {
+        let mut st = KeyState::new();
+        st.apply(&update(UpdateKind::FirstTime, 0, vec![entry(0, 0, 100)]));
+        st.apply(&update(UpdateKind::FirstTime, 1, vec![entry(1, 0, 100)]));
+        assert_eq!(st.entries().len(), 1);
+        assert_eq!(st.entries()[0].replica, ReplicaId(1));
+    }
+
+    #[test]
+    fn refresh_upserts() {
+        let mut st = KeyState::new();
+        st.apply(&update(UpdateKind::Refresh, 0, vec![entry(0, 0, 100)]));
+        assert_eq!(st.entries().len(), 1);
+        st.apply(&update(UpdateKind::Refresh, 0, vec![entry(0, 100, 100)]));
+        assert_eq!(st.entries().len(), 1, "refresh must not duplicate");
+        assert!(st.has_fresh(SimTime::from_secs(150)));
+    }
+
+    #[test]
+    fn append_adds_delete_removes() {
+        let mut st = KeyState::new();
+        st.apply(&update(UpdateKind::Append, 0, vec![entry(0, 0, 100)]));
+        st.apply(&update(UpdateKind::Append, 1, vec![entry(1, 0, 100)]));
+        assert_eq!(st.entries().len(), 2);
+        st.apply(&update(UpdateKind::Delete, 0, vec![entry(0, 0, 100)]));
+        assert_eq!(st.entries().len(), 1);
+        assert_eq!(st.entries()[0].replica, ReplicaId(1));
+    }
+
+    #[test]
+    fn delete_untracks_replica() {
+        let mut st = KeyState::new();
+        use crate::popularity::ResetMode;
+        st.popularity
+            .on_update(ReplicaId(0), ResetMode::ReplicaIndependent);
+        assert_eq!(st.popularity.tracked_replica(), Some(ReplicaId(0)));
+        st.apply(&update(UpdateKind::Delete, 0, vec![entry(0, 0, 100)]));
+        assert_eq!(st.popularity.tracked_replica(), None);
+    }
+
+    #[test]
+    fn evict_expired_drops_only_stale() {
+        let mut st = KeyState::new();
+        st.apply(&update(
+            UpdateKind::FirstTime,
+            0,
+            vec![entry(0, 0, 100), entry(1, 0, 500)],
+        ));
+        let evicted = st.evict_expired(SimTime::from_secs(200));
+        assert_eq!(evicted, 1);
+        assert_eq!(st.entries().len(), 1);
+    }
+
+    #[test]
+    fn never_cached_vs_expired() {
+        let mut st = KeyState::new();
+        assert!(st.never_cached());
+        st.apply(&update(UpdateKind::FirstTime, 0, vec![entry(0, 0, 10)]));
+        assert!(!st.never_cached());
+        assert!(!st.has_fresh(SimTime::from_secs(20)), "expired, not absent");
+    }
+}

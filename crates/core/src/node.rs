@@ -1,0 +1,1410 @@
+//! The CUP node state machine.
+//!
+//! A [`CupNode`] implements the complete per-node protocol of the paper:
+//! query handling (§2.5), update handling (§2.6), clear-bit handling
+//! (§2.7), authority-side replica bookkeeping (§2.1, §2.4), adaptive
+//! capacity-controlled push (§2.8), and churn patching hooks (§2.9). It is
+//! runtime-agnostic: handlers take the current time and return
+//! [`Action`]s; the embedding runtime routes queries (supplying the
+//! `upstream` next hop toward each key's authority) and delivers messages.
+
+use std::collections::HashMap;
+
+use cup_des::{KeyId, NodeId, SimTime};
+
+use crate::action::Action;
+use crate::capacity::OutgoingQueues;
+use crate::config::{Mode, NodeConfig};
+use crate::directory::{DirectoryChange, LocalDirectory};
+use crate::entry::IndexEntry;
+use crate::keystate::KeyState;
+use crate::message::{Message, ReplicaEvent, Requester, Update, UpdateKind};
+use crate::policy::CutoffContext;
+use crate::stats::NodeStats;
+
+/// A replica id used on first-time updates that carry no entries (negative
+/// responses); it never collides with real replicas.
+const NO_REPLICA: cup_des::ReplicaId = cup_des::ReplicaId(u32::MAX);
+
+/// One peer-to-peer node running CUP (or the standard-caching baseline).
+#[derive(Debug)]
+pub struct CupNode {
+    id: NodeId,
+    config: NodeConfig,
+    keys: HashMap<KeyId, KeyState>,
+    directory: LocalDirectory,
+    outgoing: OutgoingQueues,
+    /// §3.6 refresh suppression: per-key count of refreshes seen since
+    /// the last one propagated.
+    refresh_skips: HashMap<KeyId, u32>,
+    /// §3.6 refresh aggregation: per-key batch of refreshed entries
+    /// awaiting the batching window.
+    refresh_batches: HashMap<KeyId, RefreshBatch>,
+    /// Local protocol counters (no network cost).
+    pub stats: NodeStats,
+}
+
+/// A pending batch of aggregated replica refreshes.
+#[derive(Debug, Clone)]
+struct RefreshBatch {
+    opened: SimTime,
+    entries: Vec<IndexEntry>,
+}
+
+impl CupNode {
+    /// Creates a node with the given configuration.
+    pub fn new(id: NodeId, config: NodeConfig) -> Self {
+        CupNode {
+            id,
+            config,
+            keys: HashMap::new(),
+            directory: LocalDirectory::new(),
+            outgoing: OutgoingQueues::new(),
+            refresh_skips: HashMap::new(),
+            refresh_batches: HashMap::new(),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// Switches the §2.8 capacity limiter on or off at runtime (a node's
+    /// "ability or willingness to propagate updates may vary with its
+    /// workload"). While limited, forwarded updates wait in the outgoing
+    /// queues until [`CupNode::service_outgoing`] releases them.
+    pub fn set_capacity_limited(&mut self, limited: bool) {
+        self.config.capacity_limited = limited;
+    }
+
+    /// Read access to the per-key state (tests and diagnostics).
+    pub fn key_state(&self, key: KeyId) -> Option<&KeyState> {
+        self.keys.get(&key)
+    }
+
+    /// Read access to the local index directory.
+    pub fn directory(&self) -> &LocalDirectory {
+        &self.directory
+    }
+
+    /// Number of updates currently waiting in the outgoing queues.
+    pub fn queued_updates(&self) -> usize {
+        self.outgoing.total_len()
+    }
+
+    /// Handles a search query for `key` posted by `from` (§2.5).
+    ///
+    /// `upstream` is the next hop toward the key's authority, or `None`
+    /// if this node *is* the authority. In every case the node updates its
+    /// popularity measure and registers neighbor interest; then:
+    ///
+    /// * **authority** — answer from the local directory immediately;
+    /// * **case 1** (fresh entries cached) — answer from cache with a
+    ///   first-time update;
+    /// * **case 2** (key not in cache) — mark Pending-First-Update and
+    ///   push one query upstream;
+    /// * **case 3** (all entries expired) — as case 2, but the query is
+    ///   coalesced if the flag is already set.
+    pub fn handle_query(
+        &mut self,
+        now: SimTime,
+        key: KeyId,
+        from: Requester,
+        upstream: Option<NodeId>,
+    ) -> Vec<Action> {
+        match from {
+            Requester::Neighbor(_) => self.stats.neighbor_queries += 1,
+            Requester::Client(_) => self.stats.client_queries += 1,
+        }
+
+        let Some(upstream) = upstream else {
+            return self.answer_as_authority(now, key, from);
+        };
+
+        let st = self.keys.entry(key).or_default();
+        st.popularity.record_query();
+        if let Requester::Neighbor(n) = from {
+            st.interest.set(n);
+        }
+
+        if st.has_fresh(now) {
+            if matches!(from, Requester::Client(_)) {
+                self.stats.client_hits += 1;
+            }
+            let entries = st.fresh_entries(now);
+            let depth = st.last_depth;
+            return self.respond(from, key, entries, depth.saturating_add(1), now);
+        }
+
+        // A miss: classify for the posting node's statistics.
+        if matches!(from, Requester::Client(_)) {
+            if st.never_cached() {
+                self.stats.first_time_misses += 1;
+            } else {
+                self.stats.freshness_misses += 1;
+            }
+        }
+
+        match self.config.mode {
+            Mode::Cup => {
+                match from {
+                    Requester::Client(c) => st.waiting_clients.push(c),
+                    Requester::Neighbor(_) => {
+                        // Remember the waiting neighbor so the first-time
+                        // update (the response) reaches it. Coalescing:
+                        // one response per neighbor however many queries
+                        // it coalesces on its own side.
+                        if !st.pending_requesters.contains(&from) {
+                            st.pending_requesters.push(from);
+                        }
+                    }
+                }
+                let flag_stale = st.pending_first_update
+                    && now.saturating_since(st.pfu_since) > self.config.pfu_timeout;
+                if st.pending_first_update && !flag_stale {
+                    // Coalesced into the in-flight query.
+                    self.stats.coalesced_queries += 1;
+                    Vec::new()
+                } else {
+                    if flag_stale {
+                        self.stats.pfu_retries += 1;
+                    }
+                    st.pending_first_update = true;
+                    st.pfu_since = now;
+                    vec![Action::send(upstream, Message::Query { key })]
+                }
+            }
+            Mode::StandardCaching => {
+                // No coalescing: every missing query is forwarded and the
+                // requester recorded for per-query response routing.
+                st.pending_requesters.push(from);
+                vec![Action::send(upstream, Message::Query { key })]
+            }
+        }
+    }
+
+    /// Answers a query at the authority node from the local directory.
+    fn answer_as_authority(&mut self, now: SimTime, key: KeyId, from: Requester) -> Vec<Action> {
+        if matches!(from, Requester::Client(_)) {
+            // The authority always answers immediately (no miss).
+            self.stats.client_hits += 1;
+        }
+        if self.config.mode == Mode::Cup {
+            if let Requester::Neighbor(n) = from {
+                // Register the neighbor so future replica updates flow to
+                // it.
+                self.keys.entry(key).or_default().interest.set(n);
+            }
+        }
+        let entries = self.directory.fresh_entries(key, now);
+        self.respond(from, key, entries, 1, now)
+    }
+
+    /// Builds the response to one requester: a client gets its held-open
+    /// connection answered; a neighbor gets a first-time update.
+    fn respond(
+        &mut self,
+        to: Requester,
+        key: KeyId,
+        entries: Vec<IndexEntry>,
+        depth: u32,
+        now: SimTime,
+    ) -> Vec<Action> {
+        match to {
+            Requester::Client(client) => vec![Action::RespondClient {
+                client,
+                key,
+                entries,
+            }],
+            Requester::Neighbor(n) => {
+                let replica = entries.first().map_or(NO_REPLICA, |e| e.replica);
+                let update = Update {
+                    key,
+                    kind: UpdateKind::FirstTime,
+                    entries,
+                    replica,
+                    depth,
+                    origin: now,
+                    window_end: SimTime::MAX,
+                };
+                self.stats.updates_forwarded += 1;
+                // Responses are not throttled: a capacity-limited node
+                // stops *maintaining* downstream caches (its dependents
+                // fall back to standard caching, §2.8), but it still
+                // answers queries.
+                vec![Action::send(n, Message::Update(update))]
+            }
+        }
+    }
+
+    /// Handles an update arriving from upstream neighbor `from` (§2.6).
+    ///
+    /// * **case 3** — the update expired in transit: drop it;
+    /// * **case 1** — Pending-First-Update set and this is the first-time
+    ///   update: cache it, clear the flag, answer held-open clients, and
+    ///   forward to interested neighbors;
+    /// * **case 2** — flag clear: if no neighbor is interested, run the
+    ///   cut-off policy and either push a Clear-Bit upstream or apply the
+    ///   update; otherwise apply and forward to interested neighbors.
+    pub fn handle_update(&mut self, now: SimTime, from: NodeId, update: Update) -> Vec<Action> {
+        self.stats.updates_received += 1;
+        // Case 3: the network path was slow and the update expired.
+        if update.is_expired(now) {
+            self.stats.updates_expired_on_arrival += 1;
+            return Vec::new();
+        }
+        let st = self.keys.entry(update.key).or_default();
+        let mut actions = Vec::new();
+
+        if st.pending_first_update && update.kind == UpdateKind::FirstTime {
+            // Case 1.
+            st.apply(&update);
+            st.pending_first_update = false;
+            st.popularity
+                .on_update(update.replica, self.config.reset_mode);
+            let fresh = st.fresh_entries(now);
+            let clients: Vec<_> = st.waiting_clients.drain(..).collect();
+            let pending: Vec<_> = st.pending_requesters.drain(..).collect();
+            for client in clients {
+                actions.push(Action::RespondClient {
+                    client,
+                    key: update.key,
+                    entries: fresh.clone(),
+                });
+            }
+            // The first-time update is a *response*: it travels down the
+            // reverse query path to every waiting requester. Neighbors
+            // that are merely subscribed (interest bit set, nothing
+            // pending) are served by the maintenance update stream, not
+            // by other nodes' responses — this is what makes push level 0
+            // degenerate exactly to standard caching (§3.3).
+            for requester in pending {
+                actions.extend(self.answer_requester(requester, &update, &fresh));
+            }
+            return actions;
+        }
+
+        if self.config.mode == Mode::StandardCaching {
+            // Baseline: a response arrived; cache it and answer every
+            // recorded requester (one message each — no coalescing).
+            st.apply(&update);
+            let fresh = st.fresh_entries(now);
+            let pending: Vec<_> = st.pending_requesters.drain(..).collect();
+            let clients: Vec<_> = st.waiting_clients.drain(..).collect();
+            for client in clients {
+                actions.push(Action::RespondClient {
+                    client,
+                    key: update.key,
+                    entries: fresh.clone(),
+                });
+            }
+            for requester in pending {
+                actions.extend(self.answer_requester(requester, &update, &fresh));
+            }
+            return actions;
+        }
+
+        // Case 2 (and stray non-first-time updates while the flag is set,
+        // which are applied without clearing the flag).
+        if st.interest.is_empty() && !st.pending_first_update {
+            let queries_in_window = st.popularity.queries_since_reset();
+            let triggered = st
+                .popularity
+                .on_update(update.replica, self.config.reset_mode);
+            if triggered {
+                let ctx = CutoffContext {
+                    queries_since_reset: queries_in_window,
+                    consecutive_empty: st.popularity.consecutive_empty(),
+                    depth: update.depth,
+                };
+                if !self.config.policy.keep_receiving(&ctx) {
+                    // Not popular enough: cut off our incoming supply.
+                    self.stats.cutoffs += 1;
+                    self.stats.clear_bits_sent += 1;
+                    return vec![Action::send(from, Message::ClearBit { key: update.key })];
+                }
+            }
+            st.apply(&update);
+            return actions;
+        }
+
+        st.popularity
+            .on_update(update.replica, self.config.reset_mode);
+        st.apply(&update);
+        self.forward_to_interested(update, Some(from), &mut actions);
+        actions
+    }
+
+    /// Answers one recorded requester (standard-caching response routing).
+    fn answer_requester(
+        &mut self,
+        requester: Requester,
+        update: &Update,
+        fresh: &[IndexEntry],
+    ) -> Vec<Action> {
+        match requester {
+            Requester::Client(client) => vec![Action::RespondClient {
+                client,
+                key: update.key,
+                entries: fresh.to_vec(),
+            }],
+            Requester::Neighbor(n) => {
+                self.stats.updates_forwarded += 1;
+                // Like `respond`: responses bypass the capacity queues so
+                // the network stays functional at zero capacity.
+                vec![Action::send(n, Message::Update(update.forwarded()))]
+            }
+        }
+    }
+
+    /// Pushes an update to every interested neighbor except `exclude`
+    /// (the neighbor it came from), honoring the sender-side push-level
+    /// cap and the capacity limiter.
+    fn forward_to_interested(
+        &mut self,
+        update: Update,
+        exclude: Option<NodeId>,
+        actions: &mut Vec<Action>,
+    ) {
+        let child_depth = update.depth.saturating_add(1);
+        if update.kind != UpdateKind::FirstTime {
+            if let Some(level) = self.config.policy.sender_side_level() {
+                if child_depth > level {
+                    return;
+                }
+            }
+        }
+        let st = self
+            .keys
+            .get(&update.key)
+            .expect("forwarding requires key state");
+        let targets: Vec<NodeId> = st.interest.iter().filter(|&n| Some(n) != exclude).collect();
+        for to in targets {
+            let fwd = update.forwarded();
+            self.stats.updates_forwarded += 1;
+            if self.config.capacity_limited {
+                self.outgoing.enqueue(to, fwd);
+            } else {
+                actions.push(Action::send(to, Message::Update(fwd)));
+            }
+        }
+    }
+
+    /// Handles a Clear-Bit control message from downstream neighbor
+    /// `from` (§2.7): clear that neighbor's interest, and if the key is
+    /// unpopular here and no other neighbor is interested, propagate the
+    /// Clear-Bit toward the authority.
+    pub fn handle_clear_bit(
+        &mut self,
+        _now: SimTime,
+        key: KeyId,
+        from: NodeId,
+        upstream: Option<NodeId>,
+    ) -> Vec<Action> {
+        self.stats.clear_bits_received += 1;
+        let Some(st) = self.keys.get_mut(&key) else {
+            return Vec::new();
+        };
+        st.interest.clear(from);
+        // Stop wasting queue space on the disinterested neighbor.
+        let dropped = self.outgoing.drop_matching(from, key);
+        self.stats.updates_forwarded = self.stats.updates_forwarded.saturating_sub(dropped as u64);
+        let st = self.keys.get_mut(&key).expect("state exists");
+        if !st.interest.is_empty() {
+            return Vec::new();
+        }
+        let Some(upstream) = upstream else {
+            // The authority has no upstream to notify.
+            return Vec::new();
+        };
+        let ctx = CutoffContext {
+            queries_since_reset: st.popularity.queries_since_reset(),
+            consecutive_empty: st.popularity.consecutive_empty(),
+            depth: st.last_depth,
+        };
+        if !self.config.policy.keep_receiving(&ctx) {
+            self.stats.clear_bits_sent += 1;
+            vec![Action::send(upstream, Message::ClearBit { key })]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Handles a replica birth/refresh/deletion arriving at this node as
+    /// the key's authority, updating the local directory and propagating
+    /// the corresponding append/refresh/delete update to interested
+    /// neighbors.
+    pub fn handle_replica_event(&mut self, now: SimTime, event: ReplicaEvent) -> Vec<Action> {
+        let key = event.key();
+        let change = self.directory.apply(event, now);
+        self.propagate_change(now, key, change)
+    }
+
+    /// Expires directory entries whose replicas stopped refreshing and
+    /// propagates the resulting deletes (§2.4: missing keep-alives).
+    pub fn expire_directory(&mut self, now: SimTime) -> Vec<Action> {
+        let dead = self.directory.expire(now);
+        let mut actions = Vec::new();
+        for entry in dead {
+            actions.extend(self.propagate_change(now, entry.key, DirectoryChange::Removed(entry)));
+        }
+        actions
+    }
+
+    /// Turns a directory change into a propagated update.
+    fn propagate_change(
+        &mut self,
+        now: SimTime,
+        key: KeyId,
+        change: DirectoryChange,
+    ) -> Vec<Action> {
+        if self.config.mode == Mode::StandardCaching {
+            // The baseline never pushes maintenance updates.
+            return Vec::new();
+        }
+        let (kind, entry) = match change {
+            DirectoryChange::Added(e) => (UpdateKind::Append, e),
+            DirectoryChange::Refreshed(e) => (UpdateKind::Refresh, e),
+            DirectoryChange::Removed(e) => (UpdateKind::Delete, e),
+            DirectoryChange::Nothing => return Vec::new(),
+        };
+        if self.keys.get(&key).is_none_or(|st| st.interest.is_empty()) {
+            return Vec::new();
+        }
+        let entries = match kind {
+            UpdateKind::Refresh => {
+                // §3.6 overhead reductions for keys with many replicas.
+                if !self.refresh_due(key) {
+                    return Vec::new();
+                }
+                match self.batch_refresh(key, entry, now) {
+                    Some(batch) => batch,
+                    None => return Vec::new(),
+                }
+            }
+            _ => vec![entry],
+        };
+        let window_end = entries
+            .iter()
+            .map(IndexEntry::expires_at)
+            .max()
+            .unwrap_or_else(|| entry.expires_at());
+        let update = Update {
+            key,
+            kind,
+            replica: entries.first().map_or(entry.replica, |e| e.replica),
+            window_end,
+            entries,
+            // The authority *sends* at depth 0; its children receive
+            // depth 1 (`forward_to_interested` increments).
+            depth: 0,
+            origin: now,
+        };
+        let mut actions = Vec::new();
+        self.forward_to_interested(update, None, &mut actions);
+        actions
+    }
+
+    /// §3.6 subset suppression: returns `true` when this refresh is the
+    /// k-th since the last propagated one for the key.
+    fn refresh_due(&mut self, key: KeyId) -> bool {
+        let k = self.config.refresh_keep_one_in.max(1);
+        if k == 1 {
+            return true;
+        }
+        let seen = self.refresh_skips.entry(key).or_insert(0);
+        *seen += 1;
+        if *seen >= k {
+            *seen = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// §3.6 aggregation: accumulates refreshed entries per key and
+    /// releases them as one batch once the window has elapsed since the
+    /// batch opened. Returns `None` while the batch is still filling.
+    fn batch_refresh(
+        &mut self,
+        key: KeyId,
+        entry: IndexEntry,
+        now: SimTime,
+    ) -> Option<Vec<IndexEntry>> {
+        let Some(window) = self.config.refresh_batch_window else {
+            return Some(vec![entry]);
+        };
+        let batch = self.refresh_batches.entry(key).or_insert(RefreshBatch {
+            opened: now,
+            entries: Vec::new(),
+        });
+        match batch
+            .entries
+            .iter_mut()
+            .find(|e| e.replica == entry.replica)
+        {
+            Some(slot) => *slot = entry,
+            None => batch.entries.push(entry),
+        }
+        if now.saturating_since(batch.opened) >= window {
+            let done = self.refresh_batches.remove(&key).expect("batch exists");
+            Some(done.entries)
+        } else {
+            None
+        }
+    }
+
+    /// Releases capacity-limited outgoing updates: pushes out roughly
+    /// `capacity_fraction` of what was enqueued since the last service
+    /// (§2.8). Returns the transmissions to perform now.
+    pub fn service_outgoing(&mut self, now: SimTime, capacity_fraction: f64) -> Vec<Action> {
+        self.outgoing
+            .service(now, capacity_fraction)
+            .into_iter()
+            .map(|(to, u)| Action::send(to, Message::Update(u)))
+            .collect()
+    }
+
+    /// §2.9: a neighbor departed. Interest pointing at it is remapped to
+    /// `successor` (the node that took over its zone) or dropped, and any
+    /// queued updates for it are discarded.
+    pub fn on_neighbor_departed(&mut self, departed: NodeId, successor: Option<NodeId>) {
+        for st in self.keys.values_mut() {
+            st.interest.remap(departed, successor);
+        }
+        self.outgoing.drop_neighbor(departed);
+    }
+
+    /// §2.9 hand-over: drains local-directory entries for keys selected
+    /// by `predicate` (those whose ownership moved to another node).
+    pub fn export_directory(&mut self, predicate: impl FnMut(KeyId) -> bool) -> Vec<IndexEntry> {
+        self.directory.drain_keys(predicate)
+    }
+
+    /// §2.9 hand-over: merges entries received from a departing node or a
+    /// split neighbor into the local directory, eliminating duplicates.
+    pub fn import_directory(&mut self, entries: Vec<IndexEntry>) {
+        self.directory.merge(entries);
+    }
+
+    /// Housekeeping: evicts expired cached entries to bound memory.
+    pub fn evict_expired(&mut self, now: SimTime) -> usize {
+        let mut evicted = 0;
+        for st in self.keys.values_mut() {
+            evicted += st.evict_expired(now);
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ClientId;
+    use crate::policy::CutoffPolicy;
+    use crate::popularity::ResetMode;
+    use cup_des::{ReplicaId, SimDuration};
+
+    const LIFE: SimDuration = SimDuration::from_secs(300);
+
+    fn cup_node(id: u32) -> CupNode {
+        CupNode::new(NodeId(id), NodeConfig::cup_default())
+    }
+
+    fn entry(key: u32, replica: u32, at: u64) -> IndexEntry {
+        IndexEntry::new(KeyId(key), ReplicaId(replica), LIFE, SimTime::from_secs(at))
+    }
+
+    fn first_time(key: u32, entries: Vec<IndexEntry>, depth: u32) -> Update {
+        let replica = entries.first().map_or(NO_REPLICA, |e| e.replica);
+        Update {
+            key: KeyId(key),
+            kind: UpdateKind::FirstTime,
+            entries,
+            replica,
+            depth,
+            origin: SimTime::ZERO,
+            window_end: SimTime::MAX,
+        }
+    }
+
+    fn refresh(key: u32, replica: u32, at: u64, depth: u32) -> Update {
+        let e = entry(key, replica, at);
+        Update {
+            key: KeyId(key),
+            kind: UpdateKind::Refresh,
+            entries: vec![e],
+            replica: ReplicaId(replica),
+            depth,
+            origin: SimTime::from_secs(at),
+            window_end: e.expires_at(),
+        }
+    }
+
+    #[test]
+    fn authority_answers_client_from_directory() {
+        let mut node = cup_node(0);
+        node.handle_replica_event(
+            SimTime::ZERO,
+            ReplicaEvent::Birth {
+                key: KeyId(1),
+                replica: ReplicaId(0),
+                lifetime: LIFE,
+            },
+        );
+        let actions = node.handle_query(
+            SimTime::from_secs(1),
+            KeyId(1),
+            Requester::Client(ClientId(7)),
+            None,
+        );
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::RespondClient {
+                client, entries, ..
+            } => {
+                assert_eq!(*client, ClientId(7));
+                assert_eq!(entries.len(), 1);
+            }
+            other => panic!("expected client response, got {other:?}"),
+        }
+        assert_eq!(node.stats.client_hits, 1);
+    }
+
+    #[test]
+    fn authority_answers_neighbor_with_first_time_update() {
+        let mut node = cup_node(0);
+        node.handle_replica_event(
+            SimTime::ZERO,
+            ReplicaEvent::Birth {
+                key: KeyId(1),
+                replica: ReplicaId(0),
+                lifetime: LIFE,
+            },
+        );
+        let actions = node.handle_query(
+            SimTime::from_secs(1),
+            KeyId(1),
+            Requester::Neighbor(NodeId(5)),
+            None,
+        );
+        match &actions[0] {
+            Action::Send {
+                to,
+                msg: Message::Update(u),
+            } => {
+                assert_eq!(*to, NodeId(5));
+                assert_eq!(u.kind, UpdateKind::FirstTime);
+                assert_eq!(u.depth, 1);
+                assert_eq!(u.window_end, SimTime::MAX);
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+        // The neighbor is now registered for future replica updates.
+        assert!(node
+            .key_state(KeyId(1))
+            .unwrap()
+            .interest
+            .contains(NodeId(5)));
+    }
+
+    #[test]
+    fn query_miss_sets_pfu_and_pushes_upstream() {
+        let mut node = cup_node(1);
+        let actions = node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Client(ClientId(1)),
+            Some(NodeId(9)),
+        );
+        assert_eq!(
+            actions,
+            vec![Action::send(NodeId(9), Message::Query { key: KeyId(1) })]
+        );
+        assert!(node.key_state(KeyId(1)).unwrap().pending_first_update);
+        assert_eq!(node.stats.first_time_misses, 1);
+    }
+
+    #[test]
+    fn burst_of_queries_coalesces_into_one() {
+        let mut node = cup_node(1);
+        let a1 = node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Client(ClientId(1)),
+            Some(NodeId(9)),
+        );
+        let a2 = node.handle_query(
+            SimTime::from_secs(1),
+            KeyId(1),
+            Requester::Neighbor(NodeId(4)),
+            Some(NodeId(9)),
+        );
+        let a3 = node.handle_query(
+            SimTime::from_secs(2),
+            KeyId(1),
+            Requester::Client(ClientId(2)),
+            Some(NodeId(9)),
+        );
+        assert_eq!(a1.len(), 1, "first query goes upstream");
+        assert!(a2.is_empty(), "second query coalesced");
+        assert!(a3.is_empty(), "third query coalesced");
+        assert_eq!(node.stats.coalesced_queries, 2);
+    }
+
+    #[test]
+    fn first_time_update_answers_clients_and_interested_neighbors() {
+        let mut node = cup_node(1);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Client(ClientId(1)),
+            Some(NodeId(9)),
+        );
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Neighbor(NodeId(4)),
+            Some(NodeId(9)),
+        );
+        let update = first_time(1, vec![entry(1, 0, 0)], 3);
+        let actions = node.handle_update(SimTime::from_secs(1), NodeId(9), update);
+        let mut client_responses = 0;
+        let mut forwards = 0;
+        for a in &actions {
+            match a {
+                Action::RespondClient { .. } => client_responses += 1,
+                Action::Send {
+                    to,
+                    msg: Message::Update(u),
+                } => {
+                    assert_eq!(*to, NodeId(4));
+                    assert_eq!(u.depth, 4, "depth increments downstream");
+                    forwards += 1;
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert_eq!(client_responses, 1);
+        assert_eq!(forwards, 1);
+        assert!(!node.key_state(KeyId(1)).unwrap().pending_first_update);
+    }
+
+    #[test]
+    fn fresh_cache_answers_without_upstream_traffic() {
+        let mut node = cup_node(1);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Client(ClientId(1)),
+            Some(NodeId(9)),
+        );
+        node.handle_update(
+            SimTime::from_secs(1),
+            NodeId(9),
+            first_time(1, vec![entry(1, 0, 0)], 2),
+        );
+        let actions = node.handle_query(
+            SimTime::from_secs(2),
+            KeyId(1),
+            Requester::Client(ClientId(2)),
+            Some(NodeId(9)),
+        );
+        assert!(matches!(actions[0], Action::RespondClient { .. }));
+        assert_eq!(node.stats.client_hits, 1);
+    }
+
+    #[test]
+    fn expired_update_dropped_on_arrival() {
+        let mut node = cup_node(1);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Client(ClientId(1)),
+            Some(NodeId(9)),
+        );
+        // An update whose entry expired long ago.
+        let stale = refresh(1, 0, 0, 2);
+        let actions = node.handle_update(SimTime::from_secs(1_000), NodeId(9), stale);
+        assert!(actions.is_empty());
+        assert_eq!(node.stats.updates_expired_on_arrival, 1);
+        assert!(
+            node.key_state(KeyId(1)).unwrap().pending_first_update,
+            "a stale refresh is not the awaited first-time update"
+        );
+    }
+
+    #[test]
+    fn second_chance_cuts_off_after_two_empty_intervals() {
+        let mut node = cup_node(1);
+        // Acquire the key (one query, answered).
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Client(ClientId(1)),
+            Some(NodeId(9)),
+        );
+        node.handle_update(
+            SimTime::from_secs(1),
+            NodeId(9),
+            first_time(1, vec![entry(1, 0, 0)], 2),
+        );
+        // First refresh with no queries since: second chance, applied.
+        let a1 = node.handle_update(SimTime::from_secs(300), NodeId(9), refresh(1, 0, 300, 2));
+        assert!(a1.is_empty(), "kept receiving, nothing to forward");
+        assert!(node
+            .key_state(KeyId(1))
+            .unwrap()
+            .has_fresh(SimTime::from_secs(400)));
+        // Second refresh with still no queries: cut off.
+        let a2 = node.handle_update(SimTime::from_secs(600), NodeId(9), refresh(1, 0, 600, 2));
+        assert_eq!(
+            a2,
+            vec![Action::send(NodeId(9), Message::ClearBit { key: KeyId(1) })]
+        );
+        assert_eq!(node.stats.cutoffs, 1);
+        // The cut-off update was not applied.
+        assert!(!node
+            .key_state(KeyId(1))
+            .unwrap()
+            .has_fresh(SimTime::from_secs(700)));
+    }
+
+    #[test]
+    fn queries_keep_the_subscription_alive() {
+        let mut node = cup_node(1);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Client(ClientId(1)),
+            Some(NodeId(9)),
+        );
+        node.handle_update(
+            SimTime::from_secs(1),
+            NodeId(9),
+            first_time(1, vec![entry(1, 0, 0)], 2),
+        );
+        for round in 1..6 {
+            let t = SimTime::from_secs(round * 300);
+            // A query lands in every interval, so no cut-off ever fires.
+            node.handle_query(
+                t,
+                KeyId(1),
+                Requester::Client(ClientId(round)),
+                Some(NodeId(9)),
+            );
+            let actions = node.handle_update(
+                t + SimDuration::from_secs(1),
+                NodeId(9),
+                refresh(1, 0, round * 300, 2),
+            );
+            assert!(actions.is_empty(), "round {round}: no clear-bit expected");
+        }
+        assert_eq!(node.stats.cutoffs, 0);
+    }
+
+    #[test]
+    fn updates_forward_only_to_interested_neighbors() {
+        let mut node = cup_node(1);
+        // Neighbor 4 registers interest; neighbor 5 does not.
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Neighbor(NodeId(4)),
+            Some(NodeId(9)),
+        );
+        node.handle_update(
+            SimTime::from_secs(1),
+            NodeId(9),
+            first_time(1, vec![entry(1, 0, 0)], 2),
+        );
+        let actions = node.handle_update(SimTime::from_secs(10), NodeId(9), refresh(1, 0, 10, 2));
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::Send {
+                to,
+                msg: Message::Update(u),
+            } => {
+                assert_eq!(*to, NodeId(4));
+                assert_eq!(u.kind, UpdateKind::Refresh);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clear_bit_cascades_when_unpopular() {
+        let mut node = cup_node(1);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Neighbor(NodeId(4)),
+            Some(NodeId(9)),
+        );
+        node.handle_update(
+            SimTime::from_secs(1),
+            NodeId(9),
+            first_time(1, vec![entry(1, 0, 0)], 2),
+        );
+        // Make the key unpopular here: two empty decision windows.
+        node.handle_update(SimTime::from_secs(300), NodeId(9), refresh(1, 0, 300, 2));
+        node.handle_update(SimTime::from_secs(600), NodeId(9), refresh(1, 0, 600, 2));
+        // Now the downstream neighbor loses interest.
+        let actions = node.handle_clear_bit(
+            SimTime::from_secs(700),
+            KeyId(1),
+            NodeId(4),
+            Some(NodeId(9)),
+        );
+        assert_eq!(
+            actions,
+            vec![Action::send(NodeId(9), Message::ClearBit { key: KeyId(1) })]
+        );
+        assert!(node.key_state(KeyId(1)).unwrap().interest.is_empty());
+    }
+
+    #[test]
+    fn clear_bit_stops_at_popular_node() {
+        let mut node = cup_node(1);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Neighbor(NodeId(4)),
+            Some(NodeId(9)),
+        );
+        node.handle_update(
+            SimTime::from_secs(1),
+            NodeId(9),
+            first_time(1, vec![entry(1, 0, 0)], 2),
+        );
+        // Local queries keep the key popular.
+        node.handle_query(
+            SimTime::from_secs(2),
+            KeyId(1),
+            Requester::Client(ClientId(1)),
+            Some(NodeId(9)),
+        );
+        let actions =
+            node.handle_clear_bit(SimTime::from_secs(3), KeyId(1), NodeId(4), Some(NodeId(9)));
+        assert!(actions.is_empty(), "popular key keeps its subscription");
+    }
+
+    #[test]
+    fn push_level_zero_squelches_at_authority() {
+        let config = NodeConfig::cup_with_policy(CutoffPolicy::PushLevel { level: 0 });
+        let mut node = CupNode::new(NodeId(0), config);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Neighbor(NodeId(5)),
+            None,
+        );
+        let actions = node.handle_replica_event(
+            SimTime::from_secs(1),
+            ReplicaEvent::Birth {
+                key: KeyId(1),
+                replica: ReplicaId(0),
+                lifetime: LIFE,
+            },
+        );
+        assert!(actions.is_empty(), "push level 0 = standard caching");
+    }
+
+    #[test]
+    fn push_level_caps_forwarding_depth() {
+        let config = NodeConfig::cup_with_policy(CutoffPolicy::PushLevel { level: 3 });
+        let mut node = CupNode::new(NodeId(1), config);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Neighbor(NodeId(4)),
+            Some(NodeId(9)),
+        );
+        node.handle_update(
+            SimTime::from_secs(1),
+            NodeId(9),
+            first_time(1, vec![entry(1, 0, 0)], 3),
+        );
+        // We sit at depth 3; children would be at depth 4 > level.
+        let actions = node.handle_update(SimTime::from_secs(10), NodeId(9), refresh(1, 0, 10, 3));
+        assert!(actions.is_empty(), "no forwarding past the push level");
+    }
+
+    #[test]
+    fn authority_propagates_replica_lifecycle() {
+        let mut node = cup_node(0);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Neighbor(NodeId(5)),
+            None,
+        );
+        let birth = node.handle_replica_event(
+            SimTime::from_secs(1),
+            ReplicaEvent::Birth {
+                key: KeyId(1),
+                replica: ReplicaId(0),
+                lifetime: LIFE,
+            },
+        );
+        assert_eq!(birth.len(), 1);
+        match &birth[0] {
+            Action::Send {
+                to,
+                msg: Message::Update(u),
+            } => {
+                assert_eq!(*to, NodeId(5));
+                assert_eq!(u.kind, UpdateKind::Append);
+                assert_eq!(u.depth, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let refresh_actions = node.handle_replica_event(
+            SimTime::from_secs(250),
+            ReplicaEvent::Refresh {
+                key: KeyId(1),
+                replica: ReplicaId(0),
+                lifetime: LIFE,
+            },
+        );
+        assert!(matches!(
+            &refresh_actions[0],
+            Action::Send { msg: Message::Update(u), .. } if u.kind == UpdateKind::Refresh
+        ));
+        let delete_actions = node.handle_replica_event(
+            SimTime::from_secs(260),
+            ReplicaEvent::Deletion {
+                key: KeyId(1),
+                replica: ReplicaId(0),
+            },
+        );
+        assert!(matches!(
+            &delete_actions[0],
+            Action::Send { msg: Message::Update(u), .. } if u.kind == UpdateKind::Delete
+        ));
+        assert!(node.directory().is_empty());
+    }
+
+    #[test]
+    fn expire_directory_emits_deletes() {
+        let mut node = cup_node(0);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Neighbor(NodeId(5)),
+            None,
+        );
+        node.handle_replica_event(
+            SimTime::ZERO,
+            ReplicaEvent::Birth {
+                key: KeyId(1),
+                replica: ReplicaId(0),
+                lifetime: LIFE,
+            },
+        );
+        let actions = node.expire_directory(SimTime::from_secs(301));
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            &actions[0],
+            Action::Send { msg: Message::Update(u), .. } if u.kind == UpdateKind::Delete
+        ));
+    }
+
+    #[test]
+    fn standard_mode_forwards_every_query() {
+        let mut node = CupNode::new(NodeId(1), NodeConfig::standard_caching());
+        let a1 = node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Client(ClientId(1)),
+            Some(NodeId(9)),
+        );
+        let a2 = node.handle_query(
+            SimTime::from_secs(1),
+            KeyId(1),
+            Requester::Neighbor(NodeId(4)),
+            Some(NodeId(9)),
+        );
+        assert_eq!(a1.len(), 1, "first query forwarded");
+        assert_eq!(a2.len(), 1, "second query also forwarded (no coalescing)");
+        // The response answers both requesters individually.
+        let actions = node.handle_update(
+            SimTime::from_secs(2),
+            NodeId(9),
+            first_time(1, vec![entry(1, 0, 0)], 2),
+        );
+        assert_eq!(actions.len(), 2);
+    }
+
+    #[test]
+    fn standard_mode_authority_never_propagates() {
+        let mut node = CupNode::new(NodeId(0), NodeConfig::standard_caching());
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Neighbor(NodeId(5)),
+            None,
+        );
+        let actions = node.handle_replica_event(
+            SimTime::from_secs(1),
+            ReplicaEvent::Birth {
+                key: KeyId(1),
+                replica: ReplicaId(0),
+                lifetime: LIFE,
+            },
+        );
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn capacity_limited_maintenance_updates_wait_for_service() {
+        let mut config = NodeConfig::cup_default();
+        config.capacity_limited = true;
+        let mut node = CupNode::new(NodeId(1), config);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Neighbor(NodeId(4)),
+            Some(NodeId(9)),
+        );
+        // The response itself is never throttled.
+        let response = node.handle_update(
+            SimTime::from_secs(1),
+            NodeId(9),
+            first_time(1, vec![entry(1, 0, 0)], 2),
+        );
+        assert_eq!(response.len(), 1, "first-time response sent immediately");
+        assert_eq!(node.queued_updates(), 0);
+        // A subsequent refresh for the interested neighbor is queued.
+        let actions = node.handle_update(SimTime::from_secs(10), NodeId(9), refresh(1, 0, 10, 2));
+        assert!(actions.is_empty(), "refresh must be queued, not sent");
+        assert_eq!(node.queued_updates(), 1);
+        let sent = node.service_outgoing(SimTime::from_secs(11), 1.0);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(node.queued_updates(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_node_falls_back_to_standard_caching() {
+        let mut config = NodeConfig::cup_default();
+        config.capacity_limited = true;
+        let mut node = CupNode::new(NodeId(1), config);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Neighbor(NodeId(4)),
+            Some(NodeId(9)),
+        );
+        node.handle_update(
+            SimTime::from_secs(1),
+            NodeId(9),
+            first_time(1, vec![entry(1, 0, 0)], 2),
+        );
+        node.handle_update(SimTime::from_secs(10), NodeId(9), refresh(1, 0, 10, 2));
+        assert_eq!(node.queued_updates(), 1);
+        // Zero capacity: nothing is ever sent; queue drains by expiry, so
+        // the downstream neighbor silently falls back to expiration-based
+        // caching (§2.8).
+        assert!(node
+            .service_outgoing(SimTime::from_secs(11), 0.0)
+            .is_empty());
+        assert!(node
+            .service_outgoing(SimTime::from_secs(10_000), 0.0)
+            .is_empty());
+        assert_eq!(node.queued_updates(), 0, "expired entries left the queue");
+    }
+
+    #[test]
+    fn pfu_timeout_retries_the_query() {
+        let mut node = cup_node(1);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Client(ClientId(1)),
+            Some(NodeId(9)),
+        );
+        // Long after the timeout, a new query retries upstream instead of
+        // coalescing forever against a lost response.
+        let actions = node.handle_query(
+            SimTime::from_secs(120),
+            KeyId(1),
+            Requester::Client(ClientId(2)),
+            Some(NodeId(9)),
+        );
+        assert_eq!(actions.len(), 1);
+        assert_eq!(node.stats.pfu_retries, 1);
+    }
+
+    #[test]
+    fn neighbor_departure_remaps_interest() {
+        let mut node = cup_node(1);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Neighbor(NodeId(4)),
+            Some(NodeId(9)),
+        );
+        node.on_neighbor_departed(NodeId(4), Some(NodeId(6)));
+        let st = node.key_state(KeyId(1)).unwrap();
+        assert!(!st.interest.contains(NodeId(4)));
+        assert!(st.interest.contains(NodeId(6)));
+    }
+
+    #[test]
+    fn directory_handover_round_trip() {
+        let mut m = cup_node(0);
+        for k in 0..4 {
+            m.handle_replica_event(
+                SimTime::ZERO,
+                ReplicaEvent::Birth {
+                    key: KeyId(k),
+                    replica: ReplicaId(0),
+                    lifetime: LIFE,
+                },
+            );
+        }
+        let moved = m.export_directory(|k| k.0 % 2 == 0);
+        assert_eq!(moved.len(), 2);
+        assert_eq!(m.directory().len(), 2);
+        let mut n = cup_node(9);
+        n.import_directory(moved);
+        assert_eq!(n.directory().len(), 2);
+    }
+
+    #[test]
+    fn refresh_subset_suppression_propagates_every_kth() {
+        let mut config = NodeConfig::cup_default();
+        config.refresh_keep_one_in = 3;
+        let mut node = CupNode::new(NodeId(0), config);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Neighbor(NodeId(5)),
+            None,
+        );
+        node.handle_replica_event(
+            SimTime::ZERO,
+            ReplicaEvent::Birth {
+                key: KeyId(1),
+                replica: ReplicaId(0),
+                lifetime: LIFE,
+            },
+        );
+        let mut propagated = 0;
+        for round in 1..=9u64 {
+            let actions = node.handle_replica_event(
+                SimTime::from_secs(round * 300),
+                ReplicaEvent::Refresh {
+                    key: KeyId(1),
+                    replica: ReplicaId(0),
+                    lifetime: LIFE,
+                },
+            );
+            propagated += actions.len();
+        }
+        assert_eq!(propagated, 3, "every third refresh propagates");
+    }
+
+    #[test]
+    fn refresh_batching_aggregates_replicas_into_one_update() {
+        let mut config = NodeConfig::cup_default();
+        config.refresh_batch_window = Some(SimDuration::from_secs(10));
+        let mut node = CupNode::new(NodeId(0), config);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Neighbor(NodeId(5)),
+            None,
+        );
+        for r in 0..3 {
+            node.handle_replica_event(
+                SimTime::ZERO,
+                ReplicaEvent::Birth {
+                    key: KeyId(1),
+                    replica: ReplicaId(r),
+                    lifetime: LIFE,
+                },
+            );
+        }
+        // Three refreshes within the window: the first two are held.
+        let a1 = node.handle_replica_event(
+            SimTime::from_secs(300),
+            ReplicaEvent::Refresh {
+                key: KeyId(1),
+                replica: ReplicaId(0),
+                lifetime: LIFE,
+            },
+        );
+        let a2 = node.handle_replica_event(
+            SimTime::from_secs(303),
+            ReplicaEvent::Refresh {
+                key: KeyId(1),
+                replica: ReplicaId(1),
+                lifetime: LIFE,
+            },
+        );
+        assert!(a1.is_empty() && a2.is_empty(), "batch still filling");
+        // A refresh after the window flushes the whole batch as one
+        // update carrying all three entries.
+        let a3 = node.handle_replica_event(
+            SimTime::from_secs(312),
+            ReplicaEvent::Refresh {
+                key: KeyId(1),
+                replica: ReplicaId(2),
+                lifetime: LIFE,
+            },
+        );
+        assert_eq!(a3.len(), 1);
+        match &a3[0] {
+            Action::Send {
+                msg: Message::Update(u),
+                ..
+            } => {
+                assert_eq!(u.kind, UpdateKind::Refresh);
+                assert_eq!(u.entries.len(), 3, "one update carries the batch");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn naive_reset_cuts_off_faster_with_many_replicas() {
+        // The §3.6 pathology: under naive resets, updates from many
+        // replicas shrink the decision window so the cut-off fires even
+        // though queries keep arriving at a steady rate.
+        let mut naive_cfg = NodeConfig::cup_default();
+        naive_cfg.reset_mode = ResetMode::Naive;
+        let mut naive = CupNode::new(NodeId(1), naive_cfg);
+        let mut fixed = CupNode::new(NodeId(2), NodeConfig::cup_default());
+
+        for node in [&mut naive, &mut fixed] {
+            node.handle_query(
+                SimTime::ZERO,
+                KeyId(1),
+                Requester::Client(ClientId(1)),
+                Some(NodeId(9)),
+            );
+            node.handle_update(
+                SimTime::from_secs(1),
+                NodeId(9),
+                first_time(1, vec![entry(1, 0, 0)], 2),
+            );
+        }
+        // Updates from three different replicas arrive back-to-back with
+        // no interleaved queries.
+        for (i, replica) in [1u32, 2, 3].into_iter().enumerate() {
+            let t = 10 + i as u64;
+            naive.handle_update(SimTime::from_secs(t), NodeId(9), refresh(1, replica, t, 2));
+            fixed.handle_update(SimTime::from_secs(t), NodeId(9), refresh(1, replica, t, 2));
+        }
+        assert!(naive.stats.cutoffs >= 1, "naive reset cut off");
+        assert_eq!(fixed.stats.cutoffs, 0, "replica-independent survived");
+    }
+}

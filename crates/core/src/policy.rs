@@ -1,0 +1,176 @@
+//! Incentive-based cut-off policies (§3.4).
+//!
+//! On receiving an update for a key whose interest bits are all clear, a
+//! node decides whether there is incentive to keep receiving updates or to
+//! cut them off with a Clear-Bit message. The paper examines:
+//!
+//! * **probability-based** thresholds that approximate, from the node's
+//!   distance D to the authority, the probability that an update pushed
+//!   this far is justified — a *linear* threshold (popular if at least
+//!   `α·D` queries arrived since the last update) and a more lenient
+//!   *logarithmic* one (`α·lg D`);
+//! * **log-based** policies that look at the recent history of update
+//!   arrivals — the *second-chance* policy (n = 3) cuts off after two
+//!   consecutive update intervals without a single query;
+//! * a fixed **push level**, used in §3.3 to find the optimal level a
+//!   posteriori (updates propagate to all interested nodes at most `p`
+//!   hops from the authority; `p = 0` degenerates to standard caching).
+
+use serde::{Deserialize, Serialize};
+
+/// Inputs to a cut-off decision.
+#[derive(Debug, Clone, Copy)]
+pub struct CutoffContext {
+    /// Queries for the key received since the last decision window reset.
+    pub queries_since_reset: u32,
+    /// Consecutive decision points with zero queries, *including* the
+    /// current one if it is empty.
+    pub consecutive_empty: u32,
+    /// Distance (hops) of this node from the key's authority, as carried
+    /// by the update being considered.
+    pub depth: u32,
+}
+
+/// A cut-off policy: decides whether a node keeps receiving updates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CutoffPolicy {
+    /// Never cut off: receive every update (the "all-out push" reference
+    /// configuration used to find the maximal-benefit baseline in §3.3).
+    Always,
+    /// Cut off immediately: never receive updates beyond the first-time
+    /// response. Combined with nothing else this behaves like standard
+    /// caching for maintenance traffic.
+    Never,
+    /// Keep receiving while `queries_since_reset >= alpha * depth`.
+    Linear {
+        /// Queries-per-hop threshold slope.
+        alpha: f64,
+    },
+    /// Keep receiving while `queries_since_reset >= alpha * lg(depth)`.
+    Logarithmic {
+        /// Queries-per-lg-hop threshold slope.
+        alpha: f64,
+    },
+    /// Log-based policy over the last `n` update arrivals: cut off once
+    /// `n - 1` consecutive update intervals saw no query. `n = 3` is the
+    /// paper's second-chance policy.
+    LogBased {
+        /// History length in update arrivals (must be at least 2).
+        n: u32,
+    },
+    /// Keep receiving while at most `level` hops from the authority.
+    PushLevel {
+        /// Maximum depth to which updates propagate.
+        level: u32,
+    },
+}
+
+impl CutoffPolicy {
+    /// The paper's second-chance policy (log-based with n = 3).
+    pub fn second_chance() -> Self {
+        CutoffPolicy::LogBased { n: 3 }
+    }
+
+    /// Returns `true` if the node should keep receiving updates for the
+    /// key, `false` to cut off (push a Clear-Bit upstream).
+    pub fn keep_receiving(&self, ctx: &CutoffContext) -> bool {
+        match *self {
+            CutoffPolicy::Always => true,
+            CutoffPolicy::Never => false,
+            CutoffPolicy::Linear { alpha } => {
+                ctx.queries_since_reset as f64 >= alpha * ctx.depth as f64
+            }
+            CutoffPolicy::Logarithmic { alpha } => {
+                let lg = (ctx.depth.max(1) as f64).log2();
+                ctx.queries_since_reset as f64 >= alpha * lg
+            }
+            CutoffPolicy::LogBased { n } => ctx.consecutive_empty < n.saturating_sub(1),
+            CutoffPolicy::PushLevel { level } => ctx.depth <= level,
+        }
+    }
+
+    /// Returns `true` if this policy limits propagation at the *sender*
+    /// side to children within `level` hops of the authority. Only
+    /// [`CutoffPolicy::PushLevel`] does: the paper defines push level so
+    /// that a level of 0 means the authority squelches updates before
+    /// sending anything, rather than children cutting off after receiving
+    /// one update each.
+    pub fn sender_side_level(&self) -> Option<u32> {
+        match *self {
+            CutoffPolicy::PushLevel { level } => Some(level),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(queries: u32, empty: u32, depth: u32) -> CutoffContext {
+        CutoffContext {
+            queries_since_reset: queries,
+            consecutive_empty: empty,
+            depth,
+        }
+    }
+
+    #[test]
+    fn always_and_never() {
+        assert!(CutoffPolicy::Always.keep_receiving(&ctx(0, 99, 99)));
+        assert!(!CutoffPolicy::Never.keep_receiving(&ctx(99, 0, 1)));
+    }
+
+    #[test]
+    fn linear_threshold_scales_with_depth() {
+        let p = CutoffPolicy::Linear { alpha: 0.5 };
+        // Depth 10 needs at least 5 queries.
+        assert!(p.keep_receiving(&ctx(5, 0, 10)));
+        assert!(!p.keep_receiving(&ctx(4, 0, 10)));
+        // Close to the root almost anything passes.
+        assert!(p.keep_receiving(&ctx(1, 0, 2)));
+    }
+
+    #[test]
+    fn logarithmic_is_more_lenient_than_linear() {
+        let lin = CutoffPolicy::Linear { alpha: 0.5 };
+        let log = CutoffPolicy::Logarithmic { alpha: 0.5 };
+        // At depth 16: linear needs 8 queries, logarithmic needs 2.
+        assert!(!lin.keep_receiving(&ctx(2, 0, 16)));
+        assert!(log.keep_receiving(&ctx(2, 0, 16)));
+    }
+
+    #[test]
+    fn logarithmic_at_depth_one_keeps() {
+        // lg(1) = 0, so the threshold is zero queries.
+        let log = CutoffPolicy::Logarithmic { alpha: 0.5 };
+        assert!(log.keep_receiving(&ctx(0, 0, 1)));
+    }
+
+    #[test]
+    fn second_chance_cuts_on_second_empty_interval() {
+        let p = CutoffPolicy::second_chance();
+        assert!(p.keep_receiving(&ctx(0, 0, 5)), "no history yet");
+        assert!(
+            p.keep_receiving(&ctx(0, 1, 5)),
+            "first empty: second chance"
+        );
+        assert!(!p.keep_receiving(&ctx(0, 2, 5)), "second empty: cut off");
+    }
+
+    #[test]
+    fn log_based_general_n() {
+        let p = CutoffPolicy::LogBased { n: 5 };
+        assert!(p.keep_receiving(&ctx(0, 3, 1)));
+        assert!(!p.keep_receiving(&ctx(0, 4, 1)));
+    }
+
+    #[test]
+    fn push_level_caps_depth() {
+        let p = CutoffPolicy::PushLevel { level: 3 };
+        assert!(p.keep_receiving(&ctx(0, 9, 3)));
+        assert!(!p.keep_receiving(&ctx(9, 0, 4)));
+        assert_eq!(p.sender_side_level(), Some(3));
+        assert_eq!(CutoffPolicy::Always.sender_side_level(), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Per-node protocol counters.
+//!
+//! These are local bookkeeping only (no network cost); the experiment
+//! harness aggregates them across nodes and combines them with hop counts
+//! measured at the network layer.
+
+/// Counters maintained by one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Queries posted by local clients.
+    pub client_queries: u64,
+    /// Client queries answered immediately from fresh cache or the local
+    /// directory (no miss).
+    pub client_hits: u64,
+    /// Client queries that missed because the key had never been cached.
+    pub first_time_misses: u64,
+    /// Client queries that missed because every cached entry had expired
+    /// (the paper's *freshness misses*).
+    pub freshness_misses: u64,
+    /// Queries received from neighbors.
+    pub neighbor_queries: u64,
+    /// Queries absorbed by an already-pending first-time update (the
+    /// query-channel coalescing win of §1).
+    pub coalesced_queries: u64,
+    /// Updates received from upstream.
+    pub updates_received: u64,
+    /// Updates dropped on arrival because they had already expired (§2.6
+    /// case 3).
+    pub updates_expired_on_arrival: u64,
+    /// Update transmissions pushed downstream (per neighbor copy).
+    pub updates_forwarded: u64,
+    /// Clear-bit messages sent upstream.
+    pub clear_bits_sent: u64,
+    /// Clear-bit messages received from downstream.
+    pub clear_bits_received: u64,
+    /// Cut-off decisions that ended our subscription for some key.
+    pub cutoffs: u64,
+    /// Queries re-pushed after a pending-first-update timeout.
+    pub pfu_retries: u64,
+}
+
+impl NodeStats {
+    /// Total client misses (first-time plus freshness).
+    pub fn client_misses(&self) -> u64 {
+        self.first_time_misses + self.freshness_misses
+    }
+
+    /// Adds another node's counters into this one (aggregation).
+    pub fn merge(&mut self, other: &NodeStats) {
+        self.client_queries += other.client_queries;
+        self.client_hits += other.client_hits;
+        self.first_time_misses += other.first_time_misses;
+        self.freshness_misses += other.freshness_misses;
+        self.neighbor_queries += other.neighbor_queries;
+        self.coalesced_queries += other.coalesced_queries;
+        self.updates_received += other.updates_received;
+        self.updates_expired_on_arrival += other.updates_expired_on_arrival;
+        self.updates_forwarded += other.updates_forwarded;
+        self.clear_bits_sent += other.clear_bits_sent;
+        self.clear_bits_received += other.clear_bits_received;
+        self.cutoffs += other.cutoffs;
+        self.pfu_retries += other.pfu_retries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misses_sum_and_merge() {
+        let mut a = NodeStats {
+            first_time_misses: 2,
+            freshness_misses: 3,
+            client_queries: 10,
+            ..NodeStats::default()
+        };
+        assert_eq!(a.client_misses(), 5);
+        let b = NodeStats {
+            client_queries: 4,
+            coalesced_queries: 1,
+            ..NodeStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.client_queries, 14);
+        assert_eq!(a.coalesced_queries, 1);
+        assert_eq!(a.client_misses(), 5);
+    }
+}

@@ -1,0 +1,148 @@
+//! A concrete overlay chooser.
+//!
+//! Experiment code wants to select the substrate at runtime (the paper
+//! evaluates on CAN; Chord demonstrates overlay independence). CAN and
+//! Chord have different churn signatures (CAN joins need randomness for
+//! the join point), so a plain trait object cannot express joins;
+//! [`AnyOverlay`] unifies them.
+
+use cup_des::{DetRng, KeyId, NodeId};
+
+use crate::can::CanOverlay;
+use crate::chord::ChordOverlay;
+use crate::churn::ChurnReport;
+use crate::traits::{Overlay, OverlayError};
+
+/// Which overlay to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverlayKind {
+    /// Two-dimensional CAN (the paper's evaluation substrate).
+    Can,
+    /// Chord identifier ring.
+    Chord,
+}
+
+/// Either overlay, with a uniform churn interface.
+#[derive(Debug, Clone)]
+pub enum AnyOverlay {
+    /// A 2-D CAN.
+    Can(CanOverlay),
+    /// A Chord ring.
+    Chord(ChordOverlay),
+}
+
+impl AnyOverlay {
+    /// Builds an overlay of `n` nodes of the requested kind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying builder's error (e.g. `n == 0`).
+    pub fn build(kind: OverlayKind, n: usize, rng: &mut DetRng) -> Result<Self, OverlayError> {
+        match kind {
+            OverlayKind::Can => Ok(AnyOverlay::Can(CanOverlay::build(n, rng)?)),
+            OverlayKind::Chord => Ok(AnyOverlay::Chord(ChordOverlay::build(n)?)),
+        }
+    }
+
+    /// Adds one node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates overlay-specific join failures.
+    pub fn join(&mut self, rng: &mut DetRng) -> Result<ChurnReport, OverlayError> {
+        match self {
+            AnyOverlay::Can(c) => c.join(rng),
+            AnyOverlay::Chord(c) => Ok(c.join()),
+        }
+    }
+
+    /// Removes one node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates overlay-specific leave failures.
+    pub fn leave(&mut self, node: NodeId) -> Result<ChurnReport, OverlayError> {
+        match self {
+            AnyOverlay::Can(c) => c.leave(node),
+            AnyOverlay::Chord(c) => c.leave(node),
+        }
+    }
+}
+
+impl Overlay for AnyOverlay {
+    fn len(&self) -> usize {
+        match self {
+            AnyOverlay::Can(c) => c.len(),
+            AnyOverlay::Chord(c) => c.len(),
+        }
+    }
+
+    fn is_alive(&self, node: NodeId) -> bool {
+        match self {
+            AnyOverlay::Can(c) => c.is_alive(node),
+            AnyOverlay::Chord(c) => c.is_alive(node),
+        }
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        match self {
+            AnyOverlay::Can(c) => c.nodes(),
+            AnyOverlay::Chord(c) => c.nodes(),
+        }
+    }
+
+    fn authority(&self, key: KeyId) -> NodeId {
+        match self {
+            AnyOverlay::Can(c) => c.authority(key),
+            AnyOverlay::Chord(c) => c.authority(key),
+        }
+    }
+
+    fn next_hop(&self, from: NodeId, key: KeyId) -> Result<Option<NodeId>, OverlayError> {
+        match self {
+            AnyOverlay::Can(c) => c.next_hop(from, key),
+            AnyOverlay::Chord(c) => c.next_hop(from, key),
+        }
+    }
+
+    fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        match self {
+            AnyOverlay::Can(c) => c.neighbors(node),
+            AnyOverlay::Chord(c) => c.neighbors(node),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_kinds_build_and_route() {
+        let mut rng = DetRng::seed_from(1);
+        for kind in [OverlayKind::Can, OverlayKind::Chord] {
+            let overlay = AnyOverlay::build(kind, 32, &mut rng).unwrap();
+            assert_eq!(overlay.len(), 32);
+            for k in 0..10 {
+                let key = KeyId(k);
+                let path = overlay.route(NodeId(0), key).unwrap();
+                assert_eq!(*path.last().unwrap(), overlay.authority(key));
+            }
+        }
+    }
+
+    #[test]
+    fn churn_through_the_unified_interface() {
+        let mut rng = DetRng::seed_from(2);
+        for kind in [OverlayKind::Can, OverlayKind::Chord] {
+            let mut overlay = AnyOverlay::build(kind, 16, &mut rng).unwrap();
+            let report = overlay.join(&mut rng).unwrap();
+            assert!(report.joined.is_some());
+            assert_eq!(overlay.len(), 17);
+            let victim = overlay.nodes()[3];
+            overlay.leave(victim).unwrap();
+            assert_eq!(overlay.len(), 16);
+            assert!(!overlay.is_alive(victim));
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! A two-dimensional content-addressable network (CAN).
+//!
+//! This is the "bare-bones" CAN of Ratnasamy et al. that the CUP paper
+//! simulates: the coordinate space is a 2-D torus partitioned into
+//! rectangular zones, one owner per zone; a key hashes to a point and is
+//! owned by the node whose zone contains the point; routing greedily
+//! forwards to the neighbor whose zone is closest (Euclidean, on the torus)
+//! to the key's point.
+//!
+//! Joins split the zone containing the joiner's random point; departures
+//! hand the departed zones to the smallest-volume neighbor (the standard
+//! CAN takeover rule), which may therefore temporarily manage several
+//! zones.
+
+use std::collections::BTreeSet;
+
+use cup_des::{DetRng, KeyId, NodeId};
+
+use crate::churn::{ChurnReport, NeighborChange};
+use crate::hashing::key_to_point;
+use crate::point::Point;
+use crate::traits::{Overlay, OverlayError};
+use crate::zone::Zone;
+
+/// One CAN participant.
+#[derive(Debug, Clone, Default)]
+struct CanNode {
+    /// The zones this node owns; empty means the node is dead.
+    zones: Vec<Zone>,
+    /// Current CAN neighbors (zone abutment).
+    neighbors: BTreeSet<NodeId>,
+}
+
+impl CanNode {
+    fn is_alive(&self) -> bool {
+        !self.zones.is_empty()
+    }
+
+    fn contains(&self, p: Point) -> bool {
+        self.zones.iter().any(|z| z.contains(p))
+    }
+
+    fn abuts(&self, other: &CanNode) -> bool {
+        self.zones
+            .iter()
+            .any(|a| other.zones.iter().any(|b| a.abuts(b)))
+    }
+
+    fn dist_sq_to(&self, p: Point) -> u128 {
+        self.zones
+            .iter()
+            .map(|z| z.dist_sq_to(p))
+            .min()
+            .unwrap_or(u128::MAX)
+    }
+
+    fn volume(&self) -> u128 {
+        self.zones.iter().map(Zone::area).sum()
+    }
+}
+
+/// A 2-D CAN overlay.
+#[derive(Debug, Clone)]
+pub struct CanOverlay {
+    nodes: Vec<CanNode>,
+    alive: usize,
+}
+
+impl CanOverlay {
+    /// Builds a CAN of `n` nodes by `n - 1` successive joins at
+    /// deterministic pseudo-random points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::TooFewNodes`] when `n` is zero and
+    /// [`OverlayError::SpaceExhausted`] if a zone can no longer be split
+    /// (practically unreachable below ~2³² nodes).
+    pub fn build(n: usize, rng: &mut DetRng) -> Result<Self, OverlayError> {
+        if n == 0 {
+            return Err(OverlayError::TooFewNodes);
+        }
+        let mut overlay = CanOverlay {
+            nodes: vec![CanNode {
+                zones: vec![Zone::FULL],
+                neighbors: BTreeSet::new(),
+            }],
+            alive: 1,
+        };
+        for _ in 1..n {
+            overlay.join(rng)?;
+        }
+        Ok(overlay)
+    }
+
+    /// Adds one node at a pseudo-random point, splitting the zone that
+    /// contains it. Returns a report naming the split node and every
+    /// neighbor-set delta.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::SpaceExhausted`] if no splittable zone can
+    /// be found.
+    pub fn join(&mut self, rng: &mut DetRng) -> Result<ChurnReport, OverlayError> {
+        // Retry a few times in case the sampled point lands in an
+        // unsplittably thin zone.
+        for _ in 0..64 {
+            let p = Point::new(rng.next(), rng.next());
+            let owner = self.owner_of(p).expect("a live CAN covers the whole space");
+            let zone_idx = self.nodes[owner.index()]
+                .zones
+                .iter()
+                .position(|z| z.contains(p))
+                .expect("owner_of returned a node containing p");
+            let zone = self.nodes[owner.index()].zones[zone_idx];
+            let Some((lo, hi)) = zone.split() else {
+                continue;
+            };
+            // The joiner takes the half containing its point.
+            let (kept, given) = if hi.contains(p) { (lo, hi) } else { (hi, lo) };
+            let new_id = NodeId(self.nodes.len() as u32);
+            self.nodes[owner.index()].zones[zone_idx] = kept;
+            self.nodes.push(CanNode {
+                zones: vec![given],
+                neighbors: BTreeSet::new(),
+            });
+            self.alive += 1;
+            let report = self.refresh_neighbors(&[owner, new_id]);
+            return Ok(ChurnReport {
+                joined: Some(new_id),
+                departed: None,
+                counterpart: Some(owner),
+                neighbor_changes: report,
+            });
+        }
+        Err(OverlayError::SpaceExhausted)
+    }
+
+    /// Removes `node` from the overlay; its zones are taken over by its
+    /// smallest-volume neighbor (ties broken by lowest id), per the CAN
+    /// takeover rule. Graceful and ungraceful departures are identical at
+    /// the overlay level — what differs (index-entry hand-over) is handled
+    /// by the protocol layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::NodeNotAlive`] if `node` is not alive and
+    /// [`OverlayError::TooFewNodes`] when it is the last node.
+    pub fn leave(&mut self, node: NodeId) -> Result<ChurnReport, OverlayError> {
+        if !self.is_alive(node) {
+            return Err(OverlayError::NodeNotAlive(node));
+        }
+        if self.alive <= 1 {
+            return Err(OverlayError::TooFewNodes);
+        }
+        let takeover = self.nodes[node.index()]
+            .neighbors
+            .iter()
+            .copied()
+            .min_by_key(|&nb| (self.nodes[nb.index()].volume(), nb))
+            .expect("a live node in a multi-node CAN has neighbors");
+        let zones = std::mem::take(&mut self.nodes[node.index()].zones);
+        self.nodes[takeover.index()].zones.extend(zones);
+        Self::coalesce_zones(&mut self.nodes[takeover.index()].zones);
+        self.alive -= 1;
+        let mut changes = self.refresh_neighbors(&[node, takeover]);
+        // The departed node's final delta (losing all neighbors) is part of
+        // the report too.
+        let departed_old = std::mem::take(&mut self.nodes[node.index()].neighbors);
+        if !departed_old.is_empty() {
+            changes.push(NeighborChange {
+                node,
+                added: Vec::new(),
+                removed: departed_old.into_iter().collect(),
+            });
+        }
+        Ok(ChurnReport {
+            joined: None,
+            departed: Some(node),
+            counterpart: Some(takeover),
+            neighbor_changes: changes,
+        })
+    }
+
+    /// Returns the node owning the zone containing `p`.
+    pub fn owner_of(&self, p: Point) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .find(|(_, n)| n.contains(p))
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// The zones currently owned by `node` (empty if dead).
+    pub fn zones_of(&self, node: NodeId) -> &[Zone] {
+        &self.nodes[node.index()].zones
+    }
+
+    /// Repeatedly merges mergeable zone pairs (siblings re-forming their
+    /// parent rectangle).
+    fn coalesce_zones(zones: &mut Vec<Zone>) {
+        loop {
+            let mut merged = None;
+            'search: for i in 0..zones.len() {
+                for j in (i + 1)..zones.len() {
+                    if let Some(m) = zones[i].merge(&zones[j]) {
+                        merged = Some((i, j, m));
+                        break 'search;
+                    }
+                }
+            }
+            match merged {
+                Some((i, j, m)) => {
+                    zones.swap_remove(j);
+                    zones[i] = m;
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Recomputes neighbor sets after the zones of `changed` nodes were
+    /// modified, and returns the per-node deltas.
+    ///
+    /// Only nodes whose zones changed, plus their former and new
+    /// neighbors, can see their neighbor set change: an unchanged zone can
+    /// gain or lose adjacency only with a changed zone.
+    fn refresh_neighbors(&mut self, changed: &[NodeId]) -> Vec<NeighborChange> {
+        // Candidate set: changed nodes plus everything adjacent to them
+        // before the change.
+        let mut candidates: BTreeSet<NodeId> = changed.iter().copied().collect();
+        for &c in changed {
+            candidates.extend(self.nodes[c.index()].neighbors.iter().copied());
+        }
+        let mut deltas = Vec::new();
+        // First settle the changed nodes: their full neighbor set is
+        // re-derived against all candidates (their new neighbors can only
+        // come from that set).
+        for &c in changed {
+            let mut fresh = BTreeSet::new();
+            if self.nodes[c.index()].is_alive() {
+                for &other in &candidates {
+                    if other == c || !self.nodes[other.index()].is_alive() {
+                        continue;
+                    }
+                    if self.nodes[c.index()].abuts(&self.nodes[other.index()]) {
+                        fresh.insert(other);
+                    }
+                }
+            }
+            let old = std::mem::replace(&mut self.nodes[c.index()].neighbors, fresh);
+            let new = &self.nodes[c.index()].neighbors;
+            let added: Vec<NodeId> = new.difference(&old).copied().collect();
+            let removed: Vec<NodeId> = old.difference(new).copied().collect();
+            if !added.is_empty() || !removed.is_empty() {
+                deltas.push(NeighborChange {
+                    node: c,
+                    added,
+                    removed,
+                });
+            }
+        }
+        // Then fix up the unchanged candidates: only their adjacency with
+        // the changed nodes needs revisiting.
+        for &other in &candidates {
+            if changed.contains(&other) {
+                continue;
+            }
+            let mut added = Vec::new();
+            let mut removed = Vec::new();
+            for &c in changed {
+                let now_adjacent = self.nodes[other.index()].is_alive()
+                    && self.nodes[c.index()].is_alive()
+                    && self.nodes[other.index()].abuts(&self.nodes[c.index()]);
+                let was_adjacent = self.nodes[other.index()].neighbors.contains(&c);
+                if now_adjacent && !was_adjacent {
+                    self.nodes[other.index()].neighbors.insert(c);
+                    added.push(c);
+                } else if !now_adjacent && was_adjacent {
+                    self.nodes[other.index()].neighbors.remove(&c);
+                    removed.push(c);
+                }
+            }
+            if !added.is_empty() || !removed.is_empty() {
+                deltas.push(NeighborChange {
+                    node: other,
+                    added,
+                    removed,
+                });
+            }
+        }
+        deltas
+    }
+}
+
+impl Overlay for CanOverlay {
+    fn len(&self) -> usize {
+        self.alive
+    }
+
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes.get(node.index()).is_some_and(CanNode::is_alive)
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_alive())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    fn authority(&self, key: KeyId) -> NodeId {
+        self.owner_of(key_to_point(key))
+            .expect("a non-empty CAN covers the whole space")
+    }
+
+    fn next_hop(&self, from: NodeId, key: KeyId) -> Result<Option<NodeId>, OverlayError> {
+        if !self.is_alive(from) {
+            return Err(OverlayError::NodeNotAlive(from));
+        }
+        let target = key_to_point(key);
+        let me = &self.nodes[from.index()];
+        if me.contains(target) {
+            return Ok(None);
+        }
+        let my_dist = me.dist_sq_to(target);
+        let best = me
+            .neighbors
+            .iter()
+            .copied()
+            .map(|nb| (self.nodes[nb.index()].dist_sq_to(target), nb))
+            .min();
+        match best {
+            Some((d, nb)) if d < my_dist => Ok(Some(nb)),
+            _ => Err(OverlayError::RoutingStuck { at: from, key }),
+        }
+    }
+
+    fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .get(node.index())
+            .map(|n| n.neighbors.iter().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::SPACE_WIDTH;
+
+    fn build(n: usize, seed: u64) -> CanOverlay {
+        let mut rng = DetRng::seed_from(seed);
+        CanOverlay::build(n, &mut rng).unwrap()
+    }
+
+    /// Sum of all zone areas must always equal the full space.
+    fn total_area(overlay: &CanOverlay) -> u128 {
+        overlay.nodes.iter().map(CanNode::volume).sum()
+    }
+
+    #[test]
+    fn build_partitions_space() {
+        for n in [1, 2, 3, 17, 64] {
+            let overlay = build(n, 42);
+            assert_eq!(overlay.len(), n);
+            assert_eq!(total_area(&overlay), (SPACE_WIDTH as u128).pow(2));
+        }
+    }
+
+    #[test]
+    fn every_point_has_exactly_one_owner() {
+        let overlay = build(32, 1);
+        let mut rng = DetRng::seed_from(99);
+        for _ in 0..200 {
+            let p = Point::new(rng.next(), rng.next());
+            let owners = overlay.nodes.iter().filter(|n| n.contains(p)).count();
+            assert_eq!(owners, 1, "point {p:?} owned by {owners} nodes");
+        }
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let overlay = build(64, 7);
+        for node in overlay.nodes() {
+            for nb in overlay.neighbors(node) {
+                assert!(
+                    overlay.neighbors(nb).contains(&node),
+                    "{node} lists {nb} but not vice versa"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_relation_matches_abutment_exactly() {
+        let overlay = build(48, 3);
+        let ids = overlay.nodes();
+        for &a in &ids {
+            for &b in &ids {
+                if a == b {
+                    continue;
+                }
+                let listed = overlay.neighbors(a).contains(&b);
+                let abuts = overlay.nodes[a.index()].abuts(&overlay.nodes[b.index()]);
+                assert_eq!(listed, abuts, "neighbor list wrong for {a}/{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_reaches_authority() {
+        let overlay = build(128, 11);
+        for k in 0..50 {
+            let key = KeyId(k);
+            let auth = overlay.authority(key);
+            for start in [NodeId(0), NodeId(5), NodeId(77), auth] {
+                let path = overlay.route(start, key).unwrap();
+                assert_eq!(*path.first().unwrap(), start);
+                assert_eq!(*path.last().unwrap(), auth);
+                // Consecutive path entries must be neighbors.
+                for w in path.windows(2) {
+                    assert!(overlay.neighbors(w[0]).contains(&w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_hop_counts_scale_like_sqrt_n() {
+        // For a 2-D CAN the expected path length is O(√n); check a loose
+        // upper bound.
+        let overlay = build(256, 13);
+        let mut worst = 0;
+        for k in 0..40 {
+            let d = overlay.distance(NodeId(0), KeyId(k)).unwrap();
+            worst = worst.max(d);
+        }
+        assert!(worst <= 64, "paths unexpectedly long: {worst}");
+        assert!(worst >= 1, "256 nodes cannot all be one hop away");
+    }
+
+    #[test]
+    fn join_report_names_split_node() {
+        let mut overlay = build(8, 21);
+        let mut rng = DetRng::seed_from(500);
+        let report = overlay.join(&mut rng).unwrap();
+        let joined = report.joined.unwrap();
+        let split = report.counterpart.unwrap();
+        assert!(overlay.is_alive(joined));
+        assert!(overlay.neighbors(joined).contains(&split));
+        assert_eq!(total_area(&overlay), (SPACE_WIDTH as u128).pow(2));
+    }
+
+    #[test]
+    fn leave_hands_zone_to_neighbor() {
+        let mut overlay = build(16, 33);
+        let victim = NodeId(5);
+        let before = total_area(&overlay);
+        let report = overlay.leave(victim).unwrap();
+        assert!(!overlay.is_alive(victim));
+        assert_eq!(overlay.len(), 15);
+        assert_eq!(total_area(&overlay), before);
+        let takeover = report.counterpart.unwrap();
+        assert!(overlay.is_alive(takeover));
+        // The report tells the departed node it lost all neighbors.
+        let final_change = report.change_for(victim).unwrap();
+        assert!(final_change.added.is_empty());
+        assert!(!final_change.removed.is_empty());
+    }
+
+    #[test]
+    fn routing_still_works_after_churn() {
+        let mut overlay = build(64, 55);
+        let mut rng = DetRng::seed_from(77);
+        for round in 0..10 {
+            if round % 2 == 0 {
+                let alive = overlay.nodes();
+                let victim = alive[rng.choose_index(alive.len())];
+                overlay.leave(victim).unwrap();
+            } else {
+                overlay.join(&mut rng).unwrap();
+            }
+            for k in 0..10 {
+                let key = KeyId(k);
+                let start = *overlay.nodes().first().unwrap();
+                let path = overlay.route(start, key).unwrap();
+                assert_eq!(*path.last().unwrap(), overlay.authority(key));
+            }
+        }
+    }
+
+    #[test]
+    fn leave_last_node_fails() {
+        let mut overlay = build(1, 1);
+        assert!(matches!(
+            overlay.leave(NodeId(0)),
+            Err(OverlayError::TooFewNodes)
+        ));
+    }
+
+    #[test]
+    fn leave_dead_node_fails() {
+        let mut overlay = build(4, 1);
+        overlay.leave(NodeId(2)).unwrap();
+        assert!(matches!(
+            overlay.leave(NodeId(2)),
+            Err(OverlayError::NodeNotAlive(NodeId(2)))
+        ));
+    }
+
+    #[test]
+    fn build_zero_nodes_fails() {
+        let mut rng = DetRng::seed_from(1);
+        assert!(matches!(
+            CanOverlay::build(0, &mut rng),
+            Err(OverlayError::TooFewNodes)
+        ));
+    }
+
+    #[test]
+    fn authority_is_stable_under_unrelated_churn() {
+        // The owner of a key changes only if the zone containing its point
+        // is split or taken over.
+        let mut overlay = build(32, 9);
+        let key = KeyId(4);
+        let auth = overlay.authority(key);
+        // Remove a node that is not the authority.
+        let victim = overlay
+            .nodes()
+            .into_iter()
+            .find(|&n| n != auth && !overlay.neighbors(auth).contains(&n))
+            .unwrap();
+        overlay.leave(victim).unwrap();
+        assert_eq!(overlay.authority(key), auth);
+    }
+}

@@ -1,0 +1,62 @@
+//! Reports describing topology changes, consumed by the protocol layer.
+//!
+//! When a node joins or leaves, CUP must patch per-key interest bookkeeping
+//! at every affected node (§2.9). The overlay produces a [`ChurnReport`]
+//! naming exactly which nodes gained or lost which neighbors and where
+//! index ownership moved, so the protocol layer can do that patching
+//! without re-deriving topology.
+
+use cup_des::NodeId;
+
+/// One node's neighbor-set delta after a churn event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborChange {
+    /// The node whose neighbor set changed.
+    pub node: NodeId,
+    /// Neighbors that are new after the event.
+    pub added: Vec<NodeId>,
+    /// Neighbors that are gone after the event.
+    pub removed: Vec<NodeId>,
+}
+
+/// The outcome of a join or departure.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnReport {
+    /// The node that joined, if this was a join.
+    pub joined: Option<NodeId>,
+    /// The node that departed, if this was a departure.
+    pub departed: Option<NodeId>,
+    /// For a join: the existing node whose zone was split. For a
+    /// departure: the node that took over the departed zone(s).
+    pub counterpart: Option<NodeId>,
+    /// Per-node neighbor deltas (only nodes with a non-empty delta appear).
+    pub neighbor_changes: Vec<NeighborChange>,
+}
+
+impl ChurnReport {
+    /// Returns the neighbor delta for `node`, if any.
+    pub fn change_for(&self, node: NodeId) -> Option<&NeighborChange> {
+        self.neighbor_changes.iter().find(|c| c.node == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn change_lookup() {
+        let report = ChurnReport {
+            joined: Some(NodeId(5)),
+            departed: None,
+            counterpart: Some(NodeId(2)),
+            neighbor_changes: vec![NeighborChange {
+                node: NodeId(2),
+                added: vec![NodeId(5)],
+                removed: vec![],
+            }],
+        };
+        assert!(report.change_for(NodeId(2)).is_some());
+        assert!(report.change_for(NodeId(3)).is_none());
+    }
+}

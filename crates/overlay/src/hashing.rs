@@ -1,0 +1,76 @@
+//! Uniform hashing of keys onto the coordinate space and the Chord ring.
+//!
+//! The paper assumes "a hashing scheme that maps keys ... onto a virtual
+//! coordinate space using a uniform hash function that evenly distributes
+//! the keys to the space" (§2.1). We use SplitMix64 finalizers, which pass
+//! standard avalanche tests and are deterministic across platforms.
+
+use cup_des::KeyId;
+
+use crate::point::{Point, SPACE_WIDTH};
+
+/// A 64-bit finalizer (SplitMix64's output stage).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a key onto a point of the CAN coordinate space.
+pub fn key_to_point(key: KeyId) -> Point {
+    let h = mix64(key.0 as u64 ^ 0xC0FF_EE00_D15E_A5E5);
+    Point::new(h >> 32, h & (SPACE_WIDTH - 1))
+}
+
+/// Maps a key onto the Chord identifier ring.
+pub fn key_to_ring(key: KeyId) -> u64 {
+    mix64(key.0 as u64 ^ 0x5EED_5EED_5EED_5EED)
+}
+
+/// Maps a node (by dense index) onto the Chord identifier ring.
+pub fn node_to_ring(node_index: u32) -> u64 {
+    mix64(node_index as u64 ^ 0x0DDB_A11A_D0BE_C0DE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_to_point_is_deterministic() {
+        assert_eq!(key_to_point(KeyId(42)), key_to_point(KeyId(42)));
+        assert_ne!(key_to_point(KeyId(42)), key_to_point(KeyId(43)));
+    }
+
+    #[test]
+    fn key_to_point_spreads_over_quadrants() {
+        let mut quadrants = [0u32; 4];
+        for k in 0..4_000 {
+            let p = key_to_point(KeyId(k));
+            let qx = (p.x >= SPACE_WIDTH / 2) as usize;
+            let qy = (p.y >= SPACE_WIDTH / 2) as usize;
+            quadrants[qx * 2 + qy] += 1;
+        }
+        for &q in &quadrants {
+            assert!((800..1200).contains(&q), "quadrant count {q} skewed");
+        }
+    }
+
+    #[test]
+    fn ring_hashes_differ_between_domains() {
+        // The key and node hash domains must be independent.
+        assert_ne!(key_to_ring(KeyId(1)), node_to_ring(1));
+    }
+
+    #[test]
+    fn ring_hash_spreads() {
+        let mut below = 0;
+        for k in 0..4_000 {
+            if key_to_ring(KeyId(k)) < u64::MAX / 2 {
+                below += 1;
+            }
+        }
+        assert!((1800..2200).contains(&below), "ring hash skewed: {below}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Structured peer-to-peer overlays with deterministic routing.
+//!
+//! The CUP paper assumes that "anytime a node issues a query for key K, the
+//! query will be routed along a well-defined structured path with a bounded
+//! number of hops from the querying node to the authority node for K"
+//! (§2.2), and evaluates on a two-dimensional "bare-bones"
+//! content-addressable network (CAN). This crate provides:
+//!
+//! * the [`Overlay`] trait — deterministic next-hop routing, authority
+//!   lookup, and neighbor sets, plus join/leave churn operations;
+//! * [`can::CanOverlay`] — a two-dimensional CAN over a toroidal coordinate
+//!   space with zone splits on join and zone takeover on departure;
+//! * [`chord::ChordOverlay`] — a Chord identifier ring with finger tables,
+//!   demonstrating that CUP is overlay-agnostic (the paper names Chord,
+//!   Pastry, and Tapestry as equally valid substrates).
+//!
+//! # Examples
+//!
+//! ```
+//! use cup_des::{DetRng, KeyId};
+//! use cup_overlay::{can::CanOverlay, Overlay};
+//!
+//! let mut rng = DetRng::seed_from(1);
+//! let overlay = CanOverlay::build(64, &mut rng).unwrap();
+//! let key = KeyId(7);
+//! let authority = overlay.authority(key);
+//! // Routing from the authority terminates immediately.
+//! assert!(overlay.next_hop(authority, key).unwrap().is_none());
+//! ```
+
+pub mod any;
+pub mod can;
+pub mod chord;
+pub mod churn;
+pub mod hashing;
+pub mod point;
+pub mod traits;
+pub mod zone;
+
+pub use any::{AnyOverlay, OverlayKind};
+pub use churn::{ChurnReport, NeighborChange};
+pub use traits::{Overlay, OverlayError};

@@ -1,0 +1,73 @@
+//! Points on the CAN's toroidal coordinate space.
+//!
+//! The coordinate space is the 2-D torus `[0, W)²` with `W = 2³²`, stored in
+//! `u64` so interval midpoints stay exact integers (no floating point, no
+//! rounding drift across platforms).
+
+/// Width of the coordinate space in each dimension.
+pub const SPACE_WIDTH: u64 = 1 << 32;
+
+/// A point in the 2-D toroidal coordinate space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Point {
+    /// Horizontal coordinate in `[0, SPACE_WIDTH)`.
+    pub x: u64,
+    /// Vertical coordinate in `[0, SPACE_WIDTH)`.
+    pub y: u64,
+}
+
+impl Point {
+    /// Creates a point, wrapping coordinates into the space.
+    pub fn new(x: u64, y: u64) -> Self {
+        Point {
+            x: x % SPACE_WIDTH,
+            y: y % SPACE_WIDTH,
+        }
+    }
+}
+
+/// Distance between two scalar coordinates on the circle of circumference
+/// [`SPACE_WIDTH`].
+pub fn torus_dist_1d(a: u64, b: u64) -> u64 {
+    let d = a.abs_diff(b);
+    d.min(SPACE_WIDTH - d)
+}
+
+/// Squared Euclidean distance between two points on the torus.
+pub fn torus_dist_sq(a: Point, b: Point) -> u128 {
+    let dx = torus_dist_1d(a.x, b.x) as u128;
+    let dy = torus_dist_1d(a.y, b.y) as u128;
+    dx * dx + dy * dy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_wraps() {
+        let p = Point::new(SPACE_WIDTH + 5, 3);
+        assert_eq!(p.x, 5);
+        assert_eq!(p.y, 3);
+    }
+
+    #[test]
+    fn dist_1d_symmetric_and_wrapping() {
+        assert_eq!(torus_dist_1d(0, 10), 10);
+        assert_eq!(torus_dist_1d(10, 0), 10);
+        // Going the short way around the circle.
+        assert_eq!(torus_dist_1d(0, SPACE_WIDTH - 1), 1);
+        assert_eq!(torus_dist_1d(5, 5), 0);
+        // Antipodal points.
+        assert_eq!(torus_dist_1d(0, SPACE_WIDTH / 2), SPACE_WIDTH / 2);
+    }
+
+    #[test]
+    fn dist_sq_combines_dimensions() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, 4);
+        assert_eq!(torus_dist_sq(a, b), 25);
+        let c = Point::new(SPACE_WIDTH - 3, SPACE_WIDTH - 4);
+        assert_eq!(torus_dist_sq(a, c), 25);
+    }
+}

@@ -1,0 +1,277 @@
+//! Rectangular CAN zones on the torus.
+//!
+//! A zone is a half-open rectangle `[x0, x1) × [y0, y1)` with
+//! `0 <= x0 < x1 <= SPACE_WIDTH`. Zones never individually wrap around the
+//! torus edge (splits only shrink the initial full-space zone), but
+//! *adjacency* and *distance* are computed torally, so the edges at `0` and
+//! `SPACE_WIDTH` are identified.
+
+use crate::point::{torus_dist_1d, Point, SPACE_WIDTH};
+
+/// A half-open rectangular zone of the coordinate space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Zone {
+    /// Inclusive lower x bound.
+    pub x0: u64,
+    /// Exclusive upper x bound.
+    pub x1: u64,
+    /// Inclusive lower y bound.
+    pub y0: u64,
+    /// Exclusive upper y bound.
+    pub y1: u64,
+}
+
+/// The dimension along which a zone is split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Split the x extent.
+    X,
+    /// Split the y extent.
+    Y,
+}
+
+impl Zone {
+    /// The zone covering the whole coordinate space.
+    pub const FULL: Zone = Zone {
+        x0: 0,
+        x1: SPACE_WIDTH,
+        y0: 0,
+        y1: SPACE_WIDTH,
+    };
+
+    /// Creates a zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are empty or exceed the coordinate space.
+    pub fn new(x0: u64, x1: u64, y0: u64, y1: u64) -> Self {
+        assert!(x0 < x1 && x1 <= SPACE_WIDTH, "bad x bounds [{x0}, {x1})");
+        assert!(y0 < y1 && y1 <= SPACE_WIDTH, "bad y bounds [{y0}, {y1})");
+        Zone { x0, x1, y0, y1 }
+    }
+
+    /// Width of the x extent.
+    pub fn width(&self) -> u64 {
+        self.x1 - self.x0
+    }
+
+    /// Height of the y extent.
+    pub fn height(&self) -> u64 {
+        self.y1 - self.y0
+    }
+
+    /// Area of the zone (as a 128-bit value; the full space is `2⁶⁴`).
+    pub fn area(&self) -> u128 {
+        self.width() as u128 * self.height() as u128
+    }
+
+    /// Returns `true` if the point lies inside the zone.
+    pub fn contains(&self, p: Point) -> bool {
+        self.x0 <= p.x && p.x < self.x1 && self.y0 <= p.y && p.y < self.y1
+    }
+
+    /// The axis a CAN split uses: the longer side, ties going to x.
+    pub fn split_axis(&self) -> Axis {
+        if self.height() > self.width() {
+            Axis::Y
+        } else {
+            Axis::X
+        }
+    }
+
+    /// Splits the zone in half along its longer side.
+    ///
+    /// Returns `(kept, given)` where `kept` is the half containing the lower
+    /// coordinates. Returns `None` if the zone is too small to split (one
+    /// unit wide on the split axis), which in practice never happens before
+    /// ~2³² nodes.
+    pub fn split(&self) -> Option<(Zone, Zone)> {
+        match self.split_axis() {
+            Axis::X => {
+                if self.width() < 2 {
+                    return None;
+                }
+                let mid = self.x0 + self.width() / 2;
+                Some((
+                    Zone::new(self.x0, mid, self.y0, self.y1),
+                    Zone::new(mid, self.x1, self.y0, self.y1),
+                ))
+            }
+            Axis::Y => {
+                if self.height() < 2 {
+                    return None;
+                }
+                let mid = self.y0 + self.height() / 2;
+                Some((
+                    Zone::new(self.x0, self.x1, self.y0, mid),
+                    Zone::new(self.x0, self.x1, mid, self.y1),
+                ))
+            }
+        }
+    }
+
+    /// Attempts to merge two zones into one rectangle.
+    ///
+    /// Succeeds only if they share a full edge (the sibling relationship
+    /// produced by [`Zone::split`]).
+    pub fn merge(&self, other: &Zone) -> Option<Zone> {
+        // Merge along x: same y extent, abutting x intervals.
+        if self.y0 == other.y0 && self.y1 == other.y1 {
+            if self.x1 == other.x0 {
+                return Some(Zone::new(self.x0, other.x1, self.y0, self.y1));
+            }
+            if other.x1 == self.x0 {
+                return Some(Zone::new(other.x0, self.x1, self.y0, self.y1));
+            }
+        }
+        // Merge along y: same x extent, abutting y intervals.
+        if self.x0 == other.x0 && self.x1 == other.x1 {
+            if self.y1 == other.y0 {
+                return Some(Zone::new(self.x0, self.x1, self.y0, other.y1));
+            }
+            if other.y1 == self.y0 {
+                return Some(Zone::new(self.x0, self.x1, other.y0, self.y1));
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if the zones share a border segment of positive
+    /// length on the torus (CAN neighbor relation; touching only at a
+    /// corner does not count).
+    pub fn abuts(&self, other: &Zone) -> bool {
+        let x_touch = interval_touches_torally(self.x0, self.x1, other.x0, other.x1);
+        let y_touch = interval_touches_torally(self.y0, self.y1, other.y0, other.y1);
+        let x_overlap = interval_overlap_len(self.x0, self.x1, other.x0, other.x1) > 0;
+        let y_overlap = interval_overlap_len(self.y0, self.y1, other.y0, other.y1) > 0;
+        // Neighbors along x: x intervals touch, y intervals overlap — or
+        // vice versa.
+        (x_touch && y_overlap) || (y_touch && x_overlap)
+    }
+
+    /// Squared Euclidean distance (on the torus) from the zone to a point;
+    /// zero if the point is inside.
+    pub fn dist_sq_to(&self, p: Point) -> u128 {
+        let dx = interval_dist_torally(self.x0, self.x1, p.x) as u128;
+        let dy = interval_dist_torally(self.y0, self.y1, p.y) as u128;
+        dx * dx + dy * dy
+    }
+}
+
+/// Returns `true` if the half-open intervals `[a0, a1)` and `[b0, b1)` touch
+/// end-to-end on the circle (including across the 0/`SPACE_WIDTH` seam).
+fn interval_touches_torally(a0: u64, a1: u64, b0: u64, b1: u64) -> bool {
+    let touches = |end: u64, start: u64| end % SPACE_WIDTH == start % SPACE_WIDTH;
+    touches(a1, b0) || touches(b1, a0)
+}
+
+/// Length of the overlap of two half-open intervals (no wrapping needed:
+/// zones never wrap individually).
+fn interval_overlap_len(a0: u64, a1: u64, b0: u64, b1: u64) -> u64 {
+    let lo = a0.max(b0);
+    let hi = a1.min(b1);
+    hi.saturating_sub(lo)
+}
+
+/// Distance on the circle from coordinate `p` to the half-open interval
+/// `[lo, hi)`; zero if `p` is inside.
+fn interval_dist_torally(lo: u64, hi: u64, p: u64) -> u64 {
+    if lo <= p && p < hi {
+        return 0;
+    }
+    // The nearest point of an arc to an outside point is one of its ends.
+    torus_dist_1d(p, lo).min(torus_dist_1d(p, hi - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_zone_contains_everything() {
+        assert!(Zone::FULL.contains(Point::new(0, 0)));
+        assert!(Zone::FULL.contains(Point::new(SPACE_WIDTH - 1, SPACE_WIDTH - 1)));
+        assert_eq!(Zone::FULL.area(), (SPACE_WIDTH as u128).pow(2));
+    }
+
+    #[test]
+    fn split_halves_area_and_partitions() {
+        let (a, b) = Zone::FULL.split().unwrap();
+        assert_eq!(a.area() + b.area(), Zone::FULL.area());
+        let p = Point::new(SPACE_WIDTH / 4, 7);
+        assert!(a.contains(p) ^ b.contains(p));
+        // The first split is along x (square zone, tie to x).
+        assert_eq!(a.x1, SPACE_WIDTH / 2);
+    }
+
+    #[test]
+    fn split_alternates_axes() {
+        let (a, _) = Zone::FULL.split().unwrap();
+        // `a` is now taller than wide, so the next split is along y.
+        assert_eq!(a.split_axis(), Axis::Y);
+        let (aa, ab) = a.split().unwrap();
+        assert_eq!(aa.y1, SPACE_WIDTH / 2);
+        assert_eq!(ab.y0, SPACE_WIDTH / 2);
+    }
+
+    #[test]
+    fn merge_reverses_split() {
+        let (a, b) = Zone::FULL.split().unwrap();
+        assert_eq!(a.merge(&b), Some(Zone::FULL));
+        assert_eq!(b.merge(&a), Some(Zone::FULL));
+        let (aa, _) = a.split().unwrap();
+        assert_eq!(aa.merge(&b), None, "different extents cannot merge");
+    }
+
+    #[test]
+    fn abuts_straight_edges() {
+        let (a, b) = Zone::FULL.split().unwrap();
+        assert!(a.abuts(&b));
+        let (aa, ab) = a.split().unwrap();
+        assert!(aa.abuts(&ab));
+        assert!(aa.abuts(&b));
+        assert!(ab.abuts(&b));
+    }
+
+    #[test]
+    fn abuts_across_torus_seam() {
+        let (a, b) = Zone::FULL.split().unwrap();
+        // `a` is [0, W/2), `b` is [W/2, W): they touch both at W/2 and
+        // across the seam at 0/W.
+        assert_eq!(a.x0, 0);
+        assert_eq!(b.x1, SPACE_WIDTH);
+        assert!(a.abuts(&b));
+    }
+
+    #[test]
+    fn corner_touch_is_not_abutment() {
+        let a = Zone::new(0, 10, 0, 10);
+        let b = Zone::new(10, 20, 10, 20);
+        assert!(!a.abuts(&b), "sharing only a corner is not adjacency");
+    }
+
+    #[test]
+    fn dist_sq_inside_is_zero() {
+        let z = Zone::new(10, 20, 10, 20);
+        assert_eq!(z.dist_sq_to(Point::new(15, 15)), 0);
+        assert_eq!(z.dist_sq_to(Point::new(10, 19)), 0);
+    }
+
+    #[test]
+    fn dist_sq_outside_uses_nearest_edge() {
+        let z = Zone::new(10, 20, 10, 20);
+        // Point directly right of the zone.
+        assert_eq!(z.dist_sq_to(Point::new(25, 15)), 36); // (25-19)²
+                                                          // Point diagonal from the corner.
+        assert_eq!(z.dist_sq_to(Point::new(25, 25)), 72); // 6² + 6²
+                                                          // Point reaching the zone faster across the seam.
+        let edge = Zone::new(0, 10, 0, 10);
+        assert_eq!(edge.dist_sq_to(Point::new(SPACE_WIDTH - 2, 5)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad x bounds")]
+    fn empty_zone_rejected() {
+        let _ = Zone::new(10, 10, 0, 5);
+    }
+}

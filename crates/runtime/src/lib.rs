@@ -1,0 +1,31 @@
+//! A live, threaded CUP deployment.
+//!
+//! The protocol core is a pure state machine; this crate demonstrates that
+//! it runs unchanged outside the simulator. Every overlay node becomes an
+//! OS thread owning its [`cup_core::CupNode`]; the paper's per-neighbor
+//! query and update channels are crossbeam channels; the clock is the
+//! wall clock mapped onto [`cup_des::SimTime`] microseconds.
+//!
+//! The runtime keeps the overlay static (no churn) — it exists to exercise
+//! the protocol under real concurrency, not to be a full deployment — and
+//! exposes the same knobs as the simulation: node configuration (mode,
+//! cut-off policy), replica events, and client queries.
+//!
+//! # Examples
+//!
+//! ```
+//! use cup_des::{DetRng, KeyId, ReplicaId, SimDuration};
+//! use cup_core::NodeConfig;
+//! use cup_runtime::LiveNetwork;
+//!
+//! let mut rng = DetRng::seed_from(7);
+//! let net = LiveNetwork::start(16, NodeConfig::cup_default(), &mut rng).unwrap();
+//! net.replica_birth(KeyId(1), ReplicaId(0), SimDuration::from_secs(60));
+//! let entries = net.query(net.nodes()[3], KeyId(1)).unwrap();
+//! assert_eq!(entries.len(), 1);
+//! net.shutdown();
+//! ```
+
+pub mod network;
+
+pub use network::{LiveNetwork, RuntimeError};

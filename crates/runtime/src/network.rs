@@ -1,0 +1,342 @@
+//! The threaded node runtime.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use cup_core::{
+    Action, ClientId, CupNode, IndexEntry, Message, NodeConfig, ReplicaEvent, Requester,
+};
+use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration, SimTime};
+use cup_overlay::{AnyOverlay, Overlay, OverlayError, OverlayKind};
+
+/// Errors surfaced by the live runtime.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The overlay could not be built.
+    Overlay(OverlayError),
+    /// A query timed out waiting for its response.
+    QueryTimeout,
+    /// The target node is not part of the network.
+    UnknownNode(NodeId),
+}
+
+impl core::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RuntimeError::Overlay(e) => write!(f, "overlay error: {e}"),
+            RuntimeError::QueryTimeout => write!(f, "query timed out"),
+            RuntimeError::UnknownNode(n) => write!(f, "unknown node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// What a node thread can receive.
+enum Envelope {
+    /// A protocol message from a peer.
+    Peer { from: NodeId, msg: Message },
+    /// A local client query; the response goes to the registered client.
+    Client { key: KeyId, client: ClientId },
+    /// A replica lifecycle message (the node is the key's authority).
+    Replica(ReplicaEvent),
+    /// Stop the thread.
+    Shutdown,
+}
+
+/// Shared state between the runtime handle and node threads.
+struct Shared {
+    inboxes: Vec<Sender<Envelope>>,
+    overlay: AnyOverlay,
+    clients: Mutex<HashMap<ClientId, Sender<Vec<IndexEntry>>>>,
+    start: Instant,
+    /// Total peer messages delivered (the live equivalent of hop counts).
+    hops: AtomicU64,
+}
+
+impl Shared {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+}
+
+/// A running CUP network of threads.
+pub struct LiveNetwork {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<CupNode>>,
+    node_ids: Vec<NodeId>,
+    next_client: AtomicU64,
+    /// How long [`LiveNetwork::query`] waits for a response.
+    pub query_timeout: Duration,
+}
+
+impl LiveNetwork {
+    /// Builds a CAN overlay of `n` nodes and starts one thread per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Overlay`] if the overlay cannot be built.
+    pub fn start(n: usize, config: NodeConfig, rng: &mut DetRng) -> Result<Self, RuntimeError> {
+        let overlay = AnyOverlay::build(OverlayKind::Can, n, rng).map_err(RuntimeError::Overlay)?;
+        let node_ids = overlay.nodes();
+        let mut inboxes = Vec::with_capacity(node_ids.len());
+        let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(node_ids.len());
+        for _ in &node_ids {
+            let (tx, rx) = unbounded();
+            inboxes.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            inboxes,
+            overlay,
+            clients: Mutex::new(HashMap::new()),
+            start: Instant::now(),
+            hops: AtomicU64::new(0),
+        });
+        let mut handles = Vec::with_capacity(node_ids.len());
+        for (&id, rx) in node_ids.iter().zip(receivers) {
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                node_main(id, config, rx, shared)
+            }));
+        }
+        Ok(LiveNetwork {
+            shared,
+            handles,
+            node_ids,
+            next_client: AtomicU64::new(0),
+            query_timeout: Duration::from_secs(5),
+        })
+    }
+
+    /// The live node ids.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.node_ids
+    }
+
+    /// Peer messages delivered so far (hop count).
+    pub fn hops(&self) -> u64 {
+        self.shared.hops.load(Ordering::Relaxed)
+    }
+
+    /// Announces a replica serving `key` to the key's authority node.
+    pub fn replica_birth(&self, key: KeyId, replica: ReplicaId, lifetime: SimDuration) {
+        self.send_replica(ReplicaEvent::Birth {
+            key,
+            replica,
+            lifetime,
+        });
+    }
+
+    /// Renews a replica's index entry.
+    pub fn replica_refresh(&self, key: KeyId, replica: ReplicaId, lifetime: SimDuration) {
+        self.send_replica(ReplicaEvent::Refresh {
+            key,
+            replica,
+            lifetime,
+        });
+    }
+
+    /// Withdraws a replica.
+    pub fn replica_deletion(&self, key: KeyId, replica: ReplicaId) {
+        self.send_replica(ReplicaEvent::Deletion { key, replica });
+    }
+
+    fn send_replica(&self, event: ReplicaEvent) {
+        let authority = self.shared.overlay.authority(event.key());
+        // A closed inbox means shutdown is racing us; losing a replica
+        // message then is acceptable.
+        let _ = self.shared.inboxes[authority.index()].send(Envelope::Replica(event));
+    }
+
+    /// Posts a client query at `node` and blocks for the fresh index
+    /// entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownNode`] for an invalid node and
+    /// [`RuntimeError::QueryTimeout`] if no response arrives within
+    /// [`LiveNetwork::query_timeout`].
+    pub fn query(&self, node: NodeId, key: KeyId) -> Result<Vec<IndexEntry>, RuntimeError> {
+        if !self.node_ids.contains(&node) {
+            return Err(RuntimeError::UnknownNode(node));
+        }
+        let client = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = unbounded();
+        self.shared.clients.lock().insert(client, tx);
+        let _ = self.shared.inboxes[node.index()].send(Envelope::Client { key, client });
+        let result = rx
+            .recv_timeout(self.query_timeout)
+            .map_err(|_| RuntimeError::QueryTimeout);
+        self.shared.clients.lock().remove(&client);
+        result
+    }
+
+    /// Stops all node threads and returns their final protocol states
+    /// (useful for inspecting per-node statistics).
+    pub fn shutdown(self) -> Vec<CupNode> {
+        for tx in &self.shared.inboxes {
+            let _ = tx.send(Envelope::Shutdown);
+        }
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread must not panic"))
+            .collect()
+    }
+}
+
+/// The per-node thread body.
+fn node_main(
+    id: NodeId,
+    config: NodeConfig,
+    rx: Receiver<Envelope>,
+    shared: Arc<Shared>,
+) -> CupNode {
+    let mut node = CupNode::new(id, config);
+    while let Ok(envelope) = rx.recv() {
+        let now = shared.now();
+        let actions = match envelope {
+            Envelope::Shutdown => break,
+            Envelope::Peer { from, msg } => match msg {
+                Message::Query { key } => {
+                    let upstream = upstream_of(&shared.overlay, id, key);
+                    node.handle_query(now, key, Requester::Neighbor(from), upstream)
+                }
+                Message::Update(update) => node.handle_update(now, from, update),
+                Message::ClearBit { key } => {
+                    let upstream = upstream_of(&shared.overlay, id, key);
+                    node.handle_clear_bit(now, key, from, upstream)
+                }
+            },
+            Envelope::Client { key, client } => {
+                let upstream = upstream_of(&shared.overlay, id, key);
+                node.handle_query(now, key, Requester::Client(client), upstream)
+            }
+            Envelope::Replica(event) => node.handle_replica_event(now, event),
+        };
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    shared.hops.fetch_add(1, Ordering::Relaxed);
+                    let _ = shared.inboxes[to.index()].send(Envelope::Peer { from: id, msg });
+                }
+                Action::RespondClient {
+                    client, entries, ..
+                } => {
+                    if let Some(tx) = shared.clients.lock().get(&client) {
+                        let _ = tx.send(entries);
+                    }
+                }
+            }
+        }
+    }
+    node
+}
+
+/// Next hop toward `key`'s authority, or `None` at the authority.
+fn upstream_of(overlay: &AnyOverlay, from: NodeId, key: KeyId) -> Option<NodeId> {
+    if overlay.authority(key) == from {
+        None
+    } else {
+        overlay
+            .next_hop(from, key)
+            .expect("static live overlay routes must succeed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIFE: SimDuration = SimDuration::from_secs(60);
+
+    fn network(n: usize) -> LiveNetwork {
+        let mut rng = DetRng::seed_from(11);
+        LiveNetwork::start(n, NodeConfig::cup_default(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn query_finds_replica_across_threads() {
+        let net = network(16);
+        net.replica_birth(KeyId(1), ReplicaId(0), LIFE);
+        // Give the authority a moment to process the birth.
+        std::thread::sleep(Duration::from_millis(50));
+        for &node in &net.nodes()[..4] {
+            let entries = net.query(node, KeyId(1)).unwrap();
+            assert_eq!(entries.len(), 1);
+            assert_eq!(entries[0].replica, ReplicaId(0));
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn repeat_queries_are_served_from_cache() {
+        let net = network(16);
+        net.replica_birth(KeyId(2), ReplicaId(3), LIFE);
+        std::thread::sleep(Duration::from_millis(50));
+        let node = net.nodes()[7];
+        net.query(node, KeyId(2)).unwrap();
+        let hops_after_first = net.hops();
+        net.query(node, KeyId(2)).unwrap();
+        let hops_after_second = net.hops();
+        assert!(
+            hops_after_second <= hops_after_first + 1,
+            "second query must be a (near-)local cache hit: {hops_after_first} -> {hops_after_second}"
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn deletion_propagates_to_caches() {
+        let net = network(16);
+        net.replica_birth(KeyId(3), ReplicaId(5), LIFE);
+        std::thread::sleep(Duration::from_millis(50));
+        let node = net.nodes()[9];
+        assert_eq!(net.query(node, KeyId(3)).unwrap().len(), 1);
+        net.replica_deletion(KeyId(3), ReplicaId(5));
+        std::thread::sleep(Duration::from_millis(100));
+        // After the delete propagates, the fresh answer is empty.
+        let entries = net.query(node, KeyId(3)).unwrap();
+        assert!(
+            entries.is_empty(),
+            "delete update should have removed the entry everywhere"
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn unknown_key_yields_empty_answer() {
+        let net = network(8);
+        let entries = net.query(net.nodes()[0], KeyId(99)).unwrap();
+        assert!(entries.is_empty());
+        net.shutdown();
+    }
+
+    #[test]
+    fn unknown_node_is_rejected() {
+        let net = network(8);
+        assert!(matches!(
+            net.query(NodeId(999), KeyId(1)),
+            Err(RuntimeError::UnknownNode(_))
+        ));
+        net.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_node_states() {
+        let net = network(8);
+        net.replica_birth(KeyId(1), ReplicaId(0), LIFE);
+        std::thread::sleep(Duration::from_millis(50));
+        net.query(net.nodes()[3], KeyId(1)).unwrap();
+        let nodes = net.shutdown();
+        assert_eq!(nodes.len(), 8);
+        let total_queries: u64 = nodes.iter().map(|n| n.stats.client_queries).sum();
+        assert_eq!(total_queries, 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! The simulation event queue.
+//!
+//! A binary heap keyed by `(time, sequence)` — the sequence number breaks
+//! ties so that events scheduled for the same instant fire in FIFO order,
+//! which keeps simulations deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A scheduled event: fires at `at`, carrying `payload`.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// # Examples
+///
+/// ```
+/// use cup_des::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "later");
+/// q.schedule(SimTime::from_secs(1), "sooner");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "sooner")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    ///
+    /// Events scheduled for the same instant are returned in the order they
+    /// were scheduled.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.at, s.payload))
+    }
+
+    /// Returns the firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 3);
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 1);
+        q.schedule(SimTime::ZERO, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "a");
+        q.schedule(SimTime::from_secs(5), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(5), "b")));
+        q.schedule(SimTime::from_secs(7), "c");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(7), "c")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(10), "a")));
+    }
+}

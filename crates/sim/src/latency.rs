@@ -1,0 +1,113 @@
+//! Per-hop network latency models.
+//!
+//! The CUP evaluation measures costs in *hops*, but the simulation still
+//! needs a notion of transmission delay so that, e.g., an update can arrive
+//! after the entry it refreshes has already expired (the paper's §2.6
+//! case 3: "the network path has long delays and the update does not arrive
+//! in time").
+
+use crate::rng::DetRng;
+use crate::time::SimDuration;
+
+/// How long one overlay hop takes.
+#[derive(Debug, Clone)]
+pub enum LatencyModel {
+    /// Every hop takes exactly this long.
+    Fixed(SimDuration),
+    /// Hops take a uniform duration in `[min, max]`.
+    Uniform {
+        /// Shortest possible hop delay.
+        min: SimDuration,
+        /// Longest possible hop delay.
+        max: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// A typical wide-area hop: fixed 50 ms (the order of magnitude used by
+    /// overlay simulators of the paper's era).
+    pub fn default_wan() -> Self {
+        LatencyModel::Fixed(SimDuration::from_millis(50))
+    }
+
+    /// Samples the delay of one hop.
+    pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                debug_assert!(min <= max, "uniform latency bounds inverted");
+                let span = max.as_micros().saturating_sub(min.as_micros());
+                if span == 0 {
+                    min
+                } else {
+                    SimDuration::from_micros(min.as_micros() + rng.next_below(span + 1))
+                }
+            }
+        }
+    }
+
+    /// Returns the mean hop delay of the model.
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                SimDuration::from_micros((min.as_micros() + max.as_micros()) / 2)
+            }
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::default_wan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_always_same() {
+        let model = LatencyModel::Fixed(SimDuration::from_millis(10));
+        let mut rng = DetRng::seed_from(1);
+        for _ in 0..10 {
+            assert_eq!(model.sample(&mut rng), SimDuration::from_millis(10));
+        }
+        assert_eq!(model.mean(), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let min = SimDuration::from_millis(10);
+        let max = SimDuration::from_millis(90);
+        let model = LatencyModel::Uniform { min, max };
+        let mut rng = DetRng::seed_from(2);
+        let mut sum = 0u64;
+        let n = 10_000;
+        for _ in 0..n {
+            let d = model.sample(&mut rng);
+            assert!(d >= min && d <= max);
+            sum += d.as_micros();
+        }
+        let mean = sum / n;
+        let expect = model.mean().as_micros();
+        assert!(
+            (mean as i64 - expect as i64).unsigned_abs() < 2_000,
+            "empirical mean {mean}µs far from {expect}µs"
+        );
+    }
+
+    #[test]
+    fn degenerate_uniform_is_fixed() {
+        let d = SimDuration::from_millis(5);
+        let model = LatencyModel::Uniform { min: d, max: d };
+        let mut rng = DetRng::seed_from(3);
+        assert_eq!(model.sample(&mut rng), d);
+    }
+
+    #[test]
+    fn default_is_wan() {
+        assert_eq!(LatencyModel::default().mean(), SimDuration::from_millis(50));
+    }
+}

@@ -1,0 +1,256 @@
+//! Light-weight statistics collectors.
+//!
+//! The experiment harness aggregates hop counts and latencies across
+//! millions of events; these collectors are allocation-free on the hot path.
+
+use core::fmt;
+
+/// A running mean/min/max accumulator over `f64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the samples, or 0 if none were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population variance, or 0 for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        ((self.sum_sq - self.sum * self.sum / n) / n).max(0.0)
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min().unwrap_or(0.0),
+            self.max().unwrap_or(0.0)
+        )
+    }
+}
+
+/// A fixed-bucket histogram over non-negative integer samples (hop counts).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering samples `0..buckets`; anything larger is
+    /// counted in the overflow bucket.
+    pub fn new(buckets: usize) -> Self {
+        Histogram {
+            buckets: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: usize) {
+        self.total += 1;
+        match self.buckets.get_mut(value) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bucket `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.buckets.get(value).copied().unwrap_or(0)
+    }
+
+    /// Count of samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The smallest value `v` such that at least `q` (in `[0,1]`) of samples
+    /// are `<= v`. Overflowed samples count as the last bucket index + 1.
+    pub fn quantile(&self, q: f64) -> usize {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut cum = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return i;
+            }
+        }
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(4.0));
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_sane() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn summary_merge_matches_combined() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        let mut whole = Summary::new();
+        for x in 0..10 {
+            let v = x as f64;
+            if x % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn histogram_counts_and_overflow() {
+        let mut h = Histogram::new(4);
+        for v in [0, 1, 1, 3, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(10);
+        for v in 0..10 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.1), 0);
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(1.0), 9);
+    }
+
+    #[test]
+    fn summary_display_readable() {
+        let mut s = Summary::new();
+        s.record(2.0);
+        let text = s.to_string();
+        assert!(text.contains("n=1"));
+        assert!(text.contains("mean=2.000"));
+    }
+}

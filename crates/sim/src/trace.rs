@@ -1,0 +1,94 @@
+//! Optional tracing of simulation activity.
+//!
+//! A [`Tracer`] collects human-readable trace lines when enabled and is a
+//! no-op otherwise; experiments run with tracing disabled, tests and the
+//! examples can enable it to explain protocol behaviour.
+
+use crate::time::SimTime;
+
+/// A bounded in-memory trace sink.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    lines: Vec<String>,
+    limit: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer (records nothing).
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Creates an enabled tracer keeping at most `limit` lines.
+    pub fn enabled(limit: usize) -> Self {
+        Tracer {
+            enabled: true,
+            lines: Vec::new(),
+            limit,
+            dropped: 0,
+        }
+    }
+
+    /// Returns `true` if the tracer records events.
+    ///
+    /// Callers formatting expensive trace lines should check this first.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one line, tagged with the simulated time.
+    pub fn emit(&mut self, now: SimTime, line: impl AsRef<str>) {
+        if !self.enabled {
+            return;
+        }
+        if self.lines.len() >= self.limit {
+            self.dropped += 1;
+            return;
+        }
+        self.lines.push(format!("[{now}] {}", line.as_ref()));
+    }
+
+    /// Returns the recorded lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Number of lines that were discarded because the limit was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.emit(SimTime::ZERO, "hello");
+        assert!(t.lines().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_records_with_timestamp() {
+        let mut t = Tracer::enabled(10);
+        t.emit(SimTime::from_secs(2), "query k1");
+        assert_eq!(t.lines().len(), 1);
+        assert!(t.lines()[0].contains("2.000000s"));
+        assert!(t.lines()[0].contains("query k1"));
+    }
+
+    #[test]
+    fn limit_drops_excess() {
+        let mut t = Tracer::enabled(2);
+        for i in 0..5 {
+            t.emit(SimTime::ZERO, format!("line {i}"));
+        }
+        assert_eq!(t.lines().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! Justified-update accounting (§3.1).
+//!
+//! An update pushed down to node N with critical window T is *justified*
+//! if at least one query for the key is posted within T anywhere in the
+//! virtual subtree V(N, K) — the set of nodes whose (virtual) query path
+//! to the authority passes through N. Because overlay routing is
+//! deterministic, V(N, K) membership is decidable per query: when a query
+//! for K is posted at X, every node on the virtual path X → authority has
+//! X in its subtree. The tracker therefore records open windows per
+//! `(node, key)` and marks them justified as queries walk their virtual
+//! paths.
+
+use std::collections::HashMap;
+
+use cup_des::{KeyId, NodeId, SimTime};
+
+/// One pending justification window.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    opened: SimTime,
+    closes: SimTime,
+    justified: bool,
+}
+
+/// Tracks justification windows for maintenance updates.
+#[derive(Debug, Default)]
+pub struct JustificationTracker {
+    windows: HashMap<(NodeId, KeyId), Vec<Window>>,
+    justified: u64,
+    total: u64,
+}
+
+impl JustificationTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        JustificationTracker::default()
+    }
+
+    /// Records a maintenance update delivered to `node` at `now` whose
+    /// justification window closes at `closes`.
+    pub fn on_update_delivered(&mut self, node: NodeId, key: KeyId, now: SimTime, closes: SimTime) {
+        self.total += 1;
+        if closes <= now {
+            // Window already shut (an update that expired in transit was
+            // dropped earlier; a zero-length window can never be
+            // justified).
+            return;
+        }
+        let slot = self.windows.entry((node, key)).or_default();
+        // Prune settled windows opportunistically to bound memory.
+        slot.retain(|w| !w.justified && w.closes > now);
+        slot.push(Window {
+            opened: now,
+            closes,
+            justified: false,
+        });
+    }
+
+    /// Records a query for `key` posted at time `now` whose virtual path
+    /// (posting node → authority, inclusive) is `path`. Every open window
+    /// on the path containing `now` becomes justified.
+    pub fn on_query(&mut self, key: KeyId, now: SimTime, path: &[NodeId]) {
+        for &node in path {
+            if let Some(slot) = self.windows.get_mut(&(node, key)) {
+                for w in slot.iter_mut() {
+                    if !w.justified && w.opened <= now && now < w.closes {
+                        w.justified = true;
+                        self.justified += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of justified updates so far.
+    pub fn justified(&self) -> u64 {
+        self.justified
+    }
+
+    /// Number of updates tracked so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: KeyId = KeyId(1);
+
+    #[test]
+    fn query_in_window_justifies() {
+        let mut t = JustificationTracker::new();
+        t.on_update_delivered(
+            NodeId(5),
+            KEY,
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        );
+        t.on_query(
+            KEY,
+            SimTime::from_secs(15),
+            &[NodeId(7), NodeId(5), NodeId(0)],
+        );
+        assert_eq!(t.justified(), 1);
+        assert_eq!(t.total(), 1);
+    }
+
+    #[test]
+    fn query_after_window_does_not_justify() {
+        let mut t = JustificationTracker::new();
+        t.on_update_delivered(
+            NodeId(5),
+            KEY,
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        );
+        t.on_query(KEY, SimTime::from_secs(25), &[NodeId(5)]);
+        assert_eq!(t.justified(), 0);
+    }
+
+    #[test]
+    fn query_off_path_does_not_justify() {
+        let mut t = JustificationTracker::new();
+        t.on_update_delivered(
+            NodeId(5),
+            KEY,
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        );
+        t.on_query(KEY, SimTime::from_secs(15), &[NodeId(7), NodeId(8)]);
+        assert_eq!(t.justified(), 0);
+    }
+
+    #[test]
+    fn other_key_does_not_justify() {
+        let mut t = JustificationTracker::new();
+        t.on_update_delivered(
+            NodeId(5),
+            KEY,
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        );
+        t.on_query(KeyId(2), SimTime::from_secs(15), &[NodeId(5)]);
+        assert_eq!(t.justified(), 0);
+    }
+
+    #[test]
+    fn one_query_can_justify_updates_along_whole_path() {
+        let mut t = JustificationTracker::new();
+        for n in [1u32, 2, 3] {
+            t.on_update_delivered(
+                NodeId(n),
+                KEY,
+                SimTime::from_secs(10),
+                SimTime::from_secs(100),
+            );
+        }
+        t.on_query(
+            KEY,
+            SimTime::from_secs(50),
+            &[NodeId(3), NodeId(2), NodeId(1)],
+        );
+        assert_eq!(t.justified(), 3);
+    }
+
+    #[test]
+    fn each_window_justified_at_most_once() {
+        let mut t = JustificationTracker::new();
+        t.on_update_delivered(
+            NodeId(1),
+            KEY,
+            SimTime::from_secs(0),
+            SimTime::from_secs(100),
+        );
+        t.on_query(KEY, SimTime::from_secs(10), &[NodeId(1)]);
+        t.on_query(KEY, SimTime::from_secs(20), &[NodeId(1)]);
+        assert_eq!(t.justified(), 1);
+    }
+
+    #[test]
+    fn already_closed_window_counts_in_total_only() {
+        let mut t = JustificationTracker::new();
+        t.on_update_delivered(
+            NodeId(1),
+            KEY,
+            SimTime::from_secs(10),
+            SimTime::from_secs(10),
+        );
+        assert_eq!(t.total(), 1);
+        t.on_query(KEY, SimTime::from_secs(10), &[NodeId(1)]);
+        assert_eq!(t.justified(), 0);
+    }
+}

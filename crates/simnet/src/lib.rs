@@ -1,0 +1,37 @@
+//! Simulated CUP networks: the experiment harness.
+//!
+//! This crate glues the pieces together inside the discrete-event engine:
+//! a structured overlay (`cup-overlay`) carries protocol messages between
+//! [`cup_core::CupNode`]s with per-hop latency, while workload generators
+//! (`cup-workload`) post queries and drive replica lifecycles. Every
+//! message delivery is one overlay hop and is charged to the paper's cost
+//! model (§3.3):
+//!
+//! * **miss cost** — hops of queries traveling upstream plus hops of
+//!   first-time updates (query responses) traveling downstream;
+//! * **overhead** — hops of refresh/delete/append updates plus clear-bit
+//!   hops (clear-bits are conservatively *not* piggybacked, exactly like
+//!   the paper's accounting);
+//! * **total cost** = miss cost + overhead.
+//!
+//! A [`justify::JustificationTracker`] measures the fraction of pushed
+//! updates whose cost is recovered by a subsequent query in the receiving
+//! node's virtual subtree (§3.1), using the determinism of overlay routing
+//! to enumerate virtual query paths exactly.
+//!
+//! [`experiment::run_experiment`] runs one configuration end to end;
+//! [`sweeps`] contains the parameter sweeps behind every table and figure
+//! of the paper; [`report`] renders them in the paper's format.
+
+pub mod event;
+pub mod experiment;
+pub mod justify;
+pub mod metrics;
+pub mod network;
+pub mod report;
+pub mod sweeps;
+
+pub use event::Ev;
+pub use experiment::{run_experiment, ExperimentConfig};
+pub use metrics::{ExperimentResult, NetMetrics};
+pub use network::Network;

@@ -1,0 +1,167 @@
+//! Network-level cost accounting (the paper's §3.3 cost model).
+
+use cup_core::stats::NodeStats;
+
+/// Hop counters accumulated while the simulation runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetMetrics {
+    /// Hops traveled by queries (upstream).
+    pub query_hops: u64,
+    /// Hops traveled by first-time updates (query responses, downstream).
+    pub first_time_hops: u64,
+    /// Hops traveled by refresh updates.
+    pub refresh_hops: u64,
+    /// Hops traveled by delete updates.
+    pub delete_hops: u64,
+    /// Hops traveled by append updates.
+    pub append_hops: u64,
+    /// Hops traveled by clear-bit control messages.
+    pub clear_bit_hops: u64,
+    /// Client queries answered (responses handed to local clients).
+    pub client_responses: u64,
+    /// Messages dropped because the destination had departed.
+    pub dropped_messages: u64,
+}
+
+impl NetMetrics {
+    /// Miss cost: "the total number of hops incurred by all misses, i.e.
+    /// freshness and first-time misses" — queries up plus responses down.
+    pub fn miss_cost(&self) -> u64 {
+        self.query_hops + self.first_time_hops
+    }
+
+    /// CUP overhead: "the total number of hops traveled by all updates
+    /// sent downstream plus the total number of hops traveled by all
+    /// clear-bit messages upstream".
+    pub fn overhead(&self) -> u64 {
+        self.refresh_hops + self.delete_hops + self.append_hops + self.clear_bit_hops
+    }
+
+    /// Total cost = miss cost + overhead. For standard caching this
+    /// equals the miss cost (no updates, no clear-bits).
+    pub fn total_cost(&self) -> u64 {
+        self.miss_cost() + self.overhead()
+    }
+
+    /// Maintenance update transmissions (everything except first-time).
+    pub fn maintenance_hops(&self) -> u64 {
+        self.refresh_hops + self.delete_hops + self.append_hops
+    }
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentResult {
+    /// Network hop counters.
+    pub net: NetMetrics,
+    /// Aggregated per-node protocol counters.
+    pub nodes: NodeStats,
+    /// Maintenance updates delivered whose cost was recovered by a
+    /// subsequent query in the receiver's virtual subtree (§3.1).
+    pub justified_updates: u64,
+    /// Total maintenance updates delivered (justification denominator).
+    pub tracked_updates: u64,
+    /// Number of overlay nodes at the start of the run.
+    pub node_count: usize,
+}
+
+impl ExperimentResult {
+    /// Total cost in hops.
+    pub fn total_cost(&self) -> u64 {
+        self.net.total_cost()
+    }
+
+    /// Miss cost in hops.
+    pub fn miss_cost(&self) -> u64 {
+        self.net.miss_cost()
+    }
+
+    /// Overhead in hops.
+    pub fn overhead(&self) -> u64 {
+        self.net.overhead()
+    }
+
+    /// Number of client-visible misses (first-time + freshness).
+    pub fn misses(&self) -> u64 {
+        self.nodes.client_misses()
+    }
+
+    /// Average hops per miss — the paper's query-latency metric ("query
+    /// latency measured by average number of hops needed to handle a
+    /// miss", Table 2).
+    pub fn miss_latency(&self) -> f64 {
+        let misses = self.misses();
+        if misses == 0 {
+            0.0
+        } else {
+            self.miss_cost() as f64 / misses as f64
+        }
+    }
+
+    /// The "investment return per update push": saved miss cost relative
+    /// to a baseline, per overhead hop (Table 2's
+    /// `SavedMissOverheadRatio`).
+    pub fn saved_miss_overhead_ratio(&self, baseline_miss_cost: u64) -> f64 {
+        let overhead = self.overhead();
+        if overhead == 0 {
+            0.0
+        } else {
+            baseline_miss_cost.saturating_sub(self.miss_cost()) as f64 / overhead as f64
+        }
+    }
+
+    /// Fraction of tracked maintenance updates that were justified.
+    pub fn justified_fraction(&self) -> f64 {
+        if self.tracked_updates == 0 {
+            0.0
+        } else {
+            self.justified_updates as f64 / self.tracked_updates as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model_sums() {
+        let m = NetMetrics {
+            query_hops: 10,
+            first_time_hops: 8,
+            refresh_hops: 5,
+            delete_hops: 1,
+            append_hops: 2,
+            clear_bit_hops: 3,
+            ..NetMetrics::default()
+        };
+        assert_eq!(m.miss_cost(), 18);
+        assert_eq!(m.overhead(), 11);
+        assert_eq!(m.total_cost(), 29);
+        assert_eq!(m.maintenance_hops(), 8);
+    }
+
+    #[test]
+    fn result_ratios() {
+        let mut r = ExperimentResult::default();
+        r.net.query_hops = 50;
+        r.net.first_time_hops = 50;
+        r.net.refresh_hops = 20;
+        r.nodes.first_time_misses = 10;
+        r.nodes.freshness_misses = 10;
+        assert_eq!(r.miss_latency(), 5.0);
+        // Baseline missed 300 hops; we missed 100 with 20 overhead.
+        assert_eq!(r.saved_miss_overhead_ratio(300), 10.0);
+        assert_eq!(r.justified_fraction(), 0.0);
+        r.tracked_updates = 4;
+        r.justified_updates = 3;
+        assert_eq!(r.justified_fraction(), 0.75);
+    }
+
+    #[test]
+    fn empty_result_is_safe() {
+        let r = ExperimentResult::default();
+        assert_eq!(r.miss_latency(), 0.0);
+        assert_eq!(r.saved_miss_overhead_ratio(100), 0.0);
+    }
+}

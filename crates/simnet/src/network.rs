@@ -1,0 +1,425 @@
+//! The simulated network: nodes wired over an overlay inside the DES.
+
+use std::collections::HashMap;
+
+use cup_core::{
+    Action, ClientId, CupNode, Message, NodeConfig, ReplicaEvent, Requester, UpdateKind,
+};
+use cup_des::{DetRng, EventQueue, KeyId, LatencyModel, NodeId, SimDuration, SimTime};
+use cup_overlay::{AnyOverlay, Overlay};
+use cup_workload::{
+    churn::ChurnEvent,
+    replica::{ReplicaAction, ReplicaActionKind, ReplicaPlan},
+    QueryGen,
+};
+
+use crate::event::Ev;
+use crate::justify::JustificationTracker;
+use crate::metrics::NetMetrics;
+
+/// How often capacity-limited nodes service their outgoing queues.
+pub const SERVICE_INTERVAL: SimDuration = SimDuration::from_secs(1);
+
+/// The complete state of one simulated CUP network.
+#[derive(Debug)]
+pub struct Network {
+    /// The structured overlay carrying the messages.
+    pub overlay: AnyOverlay,
+    nodes: Vec<Option<CupNode>>,
+    /// Current outgoing-capacity fraction per node (by dense id).
+    capacities: Vec<f64>,
+    latency: LatencyModel,
+    rng: DetRng,
+    authority_cache: HashMap<KeyId, NodeId>,
+    alive_list: Vec<NodeId>,
+    /// Hop accounting.
+    pub metrics: NetMetrics,
+    /// Justified-update tracking (optional: costs CPU at high rates).
+    pub justify: Option<JustificationTracker>,
+    /// The query workload (drained lazily via [`Ev::NextQuery`]).
+    pub query_gen: Option<QueryGen>,
+    /// Replica lifecycle plan.
+    pub replica_plan: Option<ReplicaPlan>,
+    next_client: u64,
+    /// Configuration template for nodes joining after the build.
+    node_config: NodeConfig,
+    /// Counters carried over from departed nodes.
+    departed_stats: cup_core::stats::NodeStats,
+}
+
+impl Network {
+    /// Builds a network of `node_count` nodes over `overlay`, all using
+    /// `node_config`.
+    pub fn new(
+        overlay: AnyOverlay,
+        node_config: NodeConfig,
+        latency: LatencyModel,
+        rng: DetRng,
+    ) -> Self {
+        let ids = overlay.nodes();
+        let max_id = ids.iter().map(|n| n.index()).max().unwrap_or(0);
+        let mut nodes: Vec<Option<CupNode>> = (0..=max_id).map(|_| None).collect();
+        for id in &ids {
+            nodes[id.index()] = Some(CupNode::new(*id, node_config));
+        }
+        Network {
+            overlay,
+            capacities: vec![1.0; nodes.len()],
+            nodes,
+            latency,
+            rng,
+            authority_cache: HashMap::new(),
+            alive_list: ids,
+            metrics: NetMetrics::default(),
+            justify: None,
+            query_gen: None,
+            replica_plan: None,
+            next_client: 0,
+            node_config,
+            departed_stats: cup_core::stats::NodeStats::default(),
+        }
+    }
+
+    /// The authority node for `key` (cached; invalidated on churn).
+    pub fn authority_of(&mut self, key: KeyId) -> NodeId {
+        if let Some(&a) = self.authority_cache.get(&key) {
+            return a;
+        }
+        let a = self.overlay.authority(key);
+        self.authority_cache.insert(key, a);
+        a
+    }
+
+    /// The next hop from `node` toward the authority of `key`, or `None`
+    /// if `node` is the authority.
+    fn upstream_of(&mut self, node: NodeId, key: KeyId) -> Option<NodeId> {
+        if self.authority_of(key) == node {
+            return None;
+        }
+        self.overlay
+            .next_hop(node, key)
+            .expect("routing from a live node must succeed")
+    }
+
+    /// Access a node (panics if it departed — callers check liveness).
+    fn node_mut(&mut self, id: NodeId) -> &mut CupNode {
+        self.nodes[id.index()].as_mut().expect("node must be alive")
+    }
+
+    /// Read-only access to one node's state, if alive.
+    pub fn node(&self, id: NodeId) -> Option<&CupNode> {
+        self.nodes.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Aggregates the protocol counters of all nodes, including counters
+    /// retained from nodes that have since departed.
+    pub fn aggregate_stats(&self) -> cup_core::stats::NodeStats {
+        let mut total = self.departed_stats;
+        for n in self.nodes.iter().flatten() {
+            total.merge(&n.stats);
+        }
+        total
+    }
+
+    /// Number of live nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.alive_list.len()
+    }
+
+    /// Handles one simulation event; the entry point the engine drives.
+    pub fn dispatch(&mut self, queue: &mut EventQueue<Ev>, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::NextQuery => self.on_next_query(queue, now),
+            Ev::PostQuery { node_index, key } => self.on_post_query(queue, now, node_index, key),
+            Ev::Deliver { from, to, msg } => self.on_deliver(queue, now, from, to, msg),
+            Ev::Replica(action) => self.on_replica(queue, now, action),
+            Ev::ServiceCapacity { node } => self.on_service(queue, now, node),
+            Ev::SetCapacity { nodes, capacity } => {
+                self.on_set_capacity(queue, now, &nodes, capacity)
+            }
+            Ev::Churn(ev) => self.on_churn(queue, now, ev),
+        }
+    }
+
+    /// Pulls the next query arrival from the generator and schedules it.
+    fn on_next_query(&mut self, queue: &mut EventQueue<Ev>, now: SimTime) {
+        let Some(gen) = self.query_gen.as_mut() else {
+            return;
+        };
+        if let Some(arrival) = gen.next_query() {
+            // Bursty workloads can interleave: the Poisson clock may lag
+            // the tail of a burst that spread past it, so clamp to `now`.
+            let at = arrival.at.max(now);
+            queue.schedule(
+                at,
+                Ev::PostQuery {
+                    node_index: arrival.node_index,
+                    key: arrival.key,
+                },
+            );
+            queue.schedule(at, Ev::NextQuery);
+        }
+    }
+
+    /// A client posts a query at a (live) node.
+    fn on_post_query(
+        &mut self,
+        queue: &mut EventQueue<Ev>,
+        now: SimTime,
+        node_index: usize,
+        key: KeyId,
+    ) {
+        if self.alive_list.is_empty() {
+            return;
+        }
+        let node = self.alive_list[node_index % self.alive_list.len()];
+        let client = ClientId(self.next_client);
+        self.next_client += 1;
+        // Justification bookkeeping: this query covers every node on its
+        // virtual path to the authority (§3.1 — V(N, K) membership).
+        if self.justify.is_some() {
+            let path = self
+                .overlay
+                .route(node, key)
+                .expect("routing must succeed on a live overlay");
+            if let Some(j) = self.justify.as_mut() {
+                j.on_query(key, now, &path);
+            }
+        }
+        let upstream = self.upstream_of(node, key);
+        let actions =
+            self.node_mut(node)
+                .handle_query(now, key, Requester::Client(client), upstream);
+        self.apply_actions(queue, now, node, actions);
+    }
+
+    /// Delivers one message after its hop of latency.
+    fn on_deliver(
+        &mut self,
+        queue: &mut EventQueue<Ev>,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+    ) {
+        if !self.overlay.is_alive(to) || self.nodes[to.index()].is_none() {
+            self.metrics.dropped_messages += 1;
+            return;
+        }
+        // Charge this hop to the §3.3 cost model.
+        match &msg {
+            Message::Query { .. } => self.metrics.query_hops += 1,
+            Message::Update(u) => match u.kind {
+                UpdateKind::FirstTime => self.metrics.first_time_hops += 1,
+                UpdateKind::Refresh => self.metrics.refresh_hops += 1,
+                UpdateKind::Delete => self.metrics.delete_hops += 1,
+                UpdateKind::Append => self.metrics.append_hops += 1,
+            },
+            Message::ClearBit { .. } => self.metrics.clear_bit_hops += 1,
+        }
+        let actions = match msg {
+            Message::Query { key } => {
+                let upstream = self.upstream_of(to, key);
+                self.node_mut(to)
+                    .handle_query(now, key, Requester::Neighbor(from), upstream)
+            }
+            Message::Update(u) => {
+                if u.kind != UpdateKind::FirstTime {
+                    if let Some(j) = self.justify.as_mut() {
+                        j.on_update_delivered(to, u.key, now, u.window_end);
+                    }
+                }
+                self.node_mut(to).handle_update(now, from, u)
+            }
+            Message::ClearBit { key } => {
+                let upstream = self.upstream_of(to, key);
+                self.node_mut(to).handle_clear_bit(now, key, from, upstream)
+            }
+        };
+        self.apply_actions(queue, now, to, actions);
+    }
+
+    /// A replica lifecycle action reaches its key's authority.
+    fn on_replica(&mut self, queue: &mut EventQueue<Ev>, now: SimTime, action: ReplicaAction) {
+        let Some(plan) = self.replica_plan.as_ref() else {
+            return;
+        };
+        let lifetime = plan.lifetime;
+        let event = match action.kind {
+            ReplicaActionKind::Birth => ReplicaEvent::Birth {
+                key: action.key,
+                replica: action.replica,
+                lifetime,
+            },
+            ReplicaActionKind::Refresh => ReplicaEvent::Refresh {
+                key: action.key,
+                replica: action.replica,
+                lifetime,
+            },
+            ReplicaActionKind::Death => ReplicaEvent::Deletion {
+                key: action.key,
+                replica: action.replica,
+            },
+        };
+        if let Some(next) = self
+            .replica_plan
+            .as_ref()
+            .and_then(|p| p.next_event(&action, now))
+        {
+            queue.schedule(next.at, Ev::Replica(next));
+        }
+        let authority = self.authority_of(action.key);
+        let actions = self.node_mut(authority).handle_replica_event(now, event);
+        self.apply_actions(queue, now, authority, actions);
+    }
+
+    /// Services a capacity-limited node's outgoing queues.
+    fn on_service(&mut self, queue: &mut EventQueue<Ev>, now: SimTime, node: NodeId) {
+        if !self.overlay.is_alive(node) {
+            return;
+        }
+        let c = self.capacities[node.index()];
+        let actions = self.node_mut(node).service_outgoing(now, c);
+        self.apply_actions(queue, now, node, actions);
+        if c < 1.0 {
+            queue.schedule(now + SERVICE_INTERVAL, Ev::ServiceCapacity { node });
+        } else {
+            // Fully recovered: back to immediate forwarding.
+            self.node_mut(node).set_capacity_limited(false);
+        }
+    }
+
+    /// Applies a §3.7 capacity change to a set of nodes.
+    fn on_set_capacity(
+        &mut self,
+        queue: &mut EventQueue<Ev>,
+        now: SimTime,
+        nodes: &[usize],
+        capacity: f64,
+    ) {
+        for &idx in nodes {
+            let id = NodeId(idx as u32);
+            if !self.overlay.is_alive(id) {
+                continue;
+            }
+            let was = self.capacities[idx];
+            self.capacities[idx] = capacity;
+            if capacity < 1.0 && was >= 1.0 {
+                self.node_mut(id).set_capacity_limited(true);
+                queue.schedule(now + SERVICE_INTERVAL, Ev::ServiceCapacity { node: id });
+            }
+            // Recovery (capacity >= 1.0) is finalized by the next
+            // ServiceCapacity event, which drains the queue in one go.
+        }
+    }
+
+    /// A node joins or leaves the overlay (§2.9).
+    fn on_churn(&mut self, _queue: &mut EventQueue<Ev>, now: SimTime, ev: ChurnEvent) {
+        match ev {
+            ChurnEvent::Join { .. } => {
+                let Ok(report) = self.overlay.join(&mut self.rng) else {
+                    return;
+                };
+                let new_id = report.joined.expect("join reports the joiner");
+                debug_assert_eq!(new_id.index(), self.nodes.len());
+                self.nodes
+                    .push(Some(CupNode::new(new_id, self.node_config)));
+                self.capacities.push(1.0);
+                self.patch_interest(&report);
+                // Hand over the directory slice the new node now owns.
+                if let Some(split) = report.counterpart {
+                    let overlay = &self.overlay;
+                    let moved = self.nodes[split.index()]
+                        .as_mut()
+                        .expect("split node is alive")
+                        .export_directory(|k| overlay.authority(k) == new_id);
+                    self.node_mut(new_id).import_directory(moved);
+                }
+                self.after_topology_change();
+            }
+            ChurnEvent::Leave { graceful, .. } => {
+                if self.alive_list.len() <= 1 {
+                    return;
+                }
+                let victim = self.alive_list[self.rng.choose_index(self.alive_list.len())];
+                let Ok(report) = self.overlay.leave(victim) else {
+                    return;
+                };
+                let takeover = report.counterpart;
+                if graceful {
+                    // §2.9: a graceful departure may hand its entries to
+                    // the takeover node, which merges and de-duplicates.
+                    if let Some(t) = takeover {
+                        let moved = self.nodes[victim.index()]
+                            .as_mut()
+                            .expect("victim was alive")
+                            .export_directory(|_| true);
+                        self.node_mut(t).import_directory(moved);
+                    }
+                }
+                self.patch_interest(&report);
+                if let Some(gone) = self.nodes[victim.index()].take() {
+                    // Keep the departed node's counters so network-wide
+                    // statistics stay conserved.
+                    self.departed_stats.merge(&gone.stats);
+                }
+                self.after_topology_change();
+                let _ = now;
+            }
+        }
+    }
+
+    /// Applies §2.9 interest patching from a churn report: every node
+    /// whose neighbor set lost members drops interest bookkeeping for
+    /// them (entries at dependents then simply expire, the paper's
+    /// no-hand-over option).
+    fn patch_interest(&mut self, report: &cup_overlay::ChurnReport) {
+        for change in &report.neighbor_changes {
+            let Some(node) = self
+                .nodes
+                .get_mut(change.node.index())
+                .and_then(Option::as_mut)
+            else {
+                continue;
+            };
+            for &removed in &change.removed {
+                node.on_neighbor_departed(removed, None);
+            }
+        }
+    }
+
+    /// Refreshes caches that depend on the topology.
+    fn after_topology_change(&mut self) {
+        self.authority_cache.clear();
+        self.alive_list = self.overlay.nodes();
+    }
+
+    /// Turns protocol actions (emitted by `sender`'s handlers) into
+    /// network traffic and client responses.
+    fn apply_actions(
+        &mut self,
+        queue: &mut EventQueue<Ev>,
+        now: SimTime,
+        sender: NodeId,
+        actions: Vec<Action>,
+    ) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let delay = self.latency.sample(&mut self.rng);
+                    queue.schedule(
+                        now + delay,
+                        Ev::Deliver {
+                            from: sender,
+                            to,
+                            msg,
+                        },
+                    );
+                }
+                Action::RespondClient { .. } => {
+                    self.metrics.client_responses += 1;
+                }
+            }
+        }
+    }
+}

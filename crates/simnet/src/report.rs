@@ -1,0 +1,189 @@
+//! Plain-text rendering of the paper's tables and figures.
+
+use crate::sweeps::{CapacityPoint, PolicyRow, PushLevelPoint, ReplicaRow, SizeColumn};
+
+/// Renders a Figure 3/4 style series: one block per query rate with
+/// `(level, total cost, miss cost)` rows.
+pub fn render_push_level(points: &[PushLevelPoint]) -> String {
+    let mut out = String::new();
+    let mut rates: Vec<f64> = points.iter().map(|p| p.rate).collect();
+    rates.dedup();
+    for rate in rates {
+        out.push_str(&format!("# query rate {rate} q/s\n"));
+        out.push_str("push_level  total_cost  miss_cost\n");
+        for p in points.iter().filter(|p| p.rate == rate) {
+            out.push_str(&format!(
+                "{:>10}  {:>10}  {:>9}\n",
+                p.level, p.total_cost, p.miss_cost
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Table 1: rows are policies, columns are query rates; each cell
+/// is `total (normalized)` exactly like the paper.
+pub fn render_policy_table(rows: &[PolicyRow], rates: &[f64]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<24}", "Policy"));
+    for rate in rates {
+        out.push_str(&format!("{:>20}", format!("{rate} q/s Total Cost")));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<24}", row.policy));
+        for (cost, norm) in row.total_costs.iter().zip(&row.normalized) {
+            out.push_str(&format!("{:>20}", format!("{cost} ({norm:.2})")));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Table 2: metrics across network sizes.
+pub fn render_size_table(cols: &[SizeColumn]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<40}", "Number of Nodes"));
+    for c in cols {
+        out.push_str(&format!("{:>9}", c.nodes));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<40}", "CUP / STD Caching Miss Cost"));
+    for c in cols {
+        out.push_str(&format!("{:>9.2}", c.miss_cost_ratio));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<40}", "CUP miss latency"));
+    for c in cols {
+        out.push_str(&format!("{:>9.1}", c.cup_miss_latency));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<40}", "STD Caching miss latency"));
+    for c in cols {
+        out.push_str(&format!("{:>9.1}", c.std_miss_latency));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<40}", "Saved miss hops per CUP overhead hop"));
+    for c in cols {
+        out.push_str(&format!("{:>9.2}", c.saved_per_overhead));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders Table 3: replica counts versus cut-off implementations.
+pub fn render_replica_table(rows: &[ReplicaRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>8}  {:>24}  {:>24}  {:>12}\n",
+        "Replicas", "Naive Miss Cost (Misses)", "Fixed Miss Cost (Misses)", "Fixed Total"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8}  {:>24}  {:>24}  {:>12}\n",
+            r.replicas,
+            format!("{} ({})", r.naive_miss_cost, r.naive_misses),
+            format!("{} ({})", r.fixed_miss_cost, r.fixed_misses),
+            r.fixed_total_cost
+        ));
+    }
+    out
+}
+
+/// Renders Figure 5/6 series: total cost versus reduced capacity.
+pub fn render_capacity(points: &[CapacityPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("capacity  up_and_down  once_down_always_down  standard_caching\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:>8.2}  {:>11}  {:>21}  {:>16}\n",
+            p.capacity, p.up_and_down, p.once_down, p.standard
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_level_render_groups_by_rate() {
+        let points = vec![
+            PushLevelPoint {
+                rate: 1.0,
+                level: 0,
+                total_cost: 100,
+                miss_cost: 100,
+            },
+            PushLevelPoint {
+                rate: 1.0,
+                level: 5,
+                total_cost: 60,
+                miss_cost: 50,
+            },
+        ];
+        let text = render_push_level(&points);
+        assert!(text.contains("query rate 1 q/s"));
+        assert!(text.contains("100"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn policy_render_includes_normalization() {
+        let rows = vec![PolicyRow {
+            policy: "Second-chance".into(),
+            total_costs: vec![150],
+            normalized: vec![0.27],
+        }];
+        let text = render_policy_table(&rows, &[1.0]);
+        assert!(text.contains("Second-chance"));
+        assert!(text.contains("150 (0.27)"));
+    }
+
+    #[test]
+    fn size_render_has_all_metric_rows() {
+        let cols = vec![SizeColumn {
+            nodes: 1024,
+            miss_cost_ratio: 0.15,
+            cup_miss_latency: 3.9,
+            std_miss_latency: 9.4,
+            saved_per_overhead: 7.05,
+        }];
+        let text = render_size_table(&cols);
+        assert!(text.contains("Miss Cost"));
+        assert!(text.contains("1024"));
+        assert!(text.contains("0.15"));
+        assert!(text.contains("7.05"));
+    }
+
+    #[test]
+    fn replica_render_pairs_cost_with_misses() {
+        let rows = vec![ReplicaRow {
+            replicas: 10,
+            naive_miss_cost: 44079,
+            naive_misses: 4296,
+            fixed_miss_cost: 7565,
+            fixed_misses: 504,
+            fixed_total_cost: 69086,
+        }];
+        let text = render_replica_table(&rows);
+        assert!(text.contains("44079 (4296)"));
+        assert!(text.contains("7565 (504)"));
+    }
+
+    #[test]
+    fn capacity_render_lists_profiles() {
+        let points = vec![CapacityPoint {
+            capacity: 0.25,
+            up_and_down: 30_000,
+            once_down: 33_000,
+            standard: 55_000,
+        }];
+        let text = render_capacity(&points);
+        assert!(text.contains("up_and_down"));
+        assert!(text.contains("0.25"));
+        assert!(text.contains("55000"));
+    }
+}

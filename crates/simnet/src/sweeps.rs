@@ -1,0 +1,349 @@
+//! Parameter sweeps reproducing every table and figure of the paper.
+//!
+//! Each function takes a *base* scenario so callers choose the scale: the
+//! `repro` binary uses the paper's parameters (2¹⁰ nodes, 3 000 s of
+//! querying), the Criterion benches use scaled-down versions with the same
+//! shape.
+
+use cup_core::{CutoffPolicy, NodeConfig, ResetMode};
+use cup_workload::{capacity::CapacityProfile, Scenario};
+
+use crate::experiment::{run_experiment, ExperimentConfig};
+
+/// One point of the Figure 3/4 push-level sweep.
+#[derive(Debug, Clone)]
+pub struct PushLevelPoint {
+    /// Network-wide query rate (q/s).
+    pub rate: f64,
+    /// Push level p (0 = standard caching).
+    pub level: u32,
+    /// Total cost in hops.
+    pub total_cost: u64,
+    /// Miss cost in hops.
+    pub miss_cost: u64,
+}
+
+/// Figures 3 and 4: total and miss cost versus push level.
+///
+/// "A push level of p means that updates are propagated to all nodes that
+/// have queried for the key and that are at most p hops from the
+/// authority node. A push level of 0 corresponds to standard caching."
+pub fn push_level_sweep(base: &Scenario, rates: &[f64], levels: &[u32]) -> Vec<PushLevelPoint> {
+    let mut out = Vec::new();
+    for &rate in rates {
+        for &level in levels {
+            let scenario = Scenario {
+                query_rate: rate,
+                ..base.clone()
+            };
+            let config = ExperimentConfig {
+                node_config: NodeConfig::cup_with_policy(CutoffPolicy::PushLevel { level }),
+                ..ExperimentConfig::cup(scenario)
+            };
+            let r = run_experiment(&config);
+            out.push(PushLevelPoint {
+                rate,
+                level,
+                total_cost: r.total_cost(),
+                miss_cost: r.miss_cost(),
+            });
+        }
+    }
+    out
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// Human-readable policy name in the paper's wording.
+    pub policy: String,
+    /// Total cost per query rate, aligned with the requested rates.
+    pub total_costs: Vec<u64>,
+    /// Total cost normalized by standard caching at the same rate.
+    pub normalized: Vec<f64>,
+}
+
+/// Table 1: total cost for varying cut-off policies.
+///
+/// Runs standard caching, linear and logarithmic thresholds for several
+/// α values, second-chance, and the optimal push level (the minimum over
+/// `optimal_levels`).
+pub fn policy_table(base: &Scenario, rates: &[f64], optimal_levels: &[u32]) -> Vec<PolicyRow> {
+    let run = |node_config: NodeConfig, rate: f64| {
+        let scenario = Scenario {
+            query_rate: rate,
+            ..base.clone()
+        };
+        run_experiment(&ExperimentConfig {
+            node_config,
+            ..ExperimentConfig::cup(scenario)
+        })
+        .total_cost()
+    };
+
+    let mut policies: Vec<(String, NodeConfig)> =
+        vec![("Standard Caching".into(), NodeConfig::standard_caching())];
+    for alpha in [0.25, 0.10, 0.01, 0.001] {
+        policies.push((
+            format!("Linear, a = {alpha}"),
+            NodeConfig::cup_with_policy(CutoffPolicy::Linear { alpha }),
+        ));
+    }
+    for alpha in [0.5, 0.25, 0.10, 0.01] {
+        policies.push((
+            format!("Logarithmic, a = {alpha}"),
+            NodeConfig::cup_with_policy(CutoffPolicy::Logarithmic { alpha }),
+        ));
+    }
+    policies.push((
+        "Second-chance".into(),
+        NodeConfig::cup_with_policy(CutoffPolicy::second_chance()),
+    ));
+
+    let mut rows = Vec::new();
+    let mut standard_costs = Vec::new();
+    for (name, node_config) in policies {
+        let costs: Vec<u64> = rates.iter().map(|&r| run(node_config, r)).collect();
+        if name == "Standard Caching" {
+            standard_costs = costs.clone();
+        }
+        let normalized = normalize(&costs, &standard_costs);
+        rows.push(PolicyRow {
+            policy: name,
+            total_costs: costs,
+            normalized,
+        });
+    }
+
+    // Optimal push level: best total cost over the sweep, per rate.
+    let mut optimal = vec![u64::MAX; rates.len()];
+    for &level in optimal_levels {
+        let config = NodeConfig::cup_with_policy(CutoffPolicy::PushLevel { level });
+        for (i, &rate) in rates.iter().enumerate() {
+            optimal[i] = optimal[i].min(run(config, rate));
+        }
+    }
+    let normalized = normalize(&optimal, &standard_costs);
+    rows.push(PolicyRow {
+        policy: "Optimal push level".into(),
+        total_costs: optimal,
+        normalized,
+    });
+    rows
+}
+
+fn normalize(costs: &[u64], baseline: &[u64]) -> Vec<f64> {
+    costs
+        .iter()
+        .zip(baseline)
+        .map(|(&c, &b)| if b == 0 { 0.0 } else { c as f64 / b as f64 })
+        .collect()
+}
+
+/// One column of Table 2.
+#[derive(Debug, Clone)]
+pub struct SizeColumn {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// CUP miss cost / standard-caching miss cost.
+    pub miss_cost_ratio: f64,
+    /// CUP average hops per miss.
+    pub cup_miss_latency: f64,
+    /// Standard-caching average hops per miss.
+    pub std_miss_latency: f64,
+    /// Saved miss hops per CUP overhead hop.
+    pub saved_per_overhead: f64,
+}
+
+/// Table 2: CUP versus standard caching across network sizes (second-
+/// chance policy).
+pub fn size_sweep(base: &Scenario, sizes: &[usize]) -> Vec<SizeColumn> {
+    sizes
+        .iter()
+        .map(|&nodes| {
+            let scenario = Scenario {
+                nodes,
+                ..base.clone()
+            };
+            let std = run_experiment(&ExperimentConfig::standard_caching(scenario.clone()));
+            let cup = run_experiment(&ExperimentConfig::cup(scenario));
+            SizeColumn {
+                nodes,
+                miss_cost_ratio: ratio(cup.miss_cost(), std.miss_cost()),
+                cup_miss_latency: cup.miss_latency(),
+                std_miss_latency: std.miss_latency(),
+                saved_per_overhead: cup.saved_miss_overhead_ratio(std.miss_cost()),
+            }
+        })
+        .collect()
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct ReplicaRow {
+    /// Replicas per key.
+    pub replicas: u32,
+    /// Naive cut-off: miss cost.
+    pub naive_miss_cost: u64,
+    /// Naive cut-off: absolute misses.
+    pub naive_misses: u64,
+    /// Replica-independent cut-off: miss cost.
+    pub fixed_miss_cost: u64,
+    /// Replica-independent cut-off: absolute misses.
+    pub fixed_misses: u64,
+    /// Replica-independent cut-off: total cost.
+    pub fixed_total_cost: u64,
+}
+
+/// Table 3: the effect of multiple replicas per key under the naive and
+/// the replica-independent cut-off (second-chance policy, λ = 1 q/s in
+/// the paper).
+pub fn replica_sweep(base: &Scenario, replica_counts: &[u32]) -> Vec<ReplicaRow> {
+    replica_counts
+        .iter()
+        .map(|&replicas| {
+            let scenario = Scenario {
+                replicas_per_key: replicas,
+                ..base.clone()
+            };
+            let mut naive_config = ExperimentConfig::cup(scenario.clone());
+            naive_config.node_config.reset_mode = ResetMode::Naive;
+            let naive = run_experiment(&naive_config);
+            let fixed = run_experiment(&ExperimentConfig::cup(scenario));
+            ReplicaRow {
+                replicas,
+                naive_miss_cost: naive.miss_cost(),
+                naive_misses: naive.misses(),
+                fixed_miss_cost: fixed.miss_cost(),
+                fixed_misses: fixed.misses(),
+                fixed_total_cost: fixed.total_cost(),
+            }
+        })
+        .collect()
+}
+
+/// One point of the Figure 5/6 capacity sweep.
+#[derive(Debug, Clone)]
+pub struct CapacityPoint {
+    /// Reduced capacity c.
+    pub capacity: f64,
+    /// Total cost with the Up-And-Down profile.
+    pub up_and_down: u64,
+    /// Total cost with Once-Down-Always-Down.
+    pub once_down: u64,
+    /// Standard caching reference at the same rate.
+    pub standard: u64,
+}
+
+/// Figures 5 and 6: total cost versus reduced capacity for the two §3.7
+/// degradation profiles, plus the standard-caching horizontal reference.
+pub fn capacity_sweep(base: &Scenario, capacities: &[f64]) -> Vec<CapacityPoint> {
+    let standard = run_experiment(&ExperimentConfig::standard_caching(base.clone())).total_cost();
+    capacities
+        .iter()
+        .map(|&c| {
+            let mut up = ExperimentConfig::cup(base.clone());
+            up.capacity_profile = CapacityProfile::UpAndDown {
+                fraction: 0.2,
+                reduced: c,
+            };
+            let mut once = ExperimentConfig::cup(base.clone());
+            once.capacity_profile = CapacityProfile::OnceDownAlwaysDown {
+                fraction: 0.2,
+                reduced: c,
+            };
+            CapacityPoint {
+                capacity: c,
+                up_and_down: run_experiment(&up).total_cost(),
+                once_down: run_experiment(&once).total_cost(),
+                standard,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cup_des::SimTime;
+
+    fn tiny() -> Scenario {
+        Scenario {
+            nodes: 32,
+            keys: 3,
+            query_rate: 5.0,
+            query_start: SimTime::from_secs(300),
+            query_end: SimTime::from_secs(1_300),
+            sim_end: SimTime::from_secs(2_000),
+            seed: 7,
+            ..Scenario::default()
+        }
+    }
+
+    #[test]
+    fn push_level_sweep_monotone_miss_cost() {
+        let points = push_level_sweep(&tiny(), &[5.0], &[0, 2, 8]);
+        assert_eq!(points.len(), 3);
+        // Level 0 is standard caching: highest miss cost; deeper push
+        // levels cannot increase it.
+        assert!(points[0].miss_cost >= points[1].miss_cost);
+        assert!(points[1].miss_cost >= points[2].miss_cost);
+        // Level 0 has no overhead.
+        assert_eq!(points[0].total_cost, points[0].miss_cost);
+    }
+
+    #[test]
+    fn policy_table_contains_all_rows() {
+        let rows = policy_table(&tiny(), &[5.0], &[2, 6]);
+        assert_eq!(rows.len(), 11);
+        assert_eq!(rows[0].policy, "Standard Caching");
+        assert_eq!(rows[0].normalized[0], 1.0);
+        let second_chance = rows.iter().find(|r| r.policy == "Second-chance").unwrap();
+        assert!(
+            second_chance.normalized[0] < 1.0,
+            "second-chance must beat standard caching"
+        );
+    }
+
+    #[test]
+    fn size_sweep_reports_requested_sizes() {
+        let cols = size_sweep(&tiny(), &[16, 32]);
+        assert_eq!(cols.len(), 2);
+        for c in cols {
+            assert!(c.miss_cost_ratio < 1.0, "CUP should reduce miss cost");
+            assert!(c.cup_miss_latency > 0.0 && c.std_miss_latency > 0.0);
+        }
+    }
+
+    #[test]
+    fn replica_sweep_fix_beats_naive() {
+        let rows = replica_sweep(&tiny(), &[1, 4]);
+        assert_eq!(rows.len(), 2);
+        let many = &rows[1];
+        assert!(
+            many.fixed_misses <= many.naive_misses,
+            "replica-independent cut-off must not increase misses (naive {} vs fixed {})",
+            many.naive_misses,
+            many.fixed_misses
+        );
+    }
+
+    #[test]
+    fn capacity_sweep_degrades_gracefully() {
+        let points = capacity_sweep(&tiny(), &[0.0, 1.0]);
+        assert_eq!(points.len(), 2);
+        // Full capacity is at least as good as zero capacity.
+        assert!(points[1].up_and_down <= points[0].up_and_down);
+        // Even at zero capacity CUP should not exceed standard caching by
+        // much (fallback behaviour); allow slack for clear-bit overhead.
+        assert!(points[0].up_and_down as f64 <= points[0].standard as f64 * 1.3);
+    }
+}

@@ -1,0 +1,162 @@
+//! Outgoing-capacity degradation schedules (§3.7).
+//!
+//! The paper's two configurations, on a network of 1024 nodes with a
+//! five-minute warm-up:
+//!
+//! * **Up-And-Down**: every epoch, 20 % of nodes are randomly selected and
+//!   reduced to capacity `c` for ten minutes, then return to full capacity
+//!   for a five-minute stabilization; this repeats for the whole query
+//!   window, so "capacity loss occurs three times during the simulation".
+//! * **Once-Down-Always-Down**: after the warm-up, the randomly selected
+//!   nodes stay at reduced capacity for the remainder of the experiment.
+
+use cup_des::{DetRng, SimDuration, SimTime};
+
+/// One capacity change: at `at`, the listed nodes switch to `capacity`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityEpoch {
+    /// When the change takes effect.
+    pub at: SimTime,
+    /// Dense node indices affected.
+    pub nodes: Vec<usize>,
+    /// New capacity fraction in `[0, 1]` (1 = full).
+    pub capacity: f64,
+}
+
+/// Which degradation pattern to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapacityProfile {
+    /// All nodes at full capacity (the default for §3.3–§3.6).
+    Full,
+    /// §3.7 "Up-And-Down".
+    UpAndDown {
+        /// Fraction of nodes degraded each epoch (paper: 0.2).
+        fraction: f64,
+        /// Reduced capacity during the down phase.
+        reduced: f64,
+    },
+    /// §3.7 "Once-Down-Always-Down".
+    OnceDownAlwaysDown {
+        /// Fraction of nodes degraded (paper: 0.2).
+        fraction: f64,
+        /// Reduced capacity after the warm-up.
+        reduced: f64,
+    },
+}
+
+impl CapacityProfile {
+    /// The paper's phase lengths.
+    const WARMUP: SimDuration = SimDuration::from_secs(300);
+    const DOWN: SimDuration = SimDuration::from_secs(600);
+    const STABILIZE: SimDuration = SimDuration::from_secs(300);
+
+    /// Expands the profile into a schedule of epochs over the query
+    /// window `[start, end)` for `node_count` nodes.
+    pub fn schedule(
+        &self,
+        node_count: usize,
+        start: SimTime,
+        end: SimTime,
+        rng: &mut DetRng,
+    ) -> Vec<CapacityEpoch> {
+        match *self {
+            CapacityProfile::Full => Vec::new(),
+            CapacityProfile::OnceDownAlwaysDown { fraction, reduced } => {
+                let k = (node_count as f64 * fraction).round() as usize;
+                vec![CapacityEpoch {
+                    at: start + Self::WARMUP,
+                    nodes: rng.sample_indices(node_count, k),
+                    capacity: reduced,
+                }]
+            }
+            CapacityProfile::UpAndDown { fraction, reduced } => {
+                let k = (node_count as f64 * fraction).round() as usize;
+                let mut epochs = Vec::new();
+                let mut t = start + Self::WARMUP;
+                while t < end {
+                    let nodes = rng.sample_indices(node_count, k);
+                    epochs.push(CapacityEpoch {
+                        at: t,
+                        nodes: nodes.clone(),
+                        capacity: reduced,
+                    });
+                    let up_at = t + Self::DOWN;
+                    epochs.push(CapacityEpoch {
+                        at: up_at,
+                        nodes,
+                        capacity: 1.0,
+                    });
+                    t = up_at + Self::STABILIZE;
+                }
+                epochs
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const START: SimTime = SimTime::from_secs(0);
+    const END: SimTime = SimTime::from_secs(3_000);
+
+    #[test]
+    fn full_profile_is_empty() {
+        let mut rng = DetRng::seed_from(1);
+        assert!(CapacityProfile::Full
+            .schedule(100, START, END, &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn once_down_is_single_epoch_after_warmup() {
+        let mut rng = DetRng::seed_from(2);
+        let epochs = CapacityProfile::OnceDownAlwaysDown {
+            fraction: 0.2,
+            reduced: 0.25,
+        }
+        .schedule(100, START, END, &mut rng);
+        assert_eq!(epochs.len(), 1);
+        assert_eq!(epochs[0].at, SimTime::from_secs(300));
+        assert_eq!(epochs[0].nodes.len(), 20);
+        assert_eq!(epochs[0].capacity, 0.25);
+    }
+
+    #[test]
+    fn up_and_down_cycles_three_times_in_paper_window() {
+        let mut rng = DetRng::seed_from(3);
+        let epochs = CapacityProfile::UpAndDown {
+            fraction: 0.2,
+            reduced: 0.5,
+        }
+        .schedule(100, START, END, &mut rng);
+        // Cycle = 300 warmup + (600 down + 300 stabilize) per round:
+        // rounds start at 300, 1200, 2100 — three capacity losses.
+        let downs: Vec<&CapacityEpoch> = epochs.iter().filter(|e| e.capacity < 1.0).collect();
+        assert_eq!(downs.len(), 3);
+        assert_eq!(downs[0].at, SimTime::from_secs(300));
+        assert_eq!(downs[1].at, SimTime::from_secs(1_200));
+        assert_eq!(downs[2].at, SimTime::from_secs(2_100));
+        // Every down is followed by a return to full capacity 600 s later.
+        for d in downs {
+            assert!(epochs.iter().any(|e| {
+                e.capacity == 1.0
+                    && e.at == d.at + SimDuration::from_secs(600)
+                    && e.nodes == d.nodes
+            }));
+        }
+    }
+
+    #[test]
+    fn selected_nodes_differ_between_rounds() {
+        let mut rng = DetRng::seed_from(4);
+        let epochs = CapacityProfile::UpAndDown {
+            fraction: 0.2,
+            reduced: 0.0,
+        }
+        .schedule(1_000, START, END, &mut rng);
+        let downs: Vec<&CapacityEpoch> = epochs.iter().filter(|e| e.capacity < 1.0).collect();
+        assert_ne!(downs[0].nodes, downs[1].nodes, "re-selected each round");
+    }
+}

@@ -1,0 +1,140 @@
+//! Node arrival/departure schedules (§2.9).
+//!
+//! The paper's experiments run on a static overlay, but CUP "must be able
+//! to handle both node arrivals and departures seamlessly"; this schedule
+//! drives the churn integration tests and the churn example.
+
+use cup_des::{DetRng, SimDuration, SimTime};
+
+/// One churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// A new node joins the overlay.
+    Join {
+        /// When it joins.
+        at: SimTime,
+    },
+    /// A randomly selected live node departs.
+    Leave {
+        /// When it departs.
+        at: SimTime,
+        /// Graceful departures hand their index entries to the takeover
+        /// node; ungraceful ones simply vanish.
+        graceful: bool,
+    },
+}
+
+impl ChurnEvent {
+    /// When the event fires.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            ChurnEvent::Join { at } => at,
+            ChurnEvent::Leave { at, .. } => at,
+        }
+    }
+}
+
+/// A pre-generated churn schedule.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// No churn.
+    pub fn none() -> Self {
+        ChurnSchedule::default()
+    }
+
+    /// Alternating joins and leaves at a fixed period over `[start, end)`,
+    /// with each leave graceful with probability `graceful_p`.
+    pub fn alternating(
+        start: SimTime,
+        end: SimTime,
+        period: SimDuration,
+        graceful_p: f64,
+        rng: &mut DetRng,
+    ) -> Self {
+        let mut events = Vec::new();
+        let mut t = start + period;
+        let mut join = true;
+        while t < end {
+            events.push(if join {
+                ChurnEvent::Join { at: t }
+            } else {
+                ChurnEvent::Leave {
+                    at: t,
+                    graceful: rng.next_bool(graceful_p),
+                }
+            });
+            join = !join;
+            t += period;
+        }
+        ChurnSchedule { events }
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no churn is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_empty() {
+        assert!(ChurnSchedule::none().is_empty());
+    }
+
+    #[test]
+    fn alternating_produces_joins_and_leaves_in_order() {
+        let mut rng = DetRng::seed_from(1);
+        let s = ChurnSchedule::alternating(
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            SimDuration::from_secs(10),
+            0.5,
+            &mut rng,
+        );
+        assert_eq!(s.len(), 9);
+        let mut prev = SimTime::ZERO;
+        let mut joins = 0;
+        for e in s.events() {
+            assert!(e.at() > prev);
+            prev = e.at();
+            if matches!(e, ChurnEvent::Join { .. }) {
+                joins += 1;
+            }
+        }
+        assert_eq!(joins, 5, "alternating starts with a join");
+    }
+
+    #[test]
+    fn graceful_probability_extremes() {
+        let mut rng = DetRng::seed_from(2);
+        let all_graceful = ChurnSchedule::alternating(
+            SimTime::ZERO,
+            SimTime::from_secs(200),
+            SimDuration::from_secs(10),
+            1.0,
+            &mut rng,
+        );
+        for e in all_graceful.events() {
+            if let ChurnEvent::Leave { graceful, .. } = e {
+                assert!(graceful);
+            }
+        }
+    }
+}

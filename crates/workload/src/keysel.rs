@@ -1,0 +1,147 @@
+//! Query key popularity distributions.
+//!
+//! "The distribution of queries for keys" is a simulation input (§3.2).
+//! Peer-to-peer request popularity is classically heavy-tailed, so besides
+//! the uniform distribution we provide a Zipf sampler with configurable
+//! exponent.
+
+use cup_des::{DetRng, KeyId};
+
+/// Chooses which key each query asks for.
+#[derive(Debug, Clone)]
+pub enum KeySelector {
+    /// Every key equally likely.
+    Uniform {
+        /// Number of keys (ids `0..keys`).
+        keys: u32,
+    },
+    /// Zipf-distributed popularity: key rank `i` (1-based) is queried with
+    /// probability proportional to `1 / i^exponent`.
+    Zipf {
+        /// Number of keys.
+        keys: u32,
+        /// Cumulative probability table (`cdf[i]` = P(rank <= i+1)).
+        cdf: Vec<f64>,
+    },
+}
+
+impl KeySelector {
+    /// Uniform selector over `keys` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is zero.
+    pub fn uniform(keys: u32) -> Self {
+        assert!(keys > 0, "need at least one key");
+        KeySelector::Uniform { keys }
+    }
+
+    /// Zipf selector over `keys` keys with the given exponent (s = 0 is
+    /// uniform; larger s concentrates queries on few keys).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is zero or the exponent is negative/not finite.
+    pub fn zipf(keys: u32, exponent: f64) -> Self {
+        assert!(keys > 0, "need at least one key");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "exponent must be non-negative and finite"
+        );
+        let mut cdf = Vec::with_capacity(keys as usize);
+        let mut acc = 0.0;
+        for rank in 1..=keys {
+            acc += 1.0 / (rank as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        KeySelector::Zipf { keys, cdf }
+    }
+
+    /// Number of keys in the key space.
+    pub fn key_count(&self) -> u32 {
+        match *self {
+            KeySelector::Uniform { keys } => keys,
+            KeySelector::Zipf { keys, .. } => keys,
+        }
+    }
+
+    /// Samples the key of one query.
+    pub fn sample(&self, rng: &mut DetRng) -> KeyId {
+        match self {
+            KeySelector::Uniform { keys } => KeyId(rng.next_below(*keys as u64) as u32),
+            KeySelector::Zipf { cdf, .. } => {
+                let u = rng.next_f64();
+                let rank = cdf.partition_point(|&c| c < u);
+                KeyId(rank.min(cdf.len() - 1) as u32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_all_keys_evenly() {
+        let sel = KeySelector::uniform(10);
+        let mut rng = DetRng::seed_from(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[sel.sample(&mut rng).index()] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "count {c} not uniform");
+        }
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let sel = KeySelector::zipf(100, 1.0);
+        let mut rng = DetRng::seed_from(2);
+        let mut counts = vec![0u32; 100];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[sel.sample(&mut rng).index()] += 1;
+        }
+        // With s = 1 over 100 keys, H(100) ≈ 5.187: rank 1 gets ~19.3%.
+        let p1 = counts[0] as f64 / n as f64;
+        assert!((0.17..0.22).contains(&p1), "rank-1 share {p1} off");
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let sel = KeySelector::zipf(10, 0.0);
+        let mut rng = DetRng::seed_from(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[sel.sample(&mut rng).index()] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c));
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        for sel in [KeySelector::uniform(3), KeySelector::zipf(3, 1.2)] {
+            let mut rng = DetRng::seed_from(4);
+            for _ in 0..1_000 {
+                assert!(sel.sample(&mut rng).0 < 3);
+            }
+            assert_eq!(sel.key_count(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zero_keys_rejected() {
+        let _ = KeySelector::uniform(0);
+    }
+}

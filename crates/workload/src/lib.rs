@@ -1,0 +1,39 @@
+//! Synthetic workload generation for CUP experiments.
+//!
+//! The paper's evaluation (§3.2) drives the simulator with: the number of
+//! overlay nodes, the number of keys owned per node, the distribution of
+//! queries over keys, the distribution of query inter-arrival times
+//! (Poisson), the number of replicas per key, and the lifetime of replicas.
+//! Real traces of fully decentralized peer-to-peer networks were
+//! unavailable to the authors (and remain so), so all workloads are
+//! synthetic by design — parameters range "from unfavorable to favorable
+//! conditions for CUP".
+//!
+//! This crate provides the corresponding generators:
+//!
+//! * [`poisson::PoissonProcess`] — exponential inter-arrival times;
+//! * [`keysel::KeySelector`] — uniform or Zipf query-key popularity;
+//! * [`query::QueryGen`] — the full query workload (when, at which node,
+//!   for which key);
+//! * [`replica::ReplicaPlan`] — replica lifecycles: birth, refresh at
+//!   every entry expiration, optional death;
+//! * [`capacity::CapacityProfile`] — the §3.7 Up-And-Down and
+//!   Once-Down-Always-Down outgoing-capacity degradation schedules;
+//! * [`churn::ChurnSchedule`] — node join/leave sequences;
+//! * [`scenario::Scenario`] — a complete experiment configuration.
+
+pub mod capacity;
+pub mod churn;
+pub mod keysel;
+pub mod poisson;
+pub mod query;
+pub mod replica;
+pub mod scenario;
+
+pub use capacity::{CapacityEpoch, CapacityProfile};
+pub use churn::{ChurnEvent, ChurnSchedule};
+pub use keysel::KeySelector;
+pub use poisson::PoissonProcess;
+pub use query::QueryGen;
+pub use replica::{ReplicaAction, ReplicaPlan};
+pub use scenario::Scenario;

@@ -1,0 +1,92 @@
+//! Poisson arrival processes.
+//!
+//! "Query arrivals were generated according to a Poisson process" (§3.2):
+//! inter-arrival times are exponential with rate λ.
+
+use cup_des::{DetRng, SimDuration, SimTime};
+
+/// A Poisson process generating successive arrival instants.
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    rate_per_sec: f64,
+    next_at: SimTime,
+}
+
+impl PoissonProcess {
+    /// Creates a process with `rate_per_sec` expected arrivals per second,
+    /// starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive.
+    pub fn new(rate_per_sec: f64, start: SimTime) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "rate must be positive and finite, got {rate_per_sec}"
+        );
+        PoissonProcess {
+            rate_per_sec,
+            next_at: start,
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Returns the next arrival instant and advances the process. The
+    /// first arrival is one exponential gap after the start instant.
+    pub fn next_arrival(&mut self, rng: &mut DetRng) -> SimTime {
+        let gap = rng.next_exp(self.rate_per_sec);
+        self.next_at += SimDuration::from_secs_f64(gap);
+        self.next_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let mut p = PoissonProcess::new(10.0, SimTime::ZERO);
+        let mut rng = DetRng::seed_from(1);
+        let mut prev = SimTime::ZERO;
+        for _ in 0..1_000 {
+            let t = p.next_arrival(&mut rng);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn empirical_rate_matches() {
+        let mut p = PoissonProcess::new(50.0, SimTime::ZERO);
+        let mut rng = DetRng::seed_from(2);
+        let n = 100_000;
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            last = p.next_arrival(&mut rng);
+        }
+        let observed_rate = n as f64 / last.as_secs_f64();
+        assert!(
+            (observed_rate - 50.0).abs() < 1.0,
+            "observed rate {observed_rate} should be ~50"
+        );
+    }
+
+    #[test]
+    fn offset_start_is_respected() {
+        let start = SimTime::from_secs(100);
+        let mut p = PoissonProcess::new(1.0, start);
+        let mut rng = DetRng::seed_from(3);
+        assert!(p.next_arrival(&mut rng) > start);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = PoissonProcess::new(0.0, SimTime::ZERO);
+    }
+}

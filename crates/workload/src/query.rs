@@ -1,0 +1,217 @@
+//! The query workload: when, where, and for what.
+//!
+//! §3.2: "Query arrivals were generated according to a Poisson process.
+//! Nodes were randomly selected to post the queries." The network-wide
+//! rate λ is split implicitly by choosing the posting node uniformly per
+//! arrival.
+
+use cup_des::{DetRng, KeyId, SimTime};
+
+use crate::keysel::KeySelector;
+use crate::poisson::PoissonProcess;
+
+/// One query to post: at `at`, at the node with dense index `node_index`,
+/// for `key`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryArrival {
+    /// When the query is posted.
+    pub at: SimTime,
+    /// Dense index of the posting node among live nodes.
+    pub node_index: usize,
+    /// The key queried.
+    pub key: KeyId,
+}
+
+/// Burstiness of the query stream.
+///
+/// The paper motivates CUP with "bursts of queries for the same item" and
+/// flash crowds ("queries for keys that become suddenly hot ... enjoy a
+/// significant reduction in latency"). With bursts enabled, each Poisson
+/// arrival becomes a *flash crowd*: `size` queries for one suddenly-hot
+/// key posted from random nodes within `spread`. The Poisson rate is
+/// divided by `size` so the long-run query rate stays the configured λ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstConfig {
+    /// Queries per burst (1 disables bursting).
+    pub size: u32,
+    /// Window over which one burst's queries are spread.
+    pub spread: cup_des::SimDuration,
+}
+
+/// Lazy generator of the full query workload.
+#[derive(Debug, Clone)]
+pub struct QueryGen {
+    process: PoissonProcess,
+    keys: KeySelector,
+    node_count: usize,
+    end: SimTime,
+    rng: DetRng,
+    burst: Option<BurstConfig>,
+    buffer: std::collections::VecDeque<QueryArrival>,
+}
+
+impl QueryGen {
+    /// Creates a workload of network-wide rate `rate_per_sec` over
+    /// `node_count` nodes, posting queries from `start` until `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no nodes or the rate is not positive.
+    pub fn new(
+        rate_per_sec: f64,
+        keys: KeySelector,
+        node_count: usize,
+        start: SimTime,
+        end: SimTime,
+        rng: DetRng,
+    ) -> Self {
+        assert!(node_count > 0, "need at least one node");
+        QueryGen {
+            process: PoissonProcess::new(rate_per_sec, start),
+            keys,
+            node_count,
+            end,
+            rng,
+            burst: None,
+            buffer: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Like [`QueryGen::new`], but each arrival is a flash crowd of
+    /// `burst.size` queries for one key. The underlying Poisson rate is
+    /// `rate_per_sec / size`, keeping the long-run query rate at
+    /// `rate_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the burst size is zero (use 1 for no bursting).
+    pub fn bursty(
+        rate_per_sec: f64,
+        keys: KeySelector,
+        node_count: usize,
+        start: SimTime,
+        end: SimTime,
+        rng: DetRng,
+        burst: BurstConfig,
+    ) -> Self {
+        assert!(burst.size > 0, "burst size must be at least 1");
+        let mut gen = QueryGen::new(
+            rate_per_sec / burst.size as f64,
+            keys,
+            node_count,
+            start,
+            end,
+            rng,
+        );
+        if burst.size > 1 {
+            gen.burst = Some(burst);
+        }
+        gen
+    }
+
+    /// End of the query window.
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// Returns the next query, or `None` once the window is exhausted.
+    pub fn next_query(&mut self) -> Option<QueryArrival> {
+        if let Some(q) = self.buffer.pop_front() {
+            return Some(q);
+        }
+        let at = self.process.next_arrival(&mut self.rng);
+        if at >= self.end {
+            return None;
+        }
+        match self.burst {
+            None => {
+                let node_index = self.rng.choose_index(self.node_count);
+                let key = self.keys.sample(&mut self.rng);
+                Some(QueryArrival {
+                    at,
+                    node_index,
+                    key,
+                })
+            }
+            Some(burst) => {
+                // One flash crowd: a suddenly-hot key queried from many
+                // nodes nearly at once.
+                let key = self.keys.sample(&mut self.rng);
+                let mut offsets: Vec<u64> = (0..burst.size)
+                    .map(|_| self.rng.next_below(burst.spread.as_micros().max(1)))
+                    .collect();
+                offsets.sort_unstable();
+                for off in offsets {
+                    let node_index = self.rng.choose_index(self.node_count);
+                    self.buffer.push_back(QueryArrival {
+                        at: at + cup_des::SimDuration::from_micros(off),
+                        node_index,
+                        key,
+                    });
+                }
+                self.buffer.pop_front()
+            }
+        }
+    }
+}
+
+impl Iterator for QueryGen {
+    type Item = QueryArrival;
+
+    fn next(&mut self) -> Option<QueryArrival> {
+        self.next_query()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(rate: f64, secs: u64) -> QueryGen {
+        QueryGen::new(
+            rate,
+            KeySelector::uniform(10),
+            64,
+            SimTime::ZERO,
+            SimTime::from_secs(secs),
+            DetRng::seed_from(7),
+        )
+    }
+
+    #[test]
+    fn produces_roughly_rate_times_window_queries() {
+        let count = gen(10.0, 1_000).count();
+        assert!(
+            (9_000..11_000).contains(&count),
+            "expected ~10000 queries, got {count}"
+        );
+    }
+
+    #[test]
+    fn queries_ordered_and_in_window() {
+        let mut prev = SimTime::ZERO;
+        for q in gen(5.0, 100) {
+            assert!(q.at >= prev);
+            assert!(q.at < SimTime::from_secs(100));
+            assert!(q.node_index < 64);
+            assert!(q.key.0 < 10);
+            prev = q.at;
+        }
+    }
+
+    #[test]
+    fn nodes_are_spread() {
+        let mut seen = std::collections::HashSet::new();
+        for q in gen(100.0, 100) {
+            seen.insert(q.node_index);
+        }
+        assert!(seen.len() > 50, "most of 64 nodes should post queries");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<QueryArrival> = gen(5.0, 50).collect();
+        let b: Vec<QueryArrival> = gen(5.0, 50).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,219 @@
+//! Replica lifecycles.
+//!
+//! Replicas of content send *birth* messages to the key's authority node,
+//! periodically *refresh* their index entries ("for all experiments,
+//! refreshes of index entries occur at expiration", §3.2), and may send
+//! explicit *deletion* messages when they stop serving content (§2.1).
+//!
+//! The paper's experiments use an entry lifetime of 300 s and vary the
+//! number of replicas per key (Table 3). Births are staggered across the
+//! first lifetime so refreshes for different replicas of a key interleave,
+//! which is exactly the situation that breaks the naive cut-off of §3.6.
+
+use cup_des::{DetRng, KeyId, ReplicaId, SimDuration, SimTime};
+
+use crate::scenario::Scenario;
+
+/// One replica lifecycle event to feed to the authority node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaAction {
+    /// When the replica message reaches the authority.
+    pub at: SimTime,
+    /// The key served.
+    pub key: KeyId,
+    /// The replica.
+    pub replica: ReplicaId,
+    /// What happens.
+    pub kind: ReplicaActionKind,
+}
+
+/// The kind of lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaActionKind {
+    /// Replica announces itself (index entry created).
+    Birth,
+    /// Replica renews its entry for another lifetime.
+    Refresh,
+    /// Replica stops serving (index entry deleted).
+    Death,
+}
+
+/// The replica population plan for one scenario.
+#[derive(Debug, Clone)]
+pub struct ReplicaPlan {
+    /// Entry lifetime (refresh period).
+    pub lifetime: SimDuration,
+    /// Initial events: one birth per (key, replica).
+    births: Vec<ReplicaAction>,
+    /// Optional death time per (key index, replica index); `SimTime::MAX`
+    /// means the replica lives for the whole run.
+    deaths: Vec<Vec<SimTime>>,
+}
+
+impl ReplicaPlan {
+    /// Builds the plan for a scenario: `scenario.replicas_per_key`
+    /// replicas per key, born staggered across the first lifetime, living
+    /// until the end (or until an exponential death when
+    /// `scenario.replica_mean_life` is set).
+    pub fn build(scenario: &Scenario, rng: &mut DetRng) -> Self {
+        let lifetime = scenario.entry_lifetime;
+        let mut births = Vec::new();
+        let mut deaths = Vec::new();
+        let mut next_replica = 0u32;
+        for k in 0..scenario.keys {
+            let mut key_deaths = Vec::new();
+            for _ in 0..scenario.replicas_per_key {
+                let replica = ReplicaId(next_replica);
+                next_replica += 1;
+                let offset = rng.next_below(lifetime.as_micros().max(1));
+                births.push(ReplicaAction {
+                    at: SimTime::from_micros(offset),
+                    key: KeyId(k),
+                    replica,
+                    kind: ReplicaActionKind::Birth,
+                });
+                let death = match scenario.replica_mean_life {
+                    Some(mean) => {
+                        let life = rng.next_exp(1.0 / mean.as_secs_f64());
+                        SimTime::from_micros(offset) + SimDuration::from_secs_f64(life)
+                    }
+                    None => SimTime::MAX,
+                };
+                key_deaths.push(death);
+            }
+            deaths.push(key_deaths);
+        }
+        ReplicaPlan {
+            lifetime,
+            births,
+            deaths,
+        }
+    }
+
+    /// The initial birth events, ordered by time.
+    pub fn births(&self) -> Vec<ReplicaAction> {
+        let mut b = self.births.clone();
+        b.sort_by_key(|a| a.at);
+        b
+    }
+
+    /// Total number of replicas across all keys.
+    pub fn replica_count(&self) -> usize {
+        self.births.len()
+    }
+
+    /// Given a birth or refresh that just happened at `now`, returns the
+    /// replica's next lifecycle event: a refresh one lifetime later
+    /// ("refreshes occur at expiration") or its death, whichever comes
+    /// first. Returns `None` after the death.
+    pub fn next_event(&self, action: &ReplicaAction, now: SimTime) -> Option<ReplicaAction> {
+        if action.kind == ReplicaActionKind::Death {
+            return None;
+        }
+        let death = self.death_of(action);
+        let refresh_at = now + self.lifetime;
+        if death <= refresh_at {
+            Some(ReplicaAction {
+                at: death,
+                key: action.key,
+                replica: action.replica,
+                kind: ReplicaActionKind::Death,
+            })
+        } else {
+            Some(ReplicaAction {
+                at: refresh_at,
+                key: action.key,
+                replica: action.replica,
+                kind: ReplicaActionKind::Refresh,
+            })
+        }
+    }
+
+    /// The scheduled death instant of the replica behind `action`.
+    fn death_of(&self, action: &ReplicaAction) -> SimTime {
+        // Replica ids are allocated densely per key in build order.
+        let key_idx = action.key.index();
+        let per_key = self.deaths[key_idx].len();
+        let base: usize = self.deaths[..key_idx].iter().map(Vec::len).sum();
+        let replica_idx = action.replica.index() - base;
+        debug_assert!(replica_idx < per_key);
+        self.deaths[key_idx][replica_idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn scenario(replicas: u32) -> Scenario {
+        Scenario {
+            replicas_per_key: replicas,
+            keys: 4,
+            ..Scenario::default()
+        }
+    }
+
+    #[test]
+    fn one_birth_per_replica_staggered_within_lifetime() {
+        let mut rng = DetRng::seed_from(1);
+        let plan = ReplicaPlan::build(&scenario(3), &mut rng);
+        let births = plan.births();
+        assert_eq!(births.len(), 12);
+        assert_eq!(plan.replica_count(), 12);
+        for b in &births {
+            assert!(b.at < SimTime::ZERO + plan.lifetime);
+            assert_eq!(b.kind, ReplicaActionKind::Birth);
+        }
+        // Replica ids are unique.
+        let mut ids: Vec<u32> = births.iter().map(|b| b.replica.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12);
+    }
+
+    #[test]
+    fn refreshes_recur_at_expiration() {
+        let mut rng = DetRng::seed_from(2);
+        let plan = ReplicaPlan::build(&scenario(1), &mut rng);
+        let birth = plan.births()[0];
+        let r1 = plan.next_event(&birth, birth.at).unwrap();
+        assert_eq!(r1.kind, ReplicaActionKind::Refresh);
+        assert_eq!(r1.at, birth.at + plan.lifetime);
+        let r2 = plan.next_event(&r1, r1.at).unwrap();
+        assert_eq!(r2.at, r1.at + plan.lifetime);
+        assert_eq!(r2.replica, birth.replica);
+    }
+
+    #[test]
+    fn death_preempts_refresh_and_ends_lifecycle() {
+        let mut s = scenario(1);
+        s.replica_mean_life = Some(SimDuration::from_secs(100));
+        let mut rng = DetRng::seed_from(3);
+        let plan = ReplicaPlan::build(&s, &mut rng);
+        // Follow each replica until death; it must terminate.
+        for birth in plan.births() {
+            let mut ev = birth;
+            let mut steps = 0;
+            while let Some(next) = plan.next_event(&ev, ev.at) {
+                assert!(next.at >= ev.at);
+                ev = next;
+                steps += 1;
+                assert!(steps < 10_000, "lifecycle did not terminate");
+            }
+            assert_eq!(ev.kind, ReplicaActionKind::Death);
+        }
+    }
+
+    #[test]
+    fn immortal_replicas_never_die() {
+        let mut rng = DetRng::seed_from(4);
+        let plan = ReplicaPlan::build(&scenario(2), &mut rng);
+        let birth = plan.births()[0];
+        let mut ev = birth;
+        for _ in 0..100 {
+            ev = plan.next_event(&ev, ev.at).unwrap();
+            assert_eq!(ev.kind, ReplicaActionKind::Refresh);
+        }
+    }
+}

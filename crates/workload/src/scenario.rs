@@ -1,0 +1,237 @@
+//! Complete experiment configurations.
+//!
+//! A [`Scenario`] captures every §3.2 simulation input. The default values
+//! are the paper's base configuration: 2¹⁰ nodes, 300 s entry lifetime,
+//! 22 000 s simulation with a 3 000 s query window, one replica per key.
+
+use cup_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which key-popularity distribution the queries follow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeyDistribution {
+    /// All keys equally popular.
+    Uniform,
+    /// Zipf with the given exponent.
+    Zipf {
+        /// Zipf exponent (0 = uniform, ~1 = classic web-like skew).
+        exponent: f64,
+    },
+}
+
+/// Every knob of one simulated experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of overlay nodes.
+    pub nodes: usize,
+    /// Number of distinct keys in the workload.
+    pub keys: u32,
+    /// Replicas serving each key (Table 3 varies this from 1 to 100).
+    pub replicas_per_key: u32,
+    /// Index entry lifetime; replicas refresh at expiration (paper: 300 s).
+    #[serde(with = "duration_secs")]
+    pub entry_lifetime: SimDuration,
+    /// Network-wide query arrival rate, queries per second (paper: 1 to
+    /// 1000).
+    pub query_rate: f64,
+    /// When queries start (after the replica population warm-up).
+    #[serde(with = "time_secs")]
+    pub query_start: SimTime,
+    /// When queries stop (paper: 3 000 s of querying).
+    #[serde(with = "time_secs")]
+    pub query_end: SimTime,
+    /// Total simulated time (paper: 22 000 s).
+    #[serde(with = "time_secs")]
+    pub sim_end: SimTime,
+    /// Key popularity distribution.
+    pub key_distribution: KeyDistribution,
+    /// Mean replica lifetime before an explicit death, or `None` for
+    /// replicas that serve for the whole run (the paper's evaluation has
+    /// no replica deaths; deletes are exercised by tests and examples).
+    #[serde(default, with = "opt_duration_secs")]
+    pub replica_mean_life: Option<SimDuration>,
+    /// Queries per flash-crowd burst; 1 means independent queries. Bursts
+    /// model the "suddenly hot" keys of §1/§3.2 (favorable conditions).
+    pub burst_size: u32,
+    /// Time window one burst's queries are spread over.
+    #[serde(with = "duration_secs")]
+    pub burst_spread: SimDuration,
+    /// Master random seed.
+    pub seed: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            nodes: 1 << 10,
+            keys: 100,
+            replicas_per_key: 1,
+            entry_lifetime: SimDuration::from_secs(300),
+            query_rate: 1.0,
+            query_start: SimTime::from_secs(300),
+            query_end: SimTime::from_secs(3_300),
+            sim_end: SimTime::from_secs(22_000),
+            key_distribution: KeyDistribution::Uniform,
+            replica_mean_life: None,
+            burst_size: 1,
+            burst_spread: SimDuration::from_secs(2),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl Scenario {
+    /// Length of the query window.
+    pub fn query_window(&self) -> SimDuration {
+        self.query_end.saturating_since(self.query_start)
+    }
+
+    /// Expected number of queries posted.
+    pub fn expected_queries(&self) -> f64 {
+        self.query_rate * self.query_window().as_secs_f64()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("scenario needs at least one node".into());
+        }
+        if self.keys == 0 {
+            return Err("scenario needs at least one key".into());
+        }
+        if self.query_rate <= 0.0 || !self.query_rate.is_finite() {
+            return Err(format!(
+                "query rate must be positive, got {}",
+                self.query_rate
+            ));
+        }
+        if self.query_start >= self.query_end {
+            return Err("query window is empty".into());
+        }
+        if self.query_end > self.sim_end {
+            return Err("query window extends past the simulation end".into());
+        }
+        if self.entry_lifetime == SimDuration::ZERO {
+            return Err("entry lifetime must be positive".into());
+        }
+        if self.burst_size == 0 {
+            return Err("burst size must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Serde helpers storing times/durations as whole seconds in configs.
+mod duration_secs {
+    use cup_des::SimDuration;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(d: &SimDuration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(d.as_secs_f64())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<SimDuration, D::Error> {
+        let secs = f64::deserialize(d)?;
+        Ok(SimDuration::from_secs_f64(secs))
+    }
+}
+
+mod time_secs {
+    use cup_des::{SimDuration, SimTime};
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(t: &SimTime, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(t.as_secs_f64())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<SimTime, D::Error> {
+        let secs = f64::deserialize(d)?;
+        Ok(SimTime::ZERO + SimDuration::from_secs_f64(secs))
+    }
+}
+
+mod opt_duration_secs {
+    use cup_des::SimDuration;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(d: &Option<SimDuration>, s: S) -> Result<S::Ok, S::Error> {
+        match d {
+            Some(d) => s.serialize_some(&d.as_secs_f64()),
+            None => s.serialize_none(),
+        }
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Option<SimDuration>, D::Error> {
+        let secs = Option::<f64>::deserialize(d)?;
+        Ok(secs.map(SimDuration::from_secs_f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_base_config() {
+        let s = Scenario::default();
+        assert_eq!(s.nodes, 1024);
+        assert_eq!(s.entry_lifetime, SimDuration::from_secs(300));
+        assert_eq!(s.query_window(), SimDuration::from_secs(3_000));
+        assert_eq!(s.expected_queries(), 3_000.0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let s = Scenario {
+            nodes: 0,
+            ..Scenario::default()
+        };
+        assert!(s.validate().is_err());
+
+        let s = Scenario {
+            query_rate: 0.0,
+            ..Scenario::default()
+        };
+        assert!(s.validate().is_err());
+
+        let base = Scenario::default();
+        let s = Scenario {
+            query_end: base.query_start,
+            ..base
+        };
+        assert!(s.validate().is_err());
+
+        let s = Scenario {
+            sim_end: SimTime::from_secs(100),
+            ..Scenario::default()
+        };
+        assert!(s.validate().is_err());
+
+        let s = Scenario {
+            burst_size: 0,
+            ..Scenario::default()
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn scenario_is_cloneable_and_comparable() {
+        let s = Scenario {
+            replica_mean_life: Some(SimDuration::from_secs(500)),
+            key_distribution: KeyDistribution::Zipf { exponent: 0.8 },
+            ..Scenario::default()
+        };
+        let t = s.clone();
+        assert_eq!(s, t);
+        assert_ne!(
+            t,
+            Scenario::default(),
+            "overrides must show up in comparisons"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Churn: nodes joining and leaving while CUP keeps answering.
+//!
+//! §2.9 requires CUP to "handle both node arrivals and departures
+//! seamlessly": zones split and merge, index ownership moves, interest
+//! bookkeeping is patched, and entries at dependents simply expire and
+//! are re-fetched. This example runs a workload over a CAN that gains and
+//! loses a node every 30 seconds and verifies the network keeps serving
+//! queries throughout.
+//!
+//! Run with: `cargo run --example churn`
+
+use cup::prelude::*;
+use cup::simnet::run_experiment as run;
+use cup::workload::churn::ChurnEvent;
+
+fn main() {
+    let scenario = Scenario {
+        nodes: 128,
+        keys: 8,
+        query_rate: 10.0,
+        query_start: SimTime::from_secs(300),
+        query_end: SimTime::from_secs(1_800),
+        sim_end: SimTime::from_secs(3_000),
+        seed: 5,
+        ..Scenario::default()
+    };
+
+    let calm = run(&ExperimentConfig::cup(scenario.clone()));
+
+    let mut rng = DetRng::seed_from(scenario.seed ^ 0xC0DE);
+    let churn = ChurnSchedule::alternating(
+        scenario.query_start,
+        scenario.query_end,
+        SimDuration::from_secs(30),
+        0.5,
+        &mut rng,
+    );
+    let (joins, leaves) = churn.events().iter().fold((0, 0), |(j, l), e| match e {
+        ChurnEvent::Join { .. } => (j + 1, l),
+        ChurnEvent::Leave { .. } => (j, l + 1),
+    });
+    let mut config = ExperimentConfig::cup(scenario);
+    config.churn = churn;
+    let churned = run(&config);
+
+    println!("CUP on a 128-node CAN, 10 q/s, with and without churn:");
+    println!("  churn schedule: {joins} joins, {leaves} departures (one event / 30 s)");
+    println!(
+        "  calm:    total {:>7} hops, {:>5} misses, {:>4.1} hops/miss, {:>4} answers delivered",
+        calm.total_cost(),
+        calm.misses(),
+        calm.miss_latency(),
+        calm.net.client_responses
+    );
+    println!(
+        "  churned: total {:>7} hops, {:>5} misses, {:>4.1} hops/miss, {:>4} answers delivered ({} messages dropped at departed nodes)",
+        churned.total_cost(),
+        churned.misses(),
+        churned.miss_latency(),
+        churned.net.client_responses,
+        churned.net.dropped_messages
+    );
+    let served = churned.net.client_responses as f64 / churned.nodes.client_queries as f64;
+    println!(
+        "  under churn the network still answered {:.1}% of client queries",
+        served * 100.0
+    );
+}

@@ -1,0 +1,49 @@
+//! Flash crowds: suddenly-hot keys, the paper's favorable conditions.
+//!
+//! "Queries for keys that become suddenly hot not only justify the
+//! propagation overhead, but also enjoy a significant reduction in
+//! latency" (§3.2). This example replays the same bursty workload — each
+//! Poisson arrival is a crowd of queries for one key posted from many
+//! nodes within two seconds — under standard caching and under CUP, and
+//! shows how CUP's query-channel coalescing plus update propagation tame
+//! the burst.
+//!
+//! Run with: `cargo run --release --example flash_crowd`
+
+use cup::prelude::*;
+
+fn main() {
+    for &(burst, rate) in &[(50u32, 100.0f64), (100, 1_000.0)] {
+        let scenario = Scenario {
+            nodes: 1_024,
+            keys: 100,
+            query_rate: rate,
+            burst_size: burst,
+            burst_spread: SimDuration::from_secs(2),
+            query_start: SimTime::from_secs(300),
+            query_end: SimTime::from_secs(3_300),
+            sim_end: SimTime::from_secs(22_000),
+            seed: 99,
+            ..Scenario::default()
+        };
+        let std = run_experiment(&ExperimentConfig::standard_caching(scenario.clone()));
+        let cup = run_experiment(&ExperimentConfig::cup(scenario));
+        println!("flash crowds of {burst} queries, {rate} q/s over 1024 nodes and 100 keys:");
+        println!(
+            "  standard caching: total {:>9} hops, {:>7} misses, {:>5.1} hops/miss",
+            std.total_cost(),
+            std.misses(),
+            std.miss_latency()
+        );
+        println!(
+            "  CUP:              total {:>9} hops, {:>7} misses, {:>5.1} hops/miss  ({:.2}x total, {:.2}x miss cost, {} queries coalesced)",
+            cup.total_cost(),
+            cup.misses(),
+            cup.miss_latency(),
+            cup.total_cost() as f64 / std.total_cost() as f64,
+            cup.miss_cost() as f64 / std.miss_cost() as f64,
+            cup.nodes.coalesced_queries
+        );
+        println!();
+    }
+}

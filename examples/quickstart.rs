@@ -1,0 +1,74 @@
+//! Quickstart: CUP versus standard caching on one scenario.
+//!
+//! Builds a 256-node 2-D CAN, runs the same Poisson query workload under
+//! plain expiration-based caching and under CUP with the second-chance
+//! cut-off policy, and prints the paper's cost metrics side by side.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cup::prelude::*;
+
+fn main() {
+    let scenario = Scenario {
+        nodes: 256,
+        keys: 8,
+        query_rate: 10.0,
+        query_start: SimTime::from_secs(300),
+        query_end: SimTime::from_secs(3_300),
+        sim_end: SimTime::from_secs(22_000),
+        seed: 2026,
+        ..Scenario::default()
+    };
+    println!(
+        "network: {} nodes (2-D CAN), {} keys, {} q/s for {}s, entry lifetime {}s",
+        scenario.nodes,
+        scenario.keys,
+        scenario.query_rate,
+        scenario.query_window().as_secs_f64(),
+        scenario.entry_lifetime.as_secs_f64(),
+    );
+
+    let std = run_experiment(&ExperimentConfig::standard_caching(scenario.clone()));
+
+    let mut cup_config = ExperimentConfig::cup(scenario);
+    cup_config.track_justification = true;
+    let cup = run_experiment(&cup_config);
+
+    println!("\n{:<28}{:>16}{:>16}", "", "standard", "CUP");
+    let rows: [(&str, f64, f64); 6] = [
+        (
+            "total cost (hops)",
+            std.total_cost() as f64,
+            cup.total_cost() as f64,
+        ),
+        (
+            "miss cost (hops)",
+            std.miss_cost() as f64,
+            cup.miss_cost() as f64,
+        ),
+        (
+            "overhead (hops)",
+            std.overhead() as f64,
+            cup.overhead() as f64,
+        ),
+        ("client misses", std.misses() as f64, cup.misses() as f64),
+        ("avg hops per miss", std.miss_latency(), cup.miss_latency()),
+        (
+            "coalesced queries",
+            std.nodes.coalesced_queries as f64,
+            cup.nodes.coalesced_queries as f64,
+        ),
+    ];
+    for (name, s, c) in rows {
+        println!("{name:<28}{s:>16.1}{c:>16.1}");
+    }
+    println!(
+        "\nCUP total cost is {:.2}x standard caching; {:.0}% of pushed updates were justified.",
+        cup.total_cost() as f64 / std.total_cost() as f64,
+        cup.justified_fraction() * 100.0
+    );
+    println!(
+        "Each CUP overhead hop saved {:.2} miss hops (saved-miss/overhead ratio).",
+        cup.saved_miss_overhead_ratio(std.miss_cost())
+    );
+}

@@ -1,0 +1,118 @@
+//! Capacity degradation (§3.7): CUP falls back gracefully when nodes
+//! cannot push updates.
+
+use cup::prelude::*;
+
+fn scenario() -> Scenario {
+    Scenario {
+        nodes: 256,
+        keys: 4,
+        query_rate: 20.0,
+        query_start: SimTime::from_secs(300),
+        query_end: SimTime::from_secs(1_800),
+        sim_end: SimTime::from_secs(2_500),
+        seed: 404,
+        ..Scenario::default()
+    }
+}
+
+fn with_profile(profile: CapacityProfile) -> ExperimentConfig {
+    let mut config = ExperimentConfig::cup(scenario());
+    config.capacity_profile = profile;
+    config
+}
+
+#[test]
+fn degraded_cup_still_beats_standard_caching() {
+    // The paper's key claim: "even when the capacity of one fifth of the
+    // nodes is reduced to zero percent ... CUP outperforms standard
+    // caching."
+    let std = run_experiment(&ExperimentConfig::standard_caching(scenario()));
+    for profile in [
+        CapacityProfile::UpAndDown {
+            fraction: 0.2,
+            reduced: 0.0,
+        },
+        CapacityProfile::OnceDownAlwaysDown {
+            fraction: 0.2,
+            reduced: 0.0,
+        },
+    ] {
+        let cup = run_experiment(&with_profile(profile));
+        assert!(
+            cup.total_cost() < std.total_cost(),
+            "{profile:?}: CUP {} vs standard {}",
+            cup.total_cost(),
+            std.total_cost()
+        );
+    }
+}
+
+#[test]
+fn performance_degrades_gracefully_with_capacity() {
+    // Sweeping c from 0 to 1 must not produce wild swings; the miss cost
+    // at full capacity is the best.
+    let run_at = |c: f64| {
+        run_experiment(&with_profile(CapacityProfile::OnceDownAlwaysDown {
+            fraction: 0.2,
+            reduced: c,
+        }))
+    };
+    let zero = run_at(0.0);
+    let half = run_at(0.5);
+    let full = run_experiment(&ExperimentConfig::cup(scenario()));
+    assert!(
+        full.miss_cost() <= zero.miss_cost(),
+        "full capacity should miss least: full {} vs zero {}",
+        full.miss_cost(),
+        zero.miss_cost()
+    );
+    // Intermediate capacity lands in a sane band.
+    assert!(half.total_cost() <= zero.total_cost().max(full.total_cost()) * 2);
+}
+
+#[test]
+fn answers_survive_zero_capacity() {
+    let result = run_experiment(&with_profile(CapacityProfile::UpAndDown {
+        fraction: 0.2,
+        reduced: 0.0,
+    }));
+    // First-time responses pass through the §2.8 queues; at c = 0 the
+    // degraded nodes stop answering until recovery, but the Up-And-Down
+    // profile recovers them, and PFU retries re-issue lost queries.
+    let answered = result.net.client_responses as f64 / result.nodes.client_queries as f64;
+    assert!(
+        answered > 0.9,
+        "queries must eventually be answered, got {answered:.3}"
+    );
+}
+
+#[test]
+fn up_and_down_recovers_between_epochs() {
+    let up_down = run_experiment(&with_profile(CapacityProfile::UpAndDown {
+        fraction: 0.2,
+        reduced: 0.25,
+    }));
+    let once_down = run_experiment(&with_profile(CapacityProfile::OnceDownAlwaysDown {
+        fraction: 0.2,
+        reduced: 0.25,
+    }));
+    // Nodes that recover should do no worse than nodes that stay down.
+    assert!(
+        up_down.miss_cost() <= once_down.miss_cost() * 12 / 10,
+        "up-and-down {} vs once-down {}",
+        up_down.miss_cost(),
+        once_down.miss_cost()
+    );
+}
+
+#[test]
+fn capacity_runs_are_deterministic() {
+    let config = with_profile(CapacityProfile::UpAndDown {
+        fraction: 0.2,
+        reduced: 0.25,
+    });
+    let a = run_experiment(&config);
+    let b = run_experiment(&config);
+    assert_eq!(a.total_cost(), b.total_cost());
+}

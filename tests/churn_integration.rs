@@ -1,0 +1,112 @@
+//! Churn integration: CUP keeps working while nodes come and go (§2.9).
+
+use cup::prelude::*;
+use cup::workload::churn::ChurnEvent;
+
+fn scenario() -> Scenario {
+    Scenario {
+        nodes: 96,
+        keys: 6,
+        query_rate: 10.0,
+        query_start: SimTime::from_secs(300),
+        query_end: SimTime::from_secs(1_500),
+        sim_end: SimTime::from_secs(2_500),
+        seed: 31,
+        ..Scenario::default()
+    }
+}
+
+fn churned_config(graceful_p: f64, period_secs: u64) -> ExperimentConfig {
+    let s = scenario();
+    let mut rng = DetRng::seed_from(s.seed ^ 0xBEEF);
+    let churn = ChurnSchedule::alternating(
+        s.query_start,
+        s.query_end,
+        SimDuration::from_secs(period_secs),
+        graceful_p,
+        &mut rng,
+    );
+    let mut config = ExperimentConfig::cup(s);
+    config.churn = churn;
+    config
+}
+
+#[test]
+fn queries_still_answered_under_churn() {
+    let result = run_experiment(&churned_config(0.5, 30));
+    let answered = result.net.client_responses as f64 / result.nodes.client_queries as f64;
+    assert!(
+        answered > 0.95,
+        "most queries must still be answered under churn, got {:.3}",
+        answered
+    );
+}
+
+#[test]
+fn graceful_churn_loses_no_more_than_ungraceful() {
+    let graceful = run_experiment(&churned_config(1.0, 40));
+    let ungraceful = run_experiment(&churned_config(0.0, 40));
+    // Both runs must stay functional; graceful hand-over preserves the
+    // index directory so it should not answer fewer queries.
+    assert!(graceful.net.client_responses > 0);
+    assert!(ungraceful.net.client_responses > 0);
+    let g = graceful.net.client_responses as f64 / graceful.nodes.client_queries as f64;
+    let u = ungraceful.net.client_responses as f64 / ungraceful.nodes.client_queries as f64;
+    assert!(g >= u - 0.02, "graceful {g:.3} vs ungraceful {u:.3}");
+}
+
+#[test]
+fn churn_costs_more_than_calm_but_not_catastrophically() {
+    let calm = run_experiment(&ExperimentConfig::cup(scenario()));
+    let churned = run_experiment(&churned_config(0.5, 30));
+    // "The effect on the overall performance of CUP is limited to that
+    // node's neighborhood" — total cost may rise but must stay in the
+    // same order of magnitude.
+    assert!(
+        (churned.total_cost() as f64) < calm.total_cost() as f64 * 3.0,
+        "churned {} vs calm {}",
+        churned.total_cost(),
+        calm.total_cost()
+    );
+}
+
+#[test]
+fn rapid_churn_remains_stable() {
+    let result = run_experiment(&churned_config(0.5, 10));
+    let answered = result.net.client_responses as f64 / result.nodes.client_queries as f64;
+    assert!(
+        answered > 0.9,
+        "even rapid churn must keep the network serving, got {answered:.3}"
+    );
+}
+
+#[test]
+fn churn_events_change_the_cost_profile_deterministically() {
+    let a = run_experiment(&churned_config(0.5, 30));
+    let b = run_experiment(&churned_config(0.5, 30));
+    assert_eq!(
+        a.total_cost(),
+        b.total_cost(),
+        "churn must be deterministic"
+    );
+    assert_eq!(a.net.dropped_messages, b.net.dropped_messages);
+}
+
+#[test]
+fn churn_schedule_shapes_are_as_configured() {
+    let mut rng = DetRng::seed_from(3);
+    let schedule = ChurnSchedule::alternating(
+        SimTime::from_secs(0),
+        SimTime::from_secs(300),
+        SimDuration::from_secs(30),
+        1.0,
+        &mut rng,
+    );
+    assert_eq!(schedule.len(), 9);
+    let leaves = schedule
+        .events()
+        .iter()
+        .filter(|e| matches!(e, ChurnEvent::Leave { .. }))
+        .count();
+    assert_eq!(leaves, 4);
+}

@@ -1,0 +1,130 @@
+//! End-to-end integration: queries, responses, refreshes, and coalescing
+//! across the full stack (overlay + protocol + DES harness).
+
+use cup::prelude::*;
+
+fn base_scenario() -> Scenario {
+    Scenario {
+        nodes: 128,
+        keys: 6,
+        query_rate: 5.0,
+        query_start: SimTime::from_secs(300),
+        query_end: SimTime::from_secs(1_300),
+        sim_end: SimTime::from_secs(2_000),
+        seed: 1234,
+        ..Scenario::default()
+    }
+}
+
+#[test]
+fn every_client_query_gets_an_answer() {
+    let result = run_experiment(&ExperimentConfig::cup(base_scenario()));
+    assert!(result.nodes.client_queries > 4_000);
+    assert_eq!(
+        result.net.client_responses, result.nodes.client_queries,
+        "every posted query must eventually be answered"
+    );
+}
+
+#[test]
+fn standard_caching_also_answers_everything() {
+    let result = run_experiment(&ExperimentConfig::standard_caching(base_scenario()));
+    assert_eq!(result.net.client_responses, result.nodes.client_queries);
+    assert_eq!(result.overhead(), 0);
+}
+
+#[test]
+fn hits_plus_misses_equals_queries() {
+    let result = run_experiment(&ExperimentConfig::cup(base_scenario()));
+    assert_eq!(
+        result.nodes.client_hits + result.misses(),
+        result.nodes.client_queries
+    );
+}
+
+#[test]
+fn coalescing_absorbs_bursts() {
+    let mut scenario = base_scenario();
+    scenario.burst_size = 40;
+    scenario.burst_spread = SimDuration::from_secs(1);
+    scenario.query_rate = 40.0;
+    let cup = run_experiment(&ExperimentConfig::cup(scenario.clone()));
+    assert!(
+        cup.nodes.coalesced_queries > 100,
+        "bursts must coalesce on the query channels, got {}",
+        cup.nodes.coalesced_queries
+    );
+    // The baseline cannot coalesce at all.
+    let std = run_experiment(&ExperimentConfig::standard_caching(scenario));
+    assert_eq!(std.nodes.coalesced_queries, 0);
+    assert!(cup.net.query_hops < std.net.query_hops);
+}
+
+#[test]
+fn refreshes_flow_only_under_cup() {
+    let cup = run_experiment(&ExperimentConfig::cup(base_scenario()));
+    let std = run_experiment(&ExperimentConfig::standard_caching(base_scenario()));
+    assert!(cup.net.refresh_hops > 0, "CUP must propagate refreshes");
+    assert_eq!(std.net.refresh_hops, 0);
+    assert_eq!(std.net.clear_bit_hops, 0);
+}
+
+#[test]
+fn justified_fraction_is_high_at_high_rates() {
+    let mut scenario = base_scenario();
+    scenario.query_rate = 50.0;
+    let mut config = ExperimentConfig::cup(scenario);
+    config.track_justification = true;
+    let result = run_experiment(&config);
+    assert!(result.tracked_updates > 0);
+    assert!(
+        result.justified_fraction() > 0.5,
+        "at 50 q/s over 6 keys most pushes are justified, got {:.2}",
+        result.justified_fraction()
+    );
+}
+
+#[test]
+fn all_out_push_minimizes_miss_cost() {
+    // §3.1: "if network load is not the prime concern, an all-out push
+    // strategy achieves minimum latency."
+    let mut all_out = ExperimentConfig::cup(base_scenario());
+    all_out.node_config = NodeConfig::cup_with_policy(CutoffPolicy::Always);
+    let aggressive = run_experiment(&all_out);
+    let second_chance = run_experiment(&ExperimentConfig::cup(base_scenario()));
+    assert!(
+        aggressive.miss_cost() <= second_chance.miss_cost(),
+        "all-out push {} must not miss more than second-chance {}",
+        aggressive.miss_cost(),
+        second_chance.miss_cost()
+    );
+    // The all-out strategy never cuts off, so it sends no clear-bits at
+    // all; second-chance pays clear-bit traffic for its control.
+    assert_eq!(aggressive.net.clear_bit_hops, 0);
+    assert!(second_chance.net.clear_bit_hops > 0);
+    assert_eq!(aggressive.nodes.cutoffs, 0);
+}
+
+#[test]
+fn results_are_reproducible_across_runs() {
+    let config = ExperimentConfig::cup(base_scenario());
+    let a = run_experiment(&config);
+    let b = run_experiment(&config);
+    assert_eq!(a.total_cost(), b.total_cost());
+    assert_eq!(a.net.query_hops, b.net.query_hops);
+    assert_eq!(a.net.refresh_hops, b.net.refresh_hops);
+    assert_eq!(a.net.clear_bit_hops, b.net.clear_bit_hops);
+    assert_eq!(a.nodes.coalesced_queries, b.nodes.coalesced_queries);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut scenario = base_scenario();
+    let a = run_experiment(&ExperimentConfig::cup(scenario.clone()));
+    scenario.seed = 99;
+    let b = run_experiment(&ExperimentConfig::cup(scenario));
+    assert_ne!(
+        (a.total_cost(), a.net.query_hops),
+        (b.total_cost(), b.net.query_hops)
+    );
+}

@@ -1,0 +1,135 @@
+//! Overlay integration: CUP over CAN and Chord, and overlay invariants
+//! under sustained churn.
+
+use cup::overlay::{can::CanOverlay, chord::ChordOverlay};
+use cup::prelude::*;
+
+fn scenario() -> Scenario {
+    Scenario {
+        nodes: 128,
+        keys: 4,
+        query_rate: 10.0,
+        query_start: SimTime::from_secs(300),
+        query_end: SimTime::from_secs(1_300),
+        sim_end: SimTime::from_secs(2_000),
+        seed: 606,
+        ..Scenario::default()
+    }
+}
+
+#[test]
+fn cup_wins_on_both_substrates() {
+    for kind in [OverlayKind::Can, OverlayKind::Chord] {
+        let mut std_config = ExperimentConfig::standard_caching(scenario());
+        std_config.overlay = kind;
+        let std = run_experiment(&std_config);
+        let mut cup_config = ExperimentConfig::cup(scenario());
+        cup_config.overlay = kind;
+        let cup = run_experiment(&cup_config);
+        assert!(
+            cup.total_cost() < std.total_cost(),
+            "{kind:?}: CUP {} vs standard {}",
+            cup.total_cost(),
+            std.total_cost()
+        );
+    }
+}
+
+#[test]
+fn chord_paths_are_logarithmic_can_paths_sqrt() {
+    let mut rng = DetRng::seed_from(9);
+    let can = CanOverlay::build(1_024, &mut rng).unwrap();
+    let chord = ChordOverlay::build(1_024).unwrap();
+    let avg = |overlay: &dyn Overlay| {
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for k in 0..40 {
+            for start in [NodeId(1), NodeId(500), NodeId(900)] {
+                total += overlay.distance(start, KeyId(k)).unwrap();
+                count += 1;
+            }
+        }
+        total as f64 / count as f64
+    };
+    let can_avg = avg(&can);
+    let chord_avg = avg(&chord);
+    // Chord routes in O(log n) ≈ 5–10 hops; a 2-D CAN needs O(√n) ≈ 16+.
+    assert!(chord_avg < 10.0, "chord average {chord_avg}");
+    assert!(can_avg > 10.0, "CAN average {can_avg}");
+}
+
+#[test]
+fn can_survives_heavy_churn_with_valid_routing() {
+    let mut rng = DetRng::seed_from(21);
+    let mut can = CanOverlay::build(64, &mut rng).unwrap();
+    for round in 0..50 {
+        if round % 3 == 0 {
+            can.join(&mut rng).unwrap();
+        } else {
+            let nodes = can.nodes();
+            let victim = nodes[rng.choose_index(nodes.len())];
+            if can.len() > 2 {
+                can.leave(victim).unwrap();
+            }
+        }
+        // Every key remains routable from every live node.
+        for k in 0..5 {
+            let key = KeyId(k);
+            let auth = can.authority(key);
+            for &start in can.nodes().iter().take(5) {
+                let path = can.route(start, key).unwrap();
+                assert_eq!(*path.last().unwrap(), auth);
+            }
+        }
+    }
+}
+
+#[test]
+fn chord_survives_heavy_churn_with_valid_routing() {
+    let mut chord = ChordOverlay::build(64).unwrap();
+    let mut rng = DetRng::seed_from(22);
+    for round in 0..50 {
+        if round % 3 == 0 {
+            chord.join();
+        } else if chord.len() > 2 {
+            let nodes = chord.nodes();
+            let victim = nodes[rng.choose_index(nodes.len())];
+            chord.leave(victim).unwrap();
+        }
+        for k in 0..5 {
+            let key = KeyId(k);
+            let auth = chord.authority(key);
+            let start = *chord.nodes().first().unwrap();
+            let path = chord.route(start, key).unwrap();
+            assert_eq!(*path.last().unwrap(), auth);
+        }
+    }
+}
+
+#[test]
+fn reverse_query_paths_are_symmetric_edges() {
+    // Updates flow down the reverse query path; every hop of a query path
+    // must therefore be a bidirectional neighbor edge.
+    let mut rng = DetRng::seed_from(17);
+    let can = CanOverlay::build(256, &mut rng).unwrap();
+    for k in 0..20 {
+        let path = can.route(NodeId(3), KeyId(k)).unwrap();
+        for w in path.windows(2) {
+            assert!(can.neighbors(w[0]).contains(&w[1]));
+            assert!(can.neighbors(w[1]).contains(&w[0]));
+        }
+    }
+}
+
+#[test]
+fn authority_is_consistent_from_any_start() {
+    let mut rng = DetRng::seed_from(23);
+    let can = CanOverlay::build(128, &mut rng).unwrap();
+    for k in 0..20 {
+        let key = KeyId(k);
+        let auth = can.authority(key);
+        for start in [NodeId(0), NodeId(50), NodeId(100)] {
+            assert_eq!(*can.route(start, key).unwrap().last().unwrap(), auth);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Multiple replicas per key (§3.6): the naive cut-off pathology and the
+//! replica-independent fix.
+
+use cup::prelude::*;
+
+fn scenario(replicas: u32) -> Scenario {
+    Scenario {
+        nodes: 128,
+        keys: 4,
+        replicas_per_key: replicas,
+        query_rate: 5.0,
+        query_start: SimTime::from_secs(300),
+        query_end: SimTime::from_secs(1_800),
+        sim_end: SimTime::from_secs(2_500),
+        seed: 808,
+        ..Scenario::default()
+    }
+}
+
+fn run_with_reset(replicas: u32, mode: ResetMode) -> ExperimentResult {
+    let mut config = ExperimentConfig::cup(scenario(replicas));
+    config.node_config.reset_mode = mode;
+    run_experiment(&config)
+}
+
+#[test]
+fn naive_cutoff_wastes_subscriptions_with_many_replicas() {
+    // Table 3, column 2: with the naive reset, more replicas means more
+    // cut-offs and therefore more misses.
+    let naive = run_with_reset(8, ResetMode::Naive);
+    let fixed = run_with_reset(8, ResetMode::ReplicaIndependent);
+    assert!(
+        fixed.misses() <= naive.misses(),
+        "fix must not miss more: naive {} vs fixed {}",
+        naive.misses(),
+        fixed.misses()
+    );
+    assert!(
+        naive.nodes.cutoffs > fixed.nodes.cutoffs,
+        "naive reset must cut off more aggressively: {} vs {}",
+        naive.nodes.cutoffs,
+        fixed.nodes.cutoffs
+    );
+}
+
+#[test]
+fn replica_independent_cutoff_is_insensitive_to_replica_count() {
+    // Table 3, column 3: with the fix, the miss cost stays flat (or
+    // improves) as replicas are added.
+    let one = run_with_reset(1, ResetMode::ReplicaIndependent);
+    let many = run_with_reset(8, ResetMode::ReplicaIndependent);
+    assert!(
+        (many.misses() as f64) < one.misses() as f64 * 1.3,
+        "fix keeps misses stable: 1 replica {} vs 8 replicas {}",
+        one.misses(),
+        many.misses()
+    );
+}
+
+#[test]
+fn more_replicas_mean_more_update_traffic() {
+    // Table 3, last column: per-replica refreshes make the total cost
+    // grow with the replica count.
+    let one = run_with_reset(1, ResetMode::ReplicaIndependent);
+    let many = run_with_reset(8, ResetMode::ReplicaIndependent);
+    assert!(
+        many.overhead() > one.overhead(),
+        "8 replicas push more updates: {} vs {}",
+        many.overhead(),
+        one.overhead()
+    );
+}
+
+#[test]
+fn appends_flow_when_replicas_join_mid_run() {
+    // Births are staggered across the first entry lifetime; starting the
+    // query window inside that stagger means later births find subscribed
+    // neighbors and propagate as append updates.
+    let mut s = scenario(8);
+    s.query_start = SimTime::from_secs(50);
+    let result = run_experiment(&ExperimentConfig::cup(s));
+    assert!(
+        result.net.append_hops > 0,
+        "births must propagate as appends"
+    );
+}
+
+#[test]
+fn replica_deaths_propagate_deletes() {
+    let mut s = scenario(4);
+    s.replica_mean_life = Some(SimDuration::from_secs(400));
+    let result = run_experiment(&ExperimentConfig::cup(s));
+    assert!(
+        result.net.delete_hops > 0,
+        "replica deaths must propagate delete updates"
+    );
+}
+
+#[test]
+fn refresh_subsetting_cuts_overhead_without_extra_misses_blowup() {
+    // §3.6: "the authority node can selectively choose to propagate a
+    // subset of the replica refreshes and suppress others" to reduce the
+    // many-replica overhead. Ablation: keep one refresh in two.
+    let base = run_with_reset(8, ResetMode::ReplicaIndependent);
+    let mut subset_config = ExperimentConfig::cup(scenario(8));
+    subset_config.node_config.refresh_keep_one_in = 2;
+    let subset = run_experiment(&subset_config);
+    assert!(
+        subset.net.refresh_hops < base.net.refresh_hops,
+        "suppression must cut refresh traffic: {} vs {}",
+        subset.net.refresh_hops,
+        base.net.refresh_hops
+    );
+    assert!(
+        subset.misses() < base.misses() * 3,
+        "suppression must not explode misses: {} vs {}",
+        subset.misses(),
+        base.misses()
+    );
+}
+
+#[test]
+fn refresh_batching_cuts_update_transmissions() {
+    // §3.6: batching refreshes that arrive within a threshold "as one
+    // update" reduces per-replica overhead.
+    let base = run_with_reset(8, ResetMode::ReplicaIndependent);
+    let mut batched_config = ExperimentConfig::cup(scenario(8));
+    batched_config.node_config.refresh_batch_window = Some(SimDuration::from_secs(30));
+    let batched = run_experiment(&batched_config);
+    assert!(
+        batched.net.refresh_hops < base.net.refresh_hops,
+        "batching must cut refresh transmissions: {} vs {}",
+        batched.net.refresh_hops,
+        base.net.refresh_hops
+    );
+}
+
+#[test]
+fn answers_carry_multiple_replicas() {
+    // With several live replicas, responses eventually carry several
+    // entries; we verify via the live runtime where answers are visible.
+    let mut rng = DetRng::seed_from(5);
+    let net = LiveNetwork::start(16, NodeConfig::cup_default(), &mut rng).unwrap();
+    for r in 0..3 {
+        net.replica_birth(KeyId(1), ReplicaId(r), SimDuration::from_secs(60));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let entries = net.query(net.nodes()[5], KeyId(1)).unwrap();
+    assert_eq!(entries.len(), 3, "the answer must list all three replicas");
+    net.shutdown();
+}
