@@ -16,8 +16,6 @@
 //!   posteriori (updates propagate to all interested nodes at most `p`
 //!   hops from the authority; `p = 0` degenerates to standard caching).
 
-use serde::{Deserialize, Serialize};
-
 /// Inputs to a cut-off decision.
 #[derive(Debug, Clone, Copy)]
 pub struct CutoffContext {
@@ -32,7 +30,7 @@ pub struct CutoffContext {
 }
 
 /// A cut-off policy: decides whether a node keeps receiving updates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CutoffPolicy {
     /// Never cut off: receive every update (the "all-out push" reference
     /// configuration used to find the maximal-benefit baseline in §3.3).

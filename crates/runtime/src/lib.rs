@@ -3,7 +3,7 @@
 //! The protocol core is a pure state machine; this crate demonstrates that
 //! it runs unchanged outside the simulator. Every overlay node becomes an
 //! OS thread owning its [`cup_core::CupNode`]; the paper's per-neighbor
-//! query and update channels are crossbeam channels; the clock is the
+//! query and update channels are std mpsc channels; the clock is the
 //! wall clock mapped onto [`cup_des::SimTime`] microseconds.
 //!
 //! The runtime keeps the overlay static (no churn) — it exists to exercise

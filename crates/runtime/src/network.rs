@@ -2,12 +2,10 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 
 use cup_core::{
     Action, ClientId, CupNode, IndexEntry, Message, NodeConfig, ReplicaEvent, Requester,
@@ -88,7 +86,7 @@ impl LiveNetwork {
         let mut inboxes = Vec::with_capacity(node_ids.len());
         let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(node_ids.len());
         for _ in &node_ids {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             inboxes.push(tx);
             receivers.push(rx);
         }
@@ -168,13 +166,13 @@ impl LiveNetwork {
             return Err(RuntimeError::UnknownNode(node));
         }
         let client = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
-        let (tx, rx) = unbounded();
-        self.shared.clients.lock().insert(client, tx);
+        let (tx, rx) = channel();
+        self.shared.clients.lock().unwrap().insert(client, tx);
         let _ = self.shared.inboxes[node.index()].send(Envelope::Client { key, client });
         let result = rx
             .recv_timeout(self.query_timeout)
             .map_err(|_| RuntimeError::QueryTimeout);
-        self.shared.clients.lock().remove(&client);
+        self.shared.clients.lock().unwrap().remove(&client);
         result
     }
 
@@ -229,7 +227,7 @@ fn node_main(
                 Action::RespondClient {
                     client, entries, ..
                 } => {
-                    if let Some(tx) = shared.clients.lock().get(&client) {
+                    if let Some(tx) = shared.clients.lock().unwrap().get(&client) {
                         let _ = tx.send(entries);
                     }
                 }

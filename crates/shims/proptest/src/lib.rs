@@ -1,0 +1,173 @@
+//! Offline, API-compatible subset of the [proptest] crate.
+//!
+//! The workspace builds without network access, so this shim implements
+//! the slice of proptest the test suites use: the [`proptest!`] macro,
+//! `prop_assert*`, [`Strategy`] with `prop_map`, range/tuple strategies,
+//! [`any`], and [`collection::vec`]. Two deliberate differences from the
+//! real crate:
+//!
+//! * **Deterministic by construction.** Every case is generated from a
+//!   seed derived from the test's name and the case index — no entropy,
+//!   no persistence files. Re-running a suite replays byte-identical
+//!   inputs, which is a workspace-wide invariant (see `cup-testkit`).
+//! * **No shrinking.** A failing case reports its inputs' seed and index
+//!   instead of searching for a minimal counterexample.
+//!
+//! [proptest]: https://github.com/proptest-rs/proptest
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Strategy};
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Declares deterministic property tests, mirroring proptest's macro.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item becomes a `#[test]`
+/// that runs the body for [`test_runner::case_count`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case (returns `Err` from the case closure) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Inequality counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  both: {:?}",
+                format!($($fmt)+),
+                left
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in 0u64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec(0u32..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()), "len {} out of range", v.len());
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn exact_vec_size(v in crate::collection::vec(any::<bool>(), 7)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+
+        #[test]
+        fn prop_map_transforms(doubled in (1u32..50).prop_map(|x| x * 2)) {
+            prop_assert!(doubled % 2 == 0);
+            prop_assert!((2..100).contains(&doubled));
+        }
+
+        #[test]
+        fn tuples_generate_componentwise(pair in (0u32..4, 10u64..20)) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((10..20).contains(&pair.1));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let collect = || {
+            let mut rng = crate::TestRng::for_case("determinism_probe", 3);
+            (0..8).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "determinism_canary")]
+    fn failures_panic_with_context() {
+        crate::test_runner::run_cases("determinism_canary", |_| {
+            Err(crate::TestCaseError::fail("forced".to_string()))
+        });
+    }
+}

@@ -1,0 +1,5 @@
+//! One-line import of everything the `proptest!` suites need.
+
+pub use crate::strategy::{any, Arbitrary, Strategy};
+pub use crate::test_runner::{TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

@@ -3,11 +3,8 @@
 //! Experiments must be exactly reproducible from a seed, across platforms
 //! and across versions of external crates. We therefore implement a small,
 //! well-known generator (xoshiro256** seeded via SplitMix64) rather than
-//! relying on `rand`'s unspecified `SmallRng` algorithm. [`DetRng`]
-//! implements [`rand::RngCore`], so all `rand` distributions work on top of
-//! it.
-
-use rand::RngCore;
+//! relying on an external crate's unspecified algorithm; [`DetRng`] ships
+//! the uniform/exponential/shuffle helpers the workloads need.
 
 /// A deterministic xoshiro256** generator.
 ///
@@ -19,7 +16,7 @@ use rand::RngCore;
 /// let mut a = DetRng::seed_from(42);
 /// let mut b = DetRng::seed_from(42);
 /// assert_eq!(a.next(), b.next());
-/// let x: f64 = rand::Rng::gen(&mut a);
+/// let x = a.next_f64();
 /// assert!((0.0..1.0).contains(&x));
 /// ```
 #[derive(Debug, Clone)]
@@ -74,8 +71,7 @@ impl DetRng {
     /// Returns the next value of the xoshiro256** sequence.
     ///
     /// Deliberately named like the generator literature's `next()`; this
-    /// type is not an iterator (an RNG never ends, and `RngCore` is the
-    /// trait integration point).
+    /// type is not an iterator (an RNG never ends).
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -160,27 +156,13 @@ impl DetRng {
         all.truncate(k.min(len));
         all
     }
-}
 
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.next()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills a byte slice with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
             let bytes = self.next().to_le_bytes();
             chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
@@ -268,7 +250,7 @@ mod tests {
     }
 
     #[test]
-    fn rngcore_fill_bytes_covers_tail() {
+    fn fill_bytes_covers_tail() {
         let mut rng = DetRng::seed_from(10);
         let mut buf = [0u8; 13];
         rng.fill_bytes(&mut buf);

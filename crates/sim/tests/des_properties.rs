@@ -1,0 +1,139 @@
+//! Property tests for the DES primitives: RNG determinism, simulated-time
+//! arithmetic, and event-queue ordering.
+
+use proptest::prelude::*;
+
+use cup_des::{DetRng, EventQueue, SimDuration, SimTime};
+
+proptest! {
+    /// Two generators with the same seed yield the same stream, whatever
+    /// the seed; this is the root of all experiment reproducibility.
+    #[test]
+    fn same_seed_streams_agree(seed in any::<u64>(), draws in 1usize..200) {
+        let mut a = DetRng::seed_from(seed);
+        let mut b = DetRng::seed_from(seed);
+        for _ in 0..draws {
+            prop_assert_eq!(a.next(), b.next());
+        }
+    }
+
+    /// Derived child streams are a pure function of (parent seed, label)
+    /// and do not perturb the parent.
+    #[test]
+    fn derived_streams_are_stable(seed in any::<u64>(), label in 0u64..1_000) {
+        let parent = DetRng::seed_from(seed);
+        let mut c1 = parent.derive(label);
+        let mut c2 = DetRng::seed_from(seed).derive(label);
+        prop_assert_eq!(c1.next(), c2.next());
+        // The parent's own stream is untouched by deriving children.
+        let mut p1 = DetRng::seed_from(seed);
+        let mut p2 = DetRng::seed_from(seed);
+        let _ = p2.derive(label ^ 1);
+        prop_assert_eq!(p1.next(), p2.next());
+    }
+
+    /// Bounded draws stay in bounds for any seed and bound.
+    #[test]
+    fn next_below_stays_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = DetRng::seed_from(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// Unit-interval draws never reach 1.0.
+    #[test]
+    fn next_f64_is_half_open(seed in any::<u64>()) {
+        let mut rng = DetRng::seed_from(seed);
+        for _ in 0..64 {
+            let x = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&x), "{} outside [0, 1)", x);
+        }
+    }
+
+    /// Time plus a span round-trips through subtraction, and ordering
+    /// matches the underlying microsecond counts.
+    #[test]
+    fn time_arithmetic_round_trips(base_us in 0u64..1 << 40, span_us in 0u64..1 << 40) {
+        let t = SimTime::from_micros(base_us);
+        let d = SimDuration::from_micros(span_us);
+        let later = t + d;
+        prop_assert_eq!(later - t, d);
+        prop_assert_eq!(later.saturating_since(t), d);
+        prop_assert!(later >= t);
+        prop_assert_eq!(later.as_micros(), base_us + span_us);
+    }
+
+    /// Saturating operations clamp instead of wrapping, in both
+    /// directions.
+    #[test]
+    fn saturation_clamps(a_us in 0u64..1 << 40, b_us in 0u64..1 << 40) {
+        let (a, b) = (SimTime::from_micros(a_us), SimTime::from_micros(b_us));
+        let since = a.saturating_since(b);
+        if a_us >= b_us {
+            prop_assert_eq!(since.as_micros(), a_us - b_us);
+        } else {
+            prop_assert_eq!(since, SimDuration::ZERO);
+        }
+        prop_assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_micros(a_us)),
+            SimTime::MAX
+        );
+        let (da, db) = (SimDuration::from_micros(a_us), SimDuration::from_micros(b_us));
+        prop_assert_eq!(
+            da.saturating_sub(db).as_micros(),
+            a_us.saturating_sub(b_us)
+        );
+    }
+
+    /// Pops come out in time order, FIFO within equal timestamps — the
+    /// determinism contract of the future-event list.
+    #[test]
+    fn event_queue_pops_in_stable_order(times in proptest::collection::vec(0u64..30, 1..120)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut popped = Vec::with_capacity(times.len());
+        let mut prev: Option<(SimTime, usize)> = None;
+        while let Some((at, i)) = q.pop() {
+            prop_assert_eq!(at, SimTime::from_secs(times[i]));
+            if let Some((pat, pi)) = prev {
+                prop_assert!(pat <= at, "pops must be time-ordered");
+                if pat == at {
+                    prop_assert!(pi < i, "same-instant events must stay FIFO");
+                }
+            }
+            prev = Some((at, i));
+            popped.push(i);
+        }
+        // Every scheduled event came out exactly once.
+        popped.sort_unstable();
+        prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    /// Interleaving schedule and pop keeps the head the earliest pending
+    /// event.
+    #[test]
+    fn event_queue_head_is_monotone_under_interleaving(
+        times in proptest::collection::vec(0u64..50, 2..60),
+    ) {
+        let mut q = EventQueue::new();
+        let mut last_popped = SimTime::ZERO;
+        for (i, &t) in times.iter().enumerate() {
+            // Never schedule into the popped past: the engine's clock
+            // only moves forward.
+            let at = SimTime::from_secs(t).max(last_popped);
+            q.schedule(at, i);
+            if i % 2 == 1 {
+                let (at, _) = q.pop().expect("queue cannot be empty here");
+                prop_assert!(at >= last_popped);
+                last_popped = at;
+            }
+        }
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last_popped);
+            last_popped = at;
+        }
+    }
+}

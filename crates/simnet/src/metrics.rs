@@ -3,7 +3,7 @@
 use cup_core::stats::NodeStats;
 
 /// Hop counters accumulated while the simulation runs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetMetrics {
     /// Hops traveled by queries (upstream).
     pub query_hops: u64,
@@ -50,7 +50,10 @@ impl NetMetrics {
 }
 
 /// The outcome of one experiment run.
-#[derive(Debug, Clone, Default)]
+///
+/// Every field is integral, so `==` is byte-exact — the comparison
+/// `cup-testkit::assert_deterministic` relies on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExperimentResult {
     /// Network hop counters.
     pub net: NetMetrics,

@@ -5,10 +5,9 @@
 //! 22 000 s simulation with a 3 000 s query window, one replica per key.
 
 use cup_des::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Which key-popularity distribution the queries follow.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KeyDistribution {
     /// All keys equally popular.
     Uniform,
@@ -20,7 +19,7 @@ pub enum KeyDistribution {
 }
 
 /// Every knob of one simulated experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Number of overlay nodes.
     pub nodes: usize,
@@ -29,32 +28,26 @@ pub struct Scenario {
     /// Replicas serving each key (Table 3 varies this from 1 to 100).
     pub replicas_per_key: u32,
     /// Index entry lifetime; replicas refresh at expiration (paper: 300 s).
-    #[serde(with = "duration_secs")]
     pub entry_lifetime: SimDuration,
     /// Network-wide query arrival rate, queries per second (paper: 1 to
     /// 1000).
     pub query_rate: f64,
     /// When queries start (after the replica population warm-up).
-    #[serde(with = "time_secs")]
     pub query_start: SimTime,
     /// When queries stop (paper: 3 000 s of querying).
-    #[serde(with = "time_secs")]
     pub query_end: SimTime,
     /// Total simulated time (paper: 22 000 s).
-    #[serde(with = "time_secs")]
     pub sim_end: SimTime,
     /// Key popularity distribution.
     pub key_distribution: KeyDistribution,
     /// Mean replica lifetime before an explicit death, or `None` for
     /// replicas that serve for the whole run (the paper's evaluation has
     /// no replica deaths; deletes are exercised by tests and examples).
-    #[serde(default, with = "opt_duration_secs")]
     pub replica_mean_life: Option<SimDuration>,
     /// Queries per flash-crowd burst; 1 means independent queries. Bursts
     /// model the "suddenly hot" keys of §1/§3.2 (favorable conditions).
     pub burst_size: u32,
     /// Time window one burst's queries are spread over.
-    #[serde(with = "duration_secs")]
     pub burst_spread: SimDuration,
     /// Master random seed.
     pub seed: u64,
@@ -122,52 +115,6 @@ impl Scenario {
             return Err("burst size must be at least 1".into());
         }
         Ok(())
-    }
-}
-
-/// Serde helpers storing times/durations as whole seconds in configs.
-mod duration_secs {
-    use cup_des::SimDuration;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(d: &SimDuration, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_f64(d.as_secs_f64())
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<SimDuration, D::Error> {
-        let secs = f64::deserialize(d)?;
-        Ok(SimDuration::from_secs_f64(secs))
-    }
-}
-
-mod time_secs {
-    use cup_des::{SimDuration, SimTime};
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(t: &SimTime, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_f64(t.as_secs_f64())
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<SimTime, D::Error> {
-        let secs = f64::deserialize(d)?;
-        Ok(SimTime::ZERO + SimDuration::from_secs_f64(secs))
-    }
-}
-
-mod opt_duration_secs {
-    use cup_des::SimDuration;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(d: &Option<SimDuration>, s: S) -> Result<S::Ok, S::Error> {
-        match d {
-            Some(d) => s.serialize_some(&d.as_secs_f64()),
-            None => s.serialize_none(),
-        }
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Option<SimDuration>, D::Error> {
-        let secs = Option::<f64>::deserialize(d)?;
-        Ok(secs.map(SimDuration::from_secs_f64))
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! The protocol core is a pure state machine, so the same code that runs
 //! inside the discrete-event harness also runs across real OS threads
-//! with crossbeam channels as the paper's per-neighbor query/update
+//! with std mpsc channels as the paper's per-neighbor query/update
 //! channels. This example starts a 32-node network, registers replicas,
 //! posts queries from several nodes, withdraws a replica, and shows the
 //! delete propagating.

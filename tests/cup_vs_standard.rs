@@ -1,41 +1,29 @@
 //! The paper's headline comparisons: CUP versus standard caching.
 
 use cup::prelude::*;
+use cup_testkit::{assert_cheaper, assert_no_costlier, medium, run_cup_and_standard, scenario};
 
-fn scenario(nodes: usize, keys: u32, rate: f64) -> Scenario {
-    Scenario {
-        nodes,
-        keys,
-        query_rate: rate,
-        query_start: SimTime::from_secs(300),
-        query_end: SimTime::from_secs(1_800),
-        sim_end: SimTime::from_secs(3_000),
-        seed: 77,
-        ..Scenario::default()
-    }
+/// This suite's master seed.
+const SEED: u64 = 77;
+
+/// The comparison shape at a non-default size: 4 keys, 1 500 s of
+/// querying.
+fn sized(nodes: usize, rate: f64) -> Scenario {
+    scenario(nodes, 4, rate, 1_500, SEED)
 }
 
 #[test]
 fn cup_wins_at_moderate_and_high_rates() {
     for rate in [10.0, 50.0] {
-        let s = scenario(256, 4, rate);
-        let std = run_experiment(&ExperimentConfig::standard_caching(s.clone()));
-        let cup = run_experiment(&ExperimentConfig::cup(s));
-        assert!(
-            cup.total_cost() < std.total_cost(),
-            "rate {rate}: CUP {} vs standard {}",
-            cup.total_cost(),
-            std.total_cost()
-        );
+        let (cup, std) = run_cup_and_standard(medium(rate, SEED));
+        assert_cheaper(&format!("rate {rate}"), &cup, &std);
     }
 }
 
 #[test]
 fn the_gap_widens_with_query_rate() {
     let ratio = |rate: f64| {
-        let s = scenario(256, 4, rate);
-        let std = run_experiment(&ExperimentConfig::standard_caching(s.clone()));
-        let cup = run_experiment(&ExperimentConfig::cup(s));
+        let (cup, std) = run_cup_and_standard(medium(rate, SEED));
         cup.total_cost() as f64 / std.total_cost() as f64
     };
     let low = ratio(2.0);
@@ -50,9 +38,7 @@ fn the_gap_widens_with_query_rate() {
 fn miss_cost_reduction_matches_paper_range() {
     // The paper reports CUP/standard miss-cost ratios of 0.09–0.47 across
     // its configurations; check we land in a comparable band.
-    let s = scenario(512, 4, 20.0);
-    let std = run_experiment(&ExperimentConfig::standard_caching(s.clone()));
-    let cup = run_experiment(&ExperimentConfig::cup(s));
+    let (cup, std) = run_cup_and_standard(sized(512, 20.0));
     let ratio = cup.miss_cost() as f64 / std.miss_cost() as f64;
     assert!(
         (0.05..0.6).contains(&ratio),
@@ -64,22 +50,17 @@ fn miss_cost_reduction_matches_paper_range() {
 fn second_chance_beats_badly_tuned_linear() {
     // Table 1: at low rates a badly chosen α makes the linear policy
     // worse than second-chance.
-    let s = scenario(256, 4, 5.0);
+    let s = medium(5.0, SEED);
     let second = run_experiment(&ExperimentConfig::cup(s.clone()));
     let mut linear = ExperimentConfig::cup(s);
     linear.node_config = NodeConfig::cup_with_policy(CutoffPolicy::Linear { alpha: 0.25 });
     let linear = run_experiment(&linear);
-    assert!(
-        second.total_cost() <= linear.total_cost(),
-        "second-chance {} must not lose to linear α=0.25 {}",
-        second.total_cost(),
-        linear.total_cost()
-    );
+    assert_no_costlier("second-chance vs linear α=0.25", &second, &linear);
 }
 
 #[test]
 fn push_level_zero_matches_standard_caching_shape() {
-    let s = scenario(128, 4, 10.0);
+    let s = sized(128, 10.0);
     let mut level0 = ExperimentConfig::cup(s.clone());
     level0.node_config = NodeConfig::cup_with_policy(CutoffPolicy::PushLevel { level: 0 });
     let level0 = run_experiment(&level0);
@@ -87,12 +68,12 @@ fn push_level_zero_matches_standard_caching_shape() {
     let std = run_experiment(&ExperimentConfig::standard_caching(s));
     // Level-0 CUP still coalesces; it must not cost more than the
     // baseline.
-    assert!(level0.total_cost() <= std.total_cost());
+    assert_no_costlier("level-0 CUP vs standard caching", &level0, &std);
 }
 
 #[test]
 fn deeper_push_levels_cut_misses() {
-    let s = scenario(256, 4, 10.0);
+    let s = medium(10.0, SEED);
     let run_level = |level: u32| {
         let mut c = ExperimentConfig::cup(s.clone());
         c.node_config = NodeConfig::cup_with_policy(CutoffPolicy::PushLevel { level });
@@ -112,9 +93,7 @@ fn scaling_the_network_grows_cup_advantage() {
     // and 11.8 hops per miss for the 1024, 2048, and 4096 node networks"
     // — the absolute hops-per-miss saving grows with network size.
     let saved = |nodes: usize| {
-        let s = scenario(nodes, 4, 2.0);
-        let std = run_experiment(&ExperimentConfig::standard_caching(s.clone()));
-        let cup = run_experiment(&ExperimentConfig::cup(s));
+        let (cup, std) = run_cup_and_standard(sized(nodes, 2.0));
         std.miss_latency() - cup.miss_latency()
     };
     let small = saved(128);

@@ -2,18 +2,10 @@
 //! across the full stack (overlay + protocol + DES harness).
 
 use cup::prelude::*;
+use cup_testkit::{assert_deterministic, scenario};
 
 fn base_scenario() -> Scenario {
-    Scenario {
-        nodes: 128,
-        keys: 6,
-        query_rate: 5.0,
-        query_start: SimTime::from_secs(300),
-        query_end: SimTime::from_secs(1_300),
-        sim_end: SimTime::from_secs(2_000),
-        seed: 1234,
-        ..Scenario::default()
-    }
+    scenario(128, 6, 5.0, 1_000, 1234)
 }
 
 #[test]
@@ -107,14 +99,9 @@ fn all_out_push_minimizes_miss_cost() {
 
 #[test]
 fn results_are_reproducible_across_runs() {
-    let config = ExperimentConfig::cup(base_scenario());
-    let a = run_experiment(&config);
-    let b = run_experiment(&config);
-    assert_eq!(a.total_cost(), b.total_cost());
-    assert_eq!(a.net.query_hops, b.net.query_hops);
-    assert_eq!(a.net.refresh_hops, b.net.refresh_hops);
-    assert_eq!(a.net.clear_bit_hops, b.net.clear_bit_hops);
-    assert_eq!(a.nodes.coalesced_queries, b.nodes.coalesced_queries);
+    // Byte-identical across the full metrics struct, not just headline
+    // numbers.
+    assert_deterministic(&ExperimentConfig::cup(base_scenario()));
 }
 
 #[test]

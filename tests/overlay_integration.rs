@@ -3,18 +3,10 @@
 
 use cup::overlay::{can::CanOverlay, chord::ChordOverlay};
 use cup::prelude::*;
+use cup_testkit::{assert_cheaper, small};
 
 fn scenario() -> Scenario {
-    Scenario {
-        nodes: 128,
-        keys: 4,
-        query_rate: 10.0,
-        query_start: SimTime::from_secs(300),
-        query_end: SimTime::from_secs(1_300),
-        sim_end: SimTime::from_secs(2_000),
-        seed: 606,
-        ..Scenario::default()
-    }
+    small(10.0, 606)
 }
 
 #[test]
@@ -26,12 +18,7 @@ fn cup_wins_on_both_substrates() {
         let mut cup_config = ExperimentConfig::cup(scenario());
         cup_config.overlay = kind;
         let cup = run_experiment(&cup_config);
-        assert!(
-            cup.total_cost() < std.total_cost(),
-            "{kind:?}: CUP {} vs standard {}",
-            cup.total_cost(),
-            std.total_cost()
-        );
+        assert_cheaper(&format!("{kind:?}"), &cup, &std);
     }
 }
 

@@ -5,15 +5,8 @@ use cup::prelude::*;
 
 fn scenario(replicas: u32) -> Scenario {
     Scenario {
-        nodes: 128,
-        keys: 4,
         replicas_per_key: replicas,
-        query_rate: 5.0,
-        query_start: SimTime::from_secs(300),
-        query_end: SimTime::from_secs(1_800),
-        sim_end: SimTime::from_secs(2_500),
-        seed: 808,
-        ..Scenario::default()
+        ..cup_testkit::scenario(128, 4, 5.0, 1_500, 808)
     }
 }
 
