@@ -1,0 +1,25 @@
+//! Criterion sweep over the `large_scale` scenario family.
+//!
+//! Tracks DES wall-clock across population sizes (the calendar-queue /
+//! node-arena hot path). Sample counts are small: one iteration is a
+//! whole multi-second experiment. For the flagship 100k-node point and
+//! the JSON artifact, run `cargo run --release -p cup-bench --bin
+//! bench_des`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cup_bench::des_bench::run_point;
+
+fn large_scale_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("large_scale");
+    group.sample_size(2);
+    for &nodes in &[2_000usize, 10_000] {
+        group.bench_function(&format!("{nodes}_nodes_10k_queries"), |b| {
+            b.iter(|| run_point(nodes, 10_000, 42));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, large_scale_sweep);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Emits `BENCH_des.json`: the DES throughput sweep over the
+//! `large_scale` scenario family.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_des [--sizes 10000,100000] [--queries 10000] [--seed 42]
+//!           [--out BENCH_des.json] [--budget-secs N]
+//! ```
+//!
+//! With `--budget-secs`, the process exits non-zero if any single run
+//! exceeds the wall-clock budget — the CI smoke job's pass/fail line.
+
+use cup_bench::des_bench::{render_json, run_point};
+
+fn main() {
+    let mut sizes: Vec<usize> = vec![10_000, 100_000];
+    let mut queries: u64 = 10_000;
+    let mut seed: u64 = 42;
+    let mut out_path = String::from("BENCH_des.json");
+    let mut budget_secs: Option<u64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2);
+                })
+                .to_string()
+        };
+        match arg.as_str() {
+            "--sizes" => {
+                sizes = value("--sizes")
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("bad size '{s}'");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--queries" => {
+                queries = value("--queries").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --queries value");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                seed = value("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --seed value");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => out_path = value("--out"),
+            "--budget-secs" => {
+                budget_secs = Some(value("--budget-secs").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --budget-secs value");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_des [--sizes N,N,..] [--queries N] [--seed N] \
+                     [--out PATH] [--budget-secs N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut points = Vec::with_capacity(sizes.len());
+    let mut over_budget = false;
+    for &nodes in &sizes {
+        let p = run_point(nodes, queries, seed);
+        println!(
+            "{:>8} nodes  {:>10} events  {:>9.2} s wall  {:>12.0} events/s  total cost {}",
+            p.nodes,
+            p.events,
+            p.wall.as_secs_f64(),
+            p.events_per_sec(),
+            p.total_cost,
+        );
+        if let Some(budget) = budget_secs {
+            if p.wall.as_secs() >= budget {
+                eprintln!(
+                    "BUDGET EXCEEDED: {} nodes took {:.2} s (budget {budget} s)",
+                    p.nodes,
+                    p.wall.as_secs_f64()
+                );
+                over_budget = true;
+            }
+        }
+        points.push(p);
+    }
+    let json = render_json(&points, queries, seed);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+    if over_budget {
+        std::process::exit(1);
+    }
+}

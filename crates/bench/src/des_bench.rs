@@ -1,0 +1,109 @@
+//! The DES throughput benchmark behind `BENCH_des.json`.
+//!
+//! Runs the `large_scale` scenario family at a sweep of population sizes
+//! and reports wall-clock, engine-event, and cost-model numbers in a
+//! stable JSON shape, so the scheduler's performance trajectory is
+//! tracked from the calendar-queue PR onward (CI uploads the file as an
+//! artifact; compare across commits to spot regressions).
+
+use std::time::{Duration, Instant};
+
+use cup_simnet::{run_experiment, ExperimentConfig};
+use cup_workload::Scenario;
+
+/// One timed run of the sweep.
+#[derive(Debug, Clone)]
+pub struct DesBenchPoint {
+    /// Overlay population.
+    pub nodes: usize,
+    /// Distinct keys in the workload.
+    pub keys: u32,
+    /// Expected query count.
+    pub queries: u64,
+    /// Wall-clock time of the whole experiment (build + run).
+    pub wall: Duration,
+    /// Discrete events the engine processed.
+    pub events: u64,
+    /// Total cost in hops (sanity anchor: must be deterministic).
+    pub total_cost: u64,
+    /// Client queries actually posted.
+    pub client_queries: u64,
+}
+
+impl DesBenchPoint {
+    /// Engine throughput in events per second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.events as f64 / secs
+        }
+    }
+}
+
+/// Runs one timed `large_scale` experiment.
+pub fn run_point(nodes: usize, queries: u64, seed: u64) -> DesBenchPoint {
+    let scenario = Scenario::large_scale(nodes, queries, seed);
+    let keys = scenario.keys;
+    let config = ExperimentConfig::cup(scenario);
+    let start = Instant::now();
+    let result = run_experiment(&config);
+    let wall = start.elapsed();
+    DesBenchPoint {
+        nodes,
+        keys,
+        queries,
+        wall,
+        events: result.events,
+        total_cost: result.total_cost(),
+        client_queries: result.nodes.client_queries,
+    }
+}
+
+/// Renders the sweep as the `BENCH_des.json` document.
+///
+/// Hand-rolled JSON (the workspace builds offline, without serde); every
+/// value is a number or plain string, so escaping is not needed.
+pub fn render_json(points: &[DesBenchPoint], queries: u64, seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"cup-des large_scale sweep\",\n");
+    out.push_str(&format!("  \"queries_per_run\": {queries},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"nodes\": {}, \"keys\": {}, \"wall_ms\": {:.3}, \"events\": {}, \
+             \"events_per_sec\": {:.0}, \"total_cost\": {}, \"client_queries\": {}}}{comma}\n",
+            p.nodes,
+            p.keys,
+            p.wall.as_secs_f64() * 1e3,
+            p.events,
+            p.events_per_sec(),
+            p.total_cost,
+            p.client_queries,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_runs_and_renders() {
+        let p = run_point(256, 500, 9);
+        assert_eq!(p.nodes, 256);
+        assert!(p.events > 0);
+        assert!(p.client_queries > 0);
+        assert!(p.events_per_sec() > 0.0);
+        let json = render_json(&[p.clone(), p], 500, 9);
+        assert!(json.contains("\"queries_per_run\": 500"));
+        assert_eq!(json.matches("\"nodes\": 256").count(), 2);
+        // Well-formed enough for jq: balanced braces, one trailing brace.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -8,6 +8,8 @@
 use cup_des::{SimDuration, SimTime};
 use cup_workload::Scenario;
 
+pub mod des_bench;
+
 /// How big to run an experiment sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

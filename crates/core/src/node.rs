@@ -119,13 +119,30 @@ impl CupNode {
         from: Requester,
         upstream: Option<NodeId>,
     ) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.handle_query_into(now, key, from, upstream, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`CupNode::handle_query`]: actions are
+    /// pushed into `out`, so a driver can reuse one buffer across events
+    /// (the simulation harness's hot path).
+    pub fn handle_query_into(
+        &mut self,
+        now: SimTime,
+        key: KeyId,
+        from: Requester,
+        upstream: Option<NodeId>,
+        out: &mut Vec<Action>,
+    ) {
         match from {
             Requester::Neighbor(_) => self.stats.neighbor_queries += 1,
             Requester::Client(_) => self.stats.client_queries += 1,
         }
 
         let Some(upstream) = upstream else {
-            return self.answer_as_authority(now, key, from);
+            self.answer_as_authority(now, key, from, out);
+            return;
         };
 
         let st = self.keys.entry(key).or_default();
@@ -140,7 +157,8 @@ impl CupNode {
             }
             let entries = st.fresh_entries(now);
             let depth = st.last_depth;
-            return self.respond(from, key, entries, depth.saturating_add(1), now);
+            self.respond(from, key, entries, depth.saturating_add(1), now, out);
+            return;
         }
 
         // A miss: classify for the posting node's statistics.
@@ -171,27 +189,32 @@ impl CupNode {
                 if st.pending_first_update && !flag_stale {
                     // Coalesced into the in-flight query.
                     self.stats.coalesced_queries += 1;
-                    Vec::new()
                 } else {
                     if flag_stale {
                         self.stats.pfu_retries += 1;
                     }
                     st.pending_first_update = true;
                     st.pfu_since = now;
-                    vec![Action::send(upstream, Message::Query { key })]
+                    out.push(Action::send(upstream, Message::Query { key }));
                 }
             }
             Mode::StandardCaching => {
                 // No coalescing: every missing query is forwarded and the
                 // requester recorded for per-query response routing.
                 st.pending_requesters.push(from);
-                vec![Action::send(upstream, Message::Query { key })]
+                out.push(Action::send(upstream, Message::Query { key }));
             }
         }
     }
 
     /// Answers a query at the authority node from the local directory.
-    fn answer_as_authority(&mut self, now: SimTime, key: KeyId, from: Requester) -> Vec<Action> {
+    fn answer_as_authority(
+        &mut self,
+        now: SimTime,
+        key: KeyId,
+        from: Requester,
+        out: &mut Vec<Action>,
+    ) {
         if matches!(from, Requester::Client(_)) {
             // The authority always answers immediately (no miss).
             self.stats.client_hits += 1;
@@ -204,7 +227,7 @@ impl CupNode {
             }
         }
         let entries = self.directory.fresh_entries(key, now);
-        self.respond(from, key, entries, 1, now)
+        self.respond(from, key, entries, 1, now, out);
     }
 
     /// Builds the response to one requester: a client gets its held-open
@@ -216,13 +239,14 @@ impl CupNode {
         entries: Vec<IndexEntry>,
         depth: u32,
         now: SimTime,
-    ) -> Vec<Action> {
+        out: &mut Vec<Action>,
+    ) {
         match to {
-            Requester::Client(client) => vec![Action::RespondClient {
+            Requester::Client(client) => out.push(Action::RespondClient {
                 client,
                 key,
                 entries,
-            }],
+            }),
             Requester::Neighbor(n) => {
                 let replica = entries.first().map_or(NO_REPLICA, |e| e.replica);
                 let update = Update {
@@ -239,7 +263,7 @@ impl CupNode {
                 // stops *maintaining* downstream caches (its dependents
                 // fall back to standard caching, §2.8), but it still
                 // answers queries.
-                vec![Action::send(n, Message::Update(update))]
+                out.push(Action::send(n, Message::Update(update)));
             }
         }
     }
@@ -254,14 +278,27 @@ impl CupNode {
     ///   cut-off policy and either push a Clear-Bit upstream or apply the
     ///   update; otherwise apply and forward to interested neighbors.
     pub fn handle_update(&mut self, now: SimTime, from: NodeId, update: Update) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.handle_update_into(now, from, update, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`CupNode::handle_update`]: actions are
+    /// pushed into `out`.
+    pub fn handle_update_into(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        update: Update,
+        out: &mut Vec<Action>,
+    ) {
         self.stats.updates_received += 1;
         // Case 3: the network path was slow and the update expired.
         if update.is_expired(now) {
             self.stats.updates_expired_on_arrival += 1;
-            return Vec::new();
+            return;
         }
         let st = self.keys.entry(update.key).or_default();
-        let mut actions = Vec::new();
 
         if st.pending_first_update && update.kind == UpdateKind::FirstTime {
             // Case 1.
@@ -273,7 +310,7 @@ impl CupNode {
             let clients: Vec<_> = st.waiting_clients.drain(..).collect();
             let pending: Vec<_> = st.pending_requesters.drain(..).collect();
             for client in clients {
-                actions.push(Action::RespondClient {
+                out.push(Action::RespondClient {
                     client,
                     key: update.key,
                     entries: fresh.clone(),
@@ -286,9 +323,9 @@ impl CupNode {
             // by other nodes' responses — this is what makes push level 0
             // degenerate exactly to standard caching (§3.3).
             for requester in pending {
-                actions.extend(self.answer_requester(requester, &update, &fresh));
+                self.answer_requester(requester, &update, &fresh, out);
             }
-            return actions;
+            return;
         }
 
         if self.config.mode == Mode::StandardCaching {
@@ -299,16 +336,16 @@ impl CupNode {
             let pending: Vec<_> = st.pending_requesters.drain(..).collect();
             let clients: Vec<_> = st.waiting_clients.drain(..).collect();
             for client in clients {
-                actions.push(Action::RespondClient {
+                out.push(Action::RespondClient {
                     client,
                     key: update.key,
                     entries: fresh.clone(),
                 });
             }
             for requester in pending {
-                actions.extend(self.answer_requester(requester, &update, &fresh));
+                self.answer_requester(requester, &update, &fresh, out);
             }
-            return actions;
+            return;
         }
 
         // Case 2 (and stray non-first-time updates while the flag is set,
@@ -328,18 +365,18 @@ impl CupNode {
                     // Not popular enough: cut off our incoming supply.
                     self.stats.cutoffs += 1;
                     self.stats.clear_bits_sent += 1;
-                    return vec![Action::send(from, Message::ClearBit { key: update.key })];
+                    out.push(Action::send(from, Message::ClearBit { key: update.key }));
+                    return;
                 }
             }
             st.apply(&update);
-            return actions;
+            return;
         }
 
         st.popularity
             .on_update(update.replica, self.config.reset_mode);
         st.apply(&update);
-        self.forward_to_interested(update, Some(from), &mut actions);
-        actions
+        self.forward_to_interested(update, Some(from), out);
     }
 
     /// Answers one recorded requester (standard-caching response routing).
@@ -348,18 +385,19 @@ impl CupNode {
         requester: Requester,
         update: &Update,
         fresh: &[IndexEntry],
-    ) -> Vec<Action> {
+        out: &mut Vec<Action>,
+    ) {
         match requester {
-            Requester::Client(client) => vec![Action::RespondClient {
+            Requester::Client(client) => out.push(Action::RespondClient {
                 client,
                 key: update.key,
                 entries: fresh.to_vec(),
-            }],
+            }),
             Requester::Neighbor(n) => {
                 self.stats.updates_forwarded += 1;
                 // Like `respond`: responses bypass the capacity queues so
                 // the network stays functional at zero capacity.
-                vec![Action::send(n, Message::Update(update.forwarded()))]
+                out.push(Action::send(n, Message::Update(update.forwarded())));
             }
         }
     }
@@ -403,14 +441,29 @@ impl CupNode {
     /// Clear-Bit toward the authority.
     pub fn handle_clear_bit(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         key: KeyId,
         from: NodeId,
         upstream: Option<NodeId>,
     ) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.handle_clear_bit_into(now, key, from, upstream, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`CupNode::handle_clear_bit`]: actions
+    /// are pushed into `out`.
+    pub fn handle_clear_bit_into(
+        &mut self,
+        _now: SimTime,
+        key: KeyId,
+        from: NodeId,
+        upstream: Option<NodeId>,
+        out: &mut Vec<Action>,
+    ) {
         self.stats.clear_bits_received += 1;
         let Some(st) = self.keys.get_mut(&key) else {
-            return Vec::new();
+            return;
         };
         st.interest.clear(from);
         // Stop wasting queue space on the disinterested neighbor.
@@ -418,11 +471,11 @@ impl CupNode {
         self.stats.updates_forwarded = self.stats.updates_forwarded.saturating_sub(dropped as u64);
         let st = self.keys.get_mut(&key).expect("state exists");
         if !st.interest.is_empty() {
-            return Vec::new();
+            return;
         }
         let Some(upstream) = upstream else {
             // The authority has no upstream to notify.
-            return Vec::new();
+            return;
         };
         let ctx = CutoffContext {
             queries_since_reset: st.popularity.queries_since_reset(),
@@ -431,9 +484,7 @@ impl CupNode {
         };
         if !self.config.policy.keep_receiving(&ctx) {
             self.stats.clear_bits_sent += 1;
-            vec![Action::send(upstream, Message::ClearBit { key })]
-        } else {
-            Vec::new()
+            out.push(Action::send(upstream, Message::ClearBit { key }));
         }
     }
 
@@ -442,9 +493,22 @@ impl CupNode {
     /// the corresponding append/refresh/delete update to interested
     /// neighbors.
     pub fn handle_replica_event(&mut self, now: SimTime, event: ReplicaEvent) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.handle_replica_event_into(now, event, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`CupNode::handle_replica_event`]:
+    /// actions are pushed into `out`.
+    pub fn handle_replica_event_into(
+        &mut self,
+        now: SimTime,
+        event: ReplicaEvent,
+        out: &mut Vec<Action>,
+    ) {
         let key = event.key();
         let change = self.directory.apply(event, now);
-        self.propagate_change(now, key, change)
+        self.propagate_change(now, key, change, out);
     }
 
     /// Expires directory entries whose replicas stopped refreshing and
@@ -453,7 +517,12 @@ impl CupNode {
         let dead = self.directory.expire(now);
         let mut actions = Vec::new();
         for entry in dead {
-            actions.extend(self.propagate_change(now, entry.key, DirectoryChange::Removed(entry)));
+            self.propagate_change(
+                now,
+                entry.key,
+                DirectoryChange::Removed(entry),
+                &mut actions,
+            );
         }
         actions
     }
@@ -464,29 +533,30 @@ impl CupNode {
         now: SimTime,
         key: KeyId,
         change: DirectoryChange,
-    ) -> Vec<Action> {
+        out: &mut Vec<Action>,
+    ) {
         if self.config.mode == Mode::StandardCaching {
             // The baseline never pushes maintenance updates.
-            return Vec::new();
+            return;
         }
         let (kind, entry) = match change {
             DirectoryChange::Added(e) => (UpdateKind::Append, e),
             DirectoryChange::Refreshed(e) => (UpdateKind::Refresh, e),
             DirectoryChange::Removed(e) => (UpdateKind::Delete, e),
-            DirectoryChange::Nothing => return Vec::new(),
+            DirectoryChange::Nothing => return,
         };
         if self.keys.get(&key).is_none_or(|st| st.interest.is_empty()) {
-            return Vec::new();
+            return;
         }
         let entries = match kind {
             UpdateKind::Refresh => {
                 // §3.6 overhead reductions for keys with many replicas.
                 if !self.refresh_due(key) {
-                    return Vec::new();
+                    return;
                 }
                 match self.batch_refresh(key, entry, now) {
                     Some(batch) => batch,
-                    None => return Vec::new(),
+                    None => return,
                 }
             }
             _ => vec![entry],
@@ -507,9 +577,7 @@ impl CupNode {
             depth: 0,
             origin: now,
         };
-        let mut actions = Vec::new();
-        self.forward_to_interested(update, None, &mut actions);
-        actions
+        self.forward_to_interested(update, None, out);
     }
 
     /// §3.6 subset suppression: returns `true` when this refresh is the
@@ -565,11 +633,25 @@ impl CupNode {
     /// `capacity_fraction` of what was enqueued since the last service
     /// (§2.8). Returns the transmissions to perform now.
     pub fn service_outgoing(&mut self, now: SimTime, capacity_fraction: f64) -> Vec<Action> {
-        self.outgoing
-            .service(now, capacity_fraction)
-            .into_iter()
-            .map(|(to, u)| Action::send(to, Message::Update(u)))
-            .collect()
+        let mut out = Vec::new();
+        self.service_outgoing_into(now, capacity_fraction, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`CupNode::service_outgoing`]: actions
+    /// are pushed into `out`.
+    pub fn service_outgoing_into(
+        &mut self,
+        now: SimTime,
+        capacity_fraction: f64,
+        out: &mut Vec<Action>,
+    ) {
+        out.extend(
+            self.outgoing
+                .service(now, capacity_fraction)
+                .into_iter()
+                .map(|(to, u)| Action::send(to, Message::Update(u))),
+        );
     }
 
     /// §2.9: a neighbor departed. Interest pointing at it is remapped to

@@ -18,9 +18,77 @@ use cup_des::{DetRng, KeyId, NodeId};
 
 use crate::churn::{ChurnReport, NeighborChange};
 use crate::hashing::key_to_point;
-use crate::point::Point;
+use crate::point::{Point, SPACE_WIDTH};
 use crate::traits::{Overlay, OverlayError};
 use crate::zone::Zone;
+
+/// A uniform spatial index over the coordinate space.
+///
+/// Point-location (`owner_of`) is the inner loop of building and routing
+/// on large CANs; a linear scan over all zones makes a 100k-node build
+/// O(n²). The grid divides the space into `per_axis²` square cells and
+/// lists, per cell, every node owning a zone that intersects it — point
+/// lookup inspects one short cell list. Ownership is unique (zones
+/// partition the space), so the lookup result is identical to the linear
+/// scan whatever the cell layout.
+#[derive(Debug, Clone)]
+struct ZoneGrid {
+    /// log₂ of the cell width; cells are `2^shift` units wide.
+    shift: u32,
+    /// Cells per axis (power of two).
+    per_axis: u64,
+    /// Per cell: ids of nodes owning a zone intersecting the cell.
+    cells: Vec<Vec<NodeId>>,
+}
+
+impl ZoneGrid {
+    /// Builds an empty grid sized for roughly one zone per cell at
+    /// `expected_nodes` nodes.
+    fn for_nodes(expected_nodes: usize) -> Self {
+        let target = (expected_nodes as f64).sqrt().ceil() as u64;
+        let per_axis = target.next_power_of_two().clamp(1, 2_048);
+        let shift = (SPACE_WIDTH / per_axis).trailing_zeros();
+        ZoneGrid {
+            shift,
+            per_axis,
+            cells: vec![Vec::new(); (per_axis * per_axis) as usize],
+        }
+    }
+
+    /// The cell containing a point.
+    fn cell_of(&self, p: Point) -> usize {
+        ((p.y >> self.shift) * self.per_axis + (p.x >> self.shift)) as usize
+    }
+
+    /// Registers `id` in every cell its zones intersect.
+    fn insert_node(&mut self, id: NodeId, zones: &[Zone]) {
+        for zone in zones {
+            let (cx0, cx1) = (zone.x0 >> self.shift, (zone.x1 - 1) >> self.shift);
+            let (cy0, cy1) = (zone.y0 >> self.shift, (zone.y1 - 1) >> self.shift);
+            for cy in cy0..=cy1 {
+                for cx in cx0..=cx1 {
+                    let cell = &mut self.cells[(cy * self.per_axis + cx) as usize];
+                    if !cell.contains(&id) {
+                        cell.push(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clears `id` from every cell the given zones intersect.
+    fn remove_node(&mut self, id: NodeId, zones: &[Zone]) {
+        for zone in zones {
+            let (cx0, cx1) = (zone.x0 >> self.shift, (zone.x1 - 1) >> self.shift);
+            let (cy0, cy1) = (zone.y0 >> self.shift, (zone.y1 - 1) >> self.shift);
+            for cy in cy0..=cy1 {
+                for cx in cx0..=cx1 {
+                    self.cells[(cy * self.per_axis + cx) as usize].retain(|&n| n != id);
+                }
+            }
+        }
+    }
+}
 
 /// One CAN participant.
 #[derive(Debug, Clone, Default)]
@@ -64,6 +132,9 @@ impl CanNode {
 pub struct CanOverlay {
     nodes: Vec<CanNode>,
     alive: usize,
+    /// Spatial index for O(1) point location; kept in sync with every
+    /// zone change.
+    grid: ZoneGrid,
 }
 
 impl CanOverlay {
@@ -79,12 +150,15 @@ impl CanOverlay {
         if n == 0 {
             return Err(OverlayError::TooFewNodes);
         }
+        let mut grid = ZoneGrid::for_nodes(n);
+        grid.insert_node(NodeId(0), &[Zone::FULL]);
         let mut overlay = CanOverlay {
             nodes: vec![CanNode {
                 zones: vec![Zone::FULL],
                 neighbors: BTreeSet::new(),
             }],
             alive: 1,
+            grid,
         };
         for _ in 1..n {
             overlay.join(rng)?;
@@ -124,6 +198,14 @@ impl CanOverlay {
                 neighbors: BTreeSet::new(),
             });
             self.alive += 1;
+            // Index maintenance: the owner shrank from `zone` to `kept`.
+            // Removing the split zone may clear cells still covered by
+            // the owner's other zones, so re-register its full zone list
+            // (insertion de-duplicates); the joiner covers `given`.
+            self.grid.remove_node(owner, &[zone]);
+            self.grid
+                .insert_node(owner, &self.nodes[owner.index()].zones);
+            self.grid.insert_node(new_id, &[given]);
             let report = self.refresh_neighbors(&[owner, new_id]);
             return Ok(ChurnReport {
                 joined: Some(new_id),
@@ -159,6 +241,12 @@ impl CanOverlay {
             .min_by_key(|&nb| (self.nodes[nb.index()].volume(), nb))
             .expect("a live node in a multi-node CAN has neighbors");
         let zones = std::mem::take(&mut self.nodes[node.index()].zones);
+        // Index maintenance: the departed node's cells pass to the
+        // takeover node. Coalescing only reshapes the takeover's zones
+        // within the same covered area, so the cell lists are unchanged
+        // by it.
+        self.grid.remove_node(node, &zones);
+        self.grid.insert_node(takeover, &zones);
         self.nodes[takeover.index()].zones.extend(zones);
         Self::coalesce_zones(&mut self.nodes[takeover.index()].zones);
         self.alive -= 1;
@@ -182,12 +270,14 @@ impl CanOverlay {
     }
 
     /// Returns the node owning the zone containing `p`.
+    ///
+    /// O(1) via the spatial grid; ownership is unique, so this matches a
+    /// full scan exactly.
     pub fn owner_of(&self, p: Point) -> Option<NodeId> {
-        self.nodes
+        self.grid.cells[self.grid.cell_of(p)]
             .iter()
-            .enumerate()
-            .find(|(_, n)| n.contains(p))
-            .map(|(i, _)| NodeId(i as u32))
+            .copied()
+            .find(|id| self.nodes[id.index()].contains(p))
     }
 
     /// The zones currently owned by `node` (empty if dead).

@@ -100,11 +100,7 @@ impl<S, E> Engine<S, E> {
         F: FnMut(&mut S, &mut EventQueue<E>, SimTime, E),
     {
         let before = self.processed;
-        while let Some(at) = self.queue.peek_time() {
-            if at >= deadline {
-                break;
-            }
-            let (at, ev) = self.queue.pop().expect("peeked event must exist");
+        while let Some((at, ev)) = self.queue.pop_before(deadline) {
             debug_assert!(at >= self.now, "event queue went backwards in time");
             self.now = at;
             self.processed += 1;

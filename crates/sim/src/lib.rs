@@ -5,7 +5,9 @@
 //!
 //! * a microsecond-resolution simulated clock ([`SimTime`], [`SimDuration`]),
 //! * a deterministic event queue with stable FIFO ordering for simultaneous
-//!   events ([`EventQueue`]),
+//!   events ([`EventQueue`]) — a calendar queue with O(1) amortized
+//!   schedule/pop, pinned against the retired heap scheduler
+//!   ([`ReferenceHeapQueue`]) by a differential test suite,
 //! * a generic simulation driver ([`Engine`]) that dispatches events to a
 //!   user-supplied handler,
 //! * a deterministic, seedable random number generator ([`rng::DetRng`])
@@ -46,7 +48,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::Engine;
-pub use event::EventQueue;
+pub use event::{EventQueue, ReferenceHeapQueue};
 pub use id::{KeyId, NodeId, ReplicaId};
 pub use latency::LatencyModel;
 pub use rng::DetRng;

@@ -150,6 +150,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
         net.dispatch(queue, now, ev)
     });
 
+    let events = engine.processed();
     let net = engine.into_state();
     let (justified, tracked) = net
         .justify
@@ -161,6 +162,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
         justified_updates: justified,
         tracked_updates: tracked,
         node_count,
+        events,
     }
 }
 

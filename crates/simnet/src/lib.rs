@@ -23,6 +23,7 @@
 //! [`sweeps`] contains the parameter sweeps behind every table and figure
 //! of the paper; [`report`] renders them in the paper's format.
 
+pub mod arena;
 pub mod event;
 pub mod experiment;
 pub mod justify;
@@ -31,6 +32,7 @@ pub mod network;
 pub mod report;
 pub mod sweeps;
 
+pub use arena::NodeArena;
 pub use event::Ev;
 pub use experiment::{run_experiment, ExperimentConfig};
 pub use metrics::{ExperimentResult, NetMetrics};

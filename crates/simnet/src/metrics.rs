@@ -66,6 +66,9 @@ pub struct ExperimentResult {
     pub tracked_updates: u64,
     /// Number of overlay nodes at the start of the run.
     pub node_count: usize,
+    /// Discrete events processed by the engine (the scheduler-throughput
+    /// denominator reported by the benchmark harness).
+    pub events: u64,
 }
 
 impl ExperimentResult {

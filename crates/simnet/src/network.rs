@@ -1,6 +1,10 @@
 //! The simulated network: nodes wired over an overlay inside the DES.
-
-use std::collections::HashMap;
+//!
+//! Storage is sized for 100k-node experiments: per-node state lives in a
+//! dense [`NodeArena`] indexed by [`NodeId`], the key → authority map is
+//! a flat vector indexed by [`KeyId`] (keys are dense workload ids), and
+//! protocol actions are drained through one reusable scratch buffer — the
+//! dispatch hot path performs no per-event allocation of its own.
 
 use cup_core::{
     Action, ClientId, CupNode, Message, NodeConfig, ReplicaEvent, Requester, UpdateKind,
@@ -13,6 +17,7 @@ use cup_workload::{
     QueryGen,
 };
 
+use crate::arena::NodeArena;
 use crate::event::Ev;
 use crate::justify::JustificationTracker;
 use crate::metrics::NetMetrics;
@@ -25,12 +30,13 @@ pub const SERVICE_INTERVAL: SimDuration = SimDuration::from_secs(1);
 pub struct Network {
     /// The structured overlay carrying the messages.
     pub overlay: AnyOverlay,
-    nodes: Vec<Option<CupNode>>,
-    /// Current outgoing-capacity fraction per node (by dense id).
-    capacities: Vec<f64>,
+    /// Dense per-node storage (protocol state + hot capacity array).
+    nodes: NodeArena,
     latency: LatencyModel,
     rng: DetRng,
-    authority_cache: HashMap<KeyId, NodeId>,
+    /// Key → authority, dense by key id (`None` = not resolved since the
+    /// last topology change).
+    authority_cache: Vec<Option<NodeId>>,
     alive_list: Vec<NodeId>,
     /// Hop accounting.
     pub metrics: NetMetrics,
@@ -43,8 +49,9 @@ pub struct Network {
     next_client: u64,
     /// Configuration template for nodes joining after the build.
     node_config: NodeConfig,
-    /// Counters carried over from departed nodes.
-    departed_stats: cup_core::stats::NodeStats,
+    /// Reusable action buffer: handlers push into it, `apply_actions`
+    /// drains it, so steady-state dispatch allocates nothing.
+    scratch: Vec<Action>,
 }
 
 impl Network {
@@ -57,18 +64,13 @@ impl Network {
         rng: DetRng,
     ) -> Self {
         let ids = overlay.nodes();
-        let max_id = ids.iter().map(|n| n.index()).max().unwrap_or(0);
-        let mut nodes: Vec<Option<CupNode>> = (0..=max_id).map(|_| None).collect();
-        for id in &ids {
-            nodes[id.index()] = Some(CupNode::new(*id, node_config));
-        }
+        let nodes = NodeArena::build(&ids, node_config);
         Network {
             overlay,
-            capacities: vec![1.0; nodes.len()],
             nodes,
             latency,
             rng,
-            authority_cache: HashMap::new(),
+            authority_cache: Vec::new(),
             alive_list: ids,
             metrics: NetMetrics::default(),
             justify: None,
@@ -76,17 +78,21 @@ impl Network {
             replica_plan: None,
             next_client: 0,
             node_config,
-            departed_stats: cup_core::stats::NodeStats::default(),
+            scratch: Vec::new(),
         }
     }
 
     /// The authority node for `key` (cached; invalidated on churn).
     pub fn authority_of(&mut self, key: KeyId) -> NodeId {
-        if let Some(&a) = self.authority_cache.get(&key) {
+        let idx = key.index();
+        if idx >= self.authority_cache.len() {
+            self.authority_cache.resize(idx + 1, None);
+        }
+        if let Some(a) = self.authority_cache[idx] {
             return a;
         }
         let a = self.overlay.authority(key);
-        self.authority_cache.insert(key, a);
+        self.authority_cache[idx] = Some(a);
         a
     }
 
@@ -103,22 +109,18 @@ impl Network {
 
     /// Access a node (panics if it departed — callers check liveness).
     fn node_mut(&mut self, id: NodeId) -> &mut CupNode {
-        self.nodes[id.index()].as_mut().expect("node must be alive")
+        self.nodes.get_mut(id)
     }
 
     /// Read-only access to one node's state, if alive.
     pub fn node(&self, id: NodeId) -> Option<&CupNode> {
-        self.nodes.get(id.index()).and_then(Option::as_ref)
+        self.nodes.get(id)
     }
 
     /// Aggregates the protocol counters of all nodes, including counters
     /// retained from nodes that have since departed.
     pub fn aggregate_stats(&self) -> cup_core::stats::NodeStats {
-        let mut total = self.departed_stats;
-        for n in self.nodes.iter().flatten() {
-            total.merge(&n.stats);
-        }
-        total
+        self.nodes.aggregate_stats()
     }
 
     /// Number of live nodes.
@@ -187,10 +189,16 @@ impl Network {
             }
         }
         let upstream = self.upstream_of(node, key);
-        let actions =
-            self.node_mut(node)
-                .handle_query(now, key, Requester::Client(client), upstream);
-        self.apply_actions(queue, now, node, actions);
+        let mut actions = std::mem::take(&mut self.scratch);
+        self.node_mut(node).handle_query_into(
+            now,
+            key,
+            Requester::Client(client),
+            upstream,
+            &mut actions,
+        );
+        self.apply_actions(queue, now, node, &mut actions);
+        self.scratch = actions;
     }
 
     /// Delivers one message after its hop of latency.
@@ -202,7 +210,7 @@ impl Network {
         to: NodeId,
         msg: Message,
     ) {
-        if !self.overlay.is_alive(to) || self.nodes[to.index()].is_none() {
+        if !self.overlay.is_alive(to) || !self.nodes.is_alive(to) {
             self.metrics.dropped_messages += 1;
             return;
         }
@@ -217,11 +225,17 @@ impl Network {
             },
             Message::ClearBit { .. } => self.metrics.clear_bit_hops += 1,
         }
-        let actions = match msg {
+        let mut actions = std::mem::take(&mut self.scratch);
+        match msg {
             Message::Query { key } => {
                 let upstream = self.upstream_of(to, key);
-                self.node_mut(to)
-                    .handle_query(now, key, Requester::Neighbor(from), upstream)
+                self.node_mut(to).handle_query_into(
+                    now,
+                    key,
+                    Requester::Neighbor(from),
+                    upstream,
+                    &mut actions,
+                );
             }
             Message::Update(u) => {
                 if u.kind != UpdateKind::FirstTime {
@@ -229,14 +243,17 @@ impl Network {
                         j.on_update_delivered(to, u.key, now, u.window_end);
                     }
                 }
-                self.node_mut(to).handle_update(now, from, u)
+                self.node_mut(to)
+                    .handle_update_into(now, from, u, &mut actions);
             }
             Message::ClearBit { key } => {
                 let upstream = self.upstream_of(to, key);
-                self.node_mut(to).handle_clear_bit(now, key, from, upstream)
+                self.node_mut(to)
+                    .handle_clear_bit_into(now, key, from, upstream, &mut actions);
             }
-        };
-        self.apply_actions(queue, now, to, actions);
+        }
+        self.apply_actions(queue, now, to, &mut actions);
+        self.scratch = actions;
     }
 
     /// A replica lifecycle action reaches its key's authority.
@@ -269,8 +286,11 @@ impl Network {
             queue.schedule(next.at, Ev::Replica(next));
         }
         let authority = self.authority_of(action.key);
-        let actions = self.node_mut(authority).handle_replica_event(now, event);
-        self.apply_actions(queue, now, authority, actions);
+        let mut actions = std::mem::take(&mut self.scratch);
+        self.node_mut(authority)
+            .handle_replica_event_into(now, event, &mut actions);
+        self.apply_actions(queue, now, authority, &mut actions);
+        self.scratch = actions;
     }
 
     /// Services a capacity-limited node's outgoing queues.
@@ -278,9 +298,12 @@ impl Network {
         if !self.overlay.is_alive(node) {
             return;
         }
-        let c = self.capacities[node.index()];
-        let actions = self.node_mut(node).service_outgoing(now, c);
-        self.apply_actions(queue, now, node, actions);
+        let c = self.nodes.capacity(node);
+        let mut actions = std::mem::take(&mut self.scratch);
+        self.node_mut(node)
+            .service_outgoing_into(now, c, &mut actions);
+        self.apply_actions(queue, now, node, &mut actions);
+        self.scratch = actions;
         if c < 1.0 {
             queue.schedule(now + SERVICE_INTERVAL, Ev::ServiceCapacity { node });
         } else {
@@ -302,8 +325,7 @@ impl Network {
             if !self.overlay.is_alive(id) {
                 continue;
             }
-            let was = self.capacities[idx];
-            self.capacities[idx] = capacity;
+            let was = self.nodes.set_capacity(id, capacity);
             if capacity < 1.0 && was >= 1.0 {
                 self.node_mut(id).set_capacity_limited(true);
                 queue.schedule(now + SERVICE_INTERVAL, Ev::ServiceCapacity { node: id });
@@ -321,17 +343,14 @@ impl Network {
                     return;
                 };
                 let new_id = report.joined.expect("join reports the joiner");
-                debug_assert_eq!(new_id.index(), self.nodes.len());
-                self.nodes
-                    .push(Some(CupNode::new(new_id, self.node_config)));
-                self.capacities.push(1.0);
+                self.nodes.push_joined(new_id, self.node_config);
                 self.patch_interest(&report);
                 // Hand over the directory slice the new node now owns.
                 if let Some(split) = report.counterpart {
                     let overlay = &self.overlay;
-                    let moved = self.nodes[split.index()]
-                        .as_mut()
-                        .expect("split node is alive")
+                    let moved = self
+                        .nodes
+                        .get_mut(split)
                         .export_directory(|k| overlay.authority(k) == new_id);
                     self.node_mut(new_id).import_directory(moved);
                 }
@@ -350,19 +369,12 @@ impl Network {
                     // §2.9: a graceful departure may hand its entries to
                     // the takeover node, which merges and de-duplicates.
                     if let Some(t) = takeover {
-                        let moved = self.nodes[victim.index()]
-                            .as_mut()
-                            .expect("victim was alive")
-                            .export_directory(|_| true);
+                        let moved = self.nodes.get_mut(victim).export_directory(|_| true);
                         self.node_mut(t).import_directory(moved);
                     }
                 }
                 self.patch_interest(&report);
-                if let Some(gone) = self.nodes[victim.index()].take() {
-                    // Keep the departed node's counters so network-wide
-                    // statistics stay conserved.
-                    self.departed_stats.merge(&gone.stats);
-                }
+                self.nodes.remove(victim);
                 self.after_topology_change();
                 let _ = now;
             }
@@ -375,13 +387,10 @@ impl Network {
     /// no-hand-over option).
     fn patch_interest(&mut self, report: &cup_overlay::ChurnReport) {
         for change in &report.neighbor_changes {
-            let Some(node) = self
-                .nodes
-                .get_mut(change.node.index())
-                .and_then(Option::as_mut)
-            else {
+            if !self.nodes.is_alive(change.node) {
                 continue;
-            };
+            }
+            let node = self.nodes.get_mut(change.node);
             for &removed in &change.removed {
                 node.on_neighbor_departed(removed, None);
             }
@@ -390,20 +399,21 @@ impl Network {
 
     /// Refreshes caches that depend on the topology.
     fn after_topology_change(&mut self) {
-        self.authority_cache.clear();
+        self.authority_cache.fill(None);
         self.alive_list = self.overlay.nodes();
     }
 
     /// Turns protocol actions (emitted by `sender`'s handlers) into
-    /// network traffic and client responses.
+    /// network traffic and client responses, draining the buffer for
+    /// reuse.
     fn apply_actions(
         &mut self,
         queue: &mut EventQueue<Ev>,
         now: SimTime,
         sender: NodeId,
-        actions: Vec<Action>,
+        actions: &mut Vec<Action>,
     ) {
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => {
                     let delay = self.latency.sample(&mut self.rng);

@@ -59,6 +59,37 @@ pub fn medium(query_rate: f64, seed: u64) -> Scenario {
     scenario(256, 4, query_rate, 1_500, seed)
 }
 
+/// A large-population scenario (10k–100k nodes, Zipf queries) with the
+/// given total query budget — the scale regime the calendar-queue
+/// scheduler and node arena exist for.
+pub fn large_scale(nodes: usize, queries: u64, seed: u64) -> Scenario {
+    Scenario::large_scale(nodes, queries, seed)
+}
+
+/// A churn-enabled large-scale experiment: joins and leaves alternate
+/// through the query window (one event per `churn_period_secs`), leaves
+/// graceful with probability one half.
+pub fn large_scale_churn_config(
+    nodes: usize,
+    queries: u64,
+    churn_period_secs: u64,
+    seed: u64,
+) -> ExperimentConfig {
+    let scenario = Scenario::large_scale(nodes, queries, seed);
+    let mut churn_rng = DetRng::seed_from(seed ^ 0x5CA1_AB1E);
+    let churn = ChurnSchedule::alternating(
+        scenario.query_start,
+        scenario.query_end,
+        SimDuration::from_secs(churn_period_secs),
+        0.5,
+        &mut churn_rng,
+    );
+    ExperimentConfig {
+        churn,
+        ..ExperimentConfig::cup(scenario)
+    }
+}
+
 /// Runs `config` twice and asserts the results are identical, returning
 /// the (now known-reproducible) result.
 ///

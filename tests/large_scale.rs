@@ -1,0 +1,75 @@
+//! The large-population suite: 10k–100k node experiments.
+//!
+//! This is the regime the calendar-queue scheduler, the node arena, and
+//! the overlay spatial indices exist for. The suite locks down the two
+//! properties every scaling PR must preserve:
+//!
+//! * **determinism** — byte-identical [`ExperimentResult`]s per seed,
+//!   even at 100k nodes (`assert_deterministic` runs everything twice);
+//! * **tractability** — the flagship 100k-node, 10k-query scenario has a
+//!   hard wall-clock budget, so a scheduler regression fails loudly
+//!   instead of silently rotting the benches.
+
+use std::time::{Duration, Instant};
+
+use cup::prelude::*;
+use cup_testkit::{assert_deterministic, large_scale, large_scale_churn_config};
+
+/// CUP must still beat standard caching in the heavy-tailed large-scale
+/// regime (the paper's claim extrapolated past its 2¹² ceiling).
+#[test]
+fn cup_beats_standard_caching_at_10k_nodes() {
+    let scenario = large_scale(10_000, 10_000, 71);
+    let std = run_experiment(&ExperimentConfig::standard_caching(scenario.clone()));
+    let cup = run_experiment(&ExperimentConfig::cup(scenario));
+    assert!(
+        cup.total_cost() < std.total_cost(),
+        "CUP {} must beat standard caching {} at 10k nodes",
+        cup.total_cost(),
+        std.total_cost()
+    );
+    assert!(cup.nodes.client_queries > 9_000, "query budget delivered");
+}
+
+/// Determinism at 10k nodes with the Zipf workload.
+#[test]
+fn large_scale_10k_is_deterministic() {
+    let result = assert_deterministic(&ExperimentConfig::cup(large_scale(10_000, 10_000, 72)));
+    assert!(result.events > 100_000, "a real event volume was simulated");
+    assert_eq!(result.node_count, 10_000);
+}
+
+/// The flagship scale: 100k nodes, 10k queries, deterministic, and —
+/// run twice by `assert_deterministic` — each run inside the wall-clock
+/// budget. The release budget is 60 s; the tier-1 (opt-level 2, debug
+/// assertions) budget is proportionally wider.
+#[test]
+fn large_scale_100k_is_deterministic_within_budget() {
+    let budget = if cfg!(debug_assertions) {
+        Duration::from_secs(180)
+    } else {
+        Duration::from_secs(60)
+    };
+    let config = ExperimentConfig::cup(large_scale(100_000, 10_000, 73));
+    let start = Instant::now();
+    let result = assert_deterministic(&config);
+    let per_run = start.elapsed() / 2;
+    assert!(
+        per_run < budget,
+        "100k-node run took {per_run:?}, budget {budget:?}"
+    );
+    assert_eq!(result.node_count, 100_000);
+    assert!(result.nodes.client_queries > 9_000);
+    assert!(result.total_cost() > 0);
+}
+
+/// Churn at scale: joins and leaves through the query window must keep
+/// the experiment deterministic and the network serving queries.
+#[test]
+fn large_scale_churn_is_deterministic() {
+    let config = large_scale_churn_config(10_000, 5_000, 50, 74);
+    assert!(!config.churn.is_empty(), "schedule must carry churn events");
+    let result = assert_deterministic(&config);
+    assert!(result.nodes.client_queries > 4_000);
+    assert!(result.total_cost() > 0);
+}
