@@ -11,6 +11,7 @@
 //! With `--budget-secs`, the process exits non-zero if any single run
 //! exceeds the wall-clock budget — the CI smoke job's pass/fail line.
 
+use cup_bench::cli::{parse_or_exit, value_of};
 use cup_bench::des_bench::{render_json, run_point};
 
 fn main() {
@@ -23,44 +24,21 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .unwrap_or_else(|| {
-                    eprintln!("{name} needs a value");
-                    std::process::exit(2);
-                })
-                .to_string()
-        };
         match arg.as_str() {
             "--sizes" => {
-                sizes = value("--sizes")
+                sizes = value_of(&mut it, "--sizes")
                     .split(',')
-                    .map(|s| {
-                        s.trim().parse().unwrap_or_else(|_| {
-                            eprintln!("bad size '{s}'");
-                            std::process::exit(2);
-                        })
-                    })
+                    .map(|s| parse_or_exit(s, "--sizes"))
                     .collect();
             }
-            "--queries" => {
-                queries = value("--queries").parse().unwrap_or_else(|_| {
-                    eprintln!("bad --queries value");
-                    std::process::exit(2);
-                });
-            }
-            "--seed" => {
-                seed = value("--seed").parse().unwrap_or_else(|_| {
-                    eprintln!("bad --seed value");
-                    std::process::exit(2);
-                });
-            }
-            "--out" => out_path = value("--out"),
+            "--queries" => queries = parse_or_exit(&value_of(&mut it, "--queries"), "--queries"),
+            "--seed" => seed = parse_or_exit(&value_of(&mut it, "--seed"), "--seed"),
+            "--out" => out_path = value_of(&mut it, "--out"),
             "--budget-secs" => {
-                budget_secs = Some(value("--budget-secs").parse().unwrap_or_else(|_| {
-                    eprintln!("bad --budget-secs value");
-                    std::process::exit(2);
-                }));
+                budget_secs = Some(parse_or_exit(
+                    &value_of(&mut it, "--budget-secs"),
+                    "--budget-secs",
+                ));
             }
             "--help" | "-h" => {
                 eprintln!(

@@ -1,0 +1,112 @@
+//! Emits `BENCH_live.json`: the worker-pool live runtime throughput
+//! sweep (queries/sec, updates/sec, worker count) per overlay kind.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_live [--nodes 10000] [--queries 5000] [--updates 5000]
+//!            [--workers N] [--overlays can,chord] [--seed 42]
+//!            [--out BENCH_live.json] [--budget-secs N]
+//! ```
+//!
+//! With `--budget-secs`, the process exits non-zero if any single run
+//! exceeds the wall-clock budget — the CI live-smoke job's pass/fail
+//! line.
+
+use cup_bench::cli::{parse_or_exit, value_of};
+use cup_bench::live_bench::{render_json, run_point};
+use cup_overlay::OverlayKind;
+use cup_runtime::LiveNetwork;
+
+fn main() {
+    let mut nodes: usize = 10_000;
+    let mut queries: u64 = 5_000;
+    let mut updates: u64 = 5_000;
+    let mut workers: usize = LiveNetwork::default_workers();
+    let mut overlays: Vec<OverlayKind> = OverlayKind::ALL.to_vec();
+    let mut seed: u64 = 42;
+    let mut out_path = String::from("BENCH_live.json");
+    let mut budget_secs: Option<u64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--nodes" => nodes = parse_or_exit(&value_of(&mut it, "--nodes"), "--nodes"),
+            "--queries" => queries = parse_or_exit(&value_of(&mut it, "--queries"), "--queries"),
+            "--updates" => updates = parse_or_exit(&value_of(&mut it, "--updates"), "--updates"),
+            "--workers" => workers = parse_or_exit(&value_of(&mut it, "--workers"), "--workers"),
+            "--overlays" => {
+                overlays = value_of(&mut it, "--overlays")
+                    .split(',')
+                    .map(|s| {
+                        OverlayKind::parse(s.trim()).unwrap_or_else(|| {
+                            eprintln!("bad --overlays value '{s}' (can | chord)");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--seed" => seed = parse_or_exit(&value_of(&mut it, "--seed"), "--seed"),
+            "--out" => out_path = value_of(&mut it, "--out"),
+            "--budget-secs" => {
+                budget_secs = Some(parse_or_exit(
+                    &value_of(&mut it, "--budget-secs"),
+                    "--budget-secs",
+                ));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_live [--nodes N] [--queries N] [--updates N] \
+                     [--workers N] [--overlays can,chord] [--seed N] \
+                     [--out PATH] [--budget-secs N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut points = Vec::with_capacity(overlays.len());
+    let mut over_budget = false;
+    for &kind in &overlays {
+        let start = std::time::Instant::now();
+        let p = run_point(kind, nodes, queries, updates, workers, seed);
+        let wall = start.elapsed();
+        println!(
+            "{:>5}  {:>7} nodes  {:>2} workers  {:>9.0} queries/s  {:>9.0} updates/s  \
+             {:>9} hops ({} cross-shard)",
+            kind.name(),
+            p.nodes,
+            p.workers,
+            p.queries_per_sec(),
+            p.updates_per_sec(),
+            p.hops,
+            p.cross_shard,
+        );
+        if let Some(budget) = budget_secs {
+            if wall.as_secs() >= budget {
+                eprintln!(
+                    "BUDGET EXCEEDED: {} at {} nodes took {:.2} s (budget {budget} s)",
+                    kind.name(),
+                    nodes,
+                    wall.as_secs_f64()
+                );
+                over_budget = true;
+            }
+        }
+        points.push(p);
+    }
+    let json = render_json(&points, seed);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+    if over_budget {
+        std::process::exit(1);
+    }
+}

@@ -8,7 +8,9 @@
 use cup_des::{SimDuration, SimTime};
 use cup_workload::Scenario;
 
+pub mod cli;
 pub mod des_bench;
+pub mod live_bench;
 
 /// How big to run an experiment sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

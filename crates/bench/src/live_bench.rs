@@ -1,0 +1,217 @@
+//! The live-runtime throughput benchmark behind `BENCH_live.json`.
+//!
+//! Where `des_bench` measures the simulator's event throughput,
+//! this module measures the *real* worker-pool runtime: queries per
+//! second under concurrent client threads and replica-update events per
+//! second through the shard mailboxes, per overlay kind and worker
+//! count. CI uploads the JSON as an artifact next to `BENCH_des.json`,
+//! so the live runtime's throughput trajectory is tracked per commit.
+
+use std::time::{Duration, Instant};
+
+use cup_core::NodeConfig;
+use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration};
+use cup_overlay::OverlayKind;
+use cup_runtime::LiveNetwork;
+
+/// Replica lifetime far beyond any benchmark horizon.
+const LIFETIME: SimDuration = SimDuration::from_secs(1_000_000);
+
+/// Keys (= replicas) the workload spreads over.
+const KEYS: u32 = 64;
+
+/// Client threads posting queries concurrently.
+const CLIENT_THREADS: usize = 4;
+
+/// One timed run of the live runtime.
+#[derive(Debug, Clone)]
+pub struct LiveBenchPoint {
+    /// Overlay substrate.
+    pub overlay: OverlayKind,
+    /// Overlay population.
+    pub nodes: usize,
+    /// Worker threads the pool ran on.
+    pub workers: usize,
+    /// Client queries answered.
+    pub queries: u64,
+    /// Wall-clock time of the query phase.
+    pub query_wall: Duration,
+    /// Replica update events (refreshes) fully propagated.
+    pub updates: u64,
+    /// Wall-clock time of the update phase (including its quiesce).
+    pub update_wall: Duration,
+    /// Total peer messages delivered across the whole run.
+    pub hops: u64,
+    /// Peer messages that crossed a shard boundary.
+    pub cross_shard: u64,
+}
+
+impl LiveBenchPoint {
+    /// Query throughput over the concurrent client threads.
+    pub fn queries_per_sec(&self) -> f64 {
+        per_sec(self.queries, self.query_wall)
+    }
+
+    /// Replica-update throughput (events injected, propagated, drained).
+    pub fn updates_per_sec(&self) -> f64 {
+        per_sec(self.updates, self.update_wall)
+    }
+}
+
+fn per_sec(count: u64, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        count as f64 / secs
+    }
+}
+
+/// Runs one timed live workload: a warm-up (replica births), a
+/// concurrent query phase, and a refresh-storm update phase.
+///
+/// # Panics
+///
+/// Panics if the runtime cannot start or a query goes unanswered.
+pub fn run_point(
+    kind: OverlayKind,
+    nodes: usize,
+    queries: u64,
+    updates: u64,
+    workers: usize,
+    seed: u64,
+) -> LiveBenchPoint {
+    let mut rng = DetRng::seed_from(seed);
+    let net =
+        LiveNetwork::start_with_workers(kind, nodes, NodeConfig::cup_default(), workers, &mut rng)
+            .expect("live network must start");
+    let keys = KEYS.min(nodes as u32);
+    for k in 0..keys {
+        net.replica_birth(KeyId(k), ReplicaId(k), LIFETIME);
+    }
+    net.quiesce();
+
+    // Query phase: concurrent clients with disjoint key classes
+    // (k ≡ t mod threads), script-chosen posting nodes. Tiny
+    // populations get fewer threads so no class is empty.
+    let client_threads = CLIENT_THREADS.min(keys as usize).max(1);
+    let query_start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..client_threads {
+            let net = &net;
+            let per_thread = queries / client_threads as u64
+                + u64::from(t < (queries % client_threads as u64) as usize);
+            s.spawn(move || {
+                let mut rng = DetRng::seed_from(seed ^ (0xC11E47 + t as u64));
+                let own: Vec<u32> = (0..keys)
+                    .filter(|k| *k as usize % client_threads == t)
+                    .collect();
+                for _ in 0..per_thread {
+                    let node = NodeId(rng.choose_index(nodes) as u32);
+                    let key = own[rng.choose_index(own.len())];
+                    net.query(node, KeyId(key))
+                        .expect("benchmark query answered");
+                }
+            });
+        }
+    });
+    net.quiesce();
+    let query_wall = query_start.elapsed();
+
+    // Update phase: a refresh storm round-robined over the keys, then
+    // one quiesce — throughput includes full propagation and drain.
+    let update_start = Instant::now();
+    for i in 0..updates {
+        let k = (i % u64::from(keys)) as u32;
+        net.replica_refresh(KeyId(k), ReplicaId(k), LIFETIME);
+    }
+    net.quiesce();
+    let update_wall = update_start.elapsed();
+
+    assert_eq!(net.routing_failures(), 0, "static routing must not fail");
+    let point = LiveBenchPoint {
+        overlay: kind,
+        nodes,
+        workers: net.workers(),
+        queries,
+        query_wall,
+        updates,
+        update_wall,
+        hops: net.hops(),
+        cross_shard: net.cross_shard_messages(),
+    };
+    net.shutdown();
+    point
+}
+
+/// Renders the sweep as the `BENCH_live.json` document.
+///
+/// Hand-rolled JSON like `des_bench::render_json` (the workspace builds
+/// offline, without serde); every value is a number or a plain
+/// lower-case overlay name, so escaping is not needed.
+pub fn render_json(points: &[LiveBenchPoint], seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"cup-runtime worker-pool\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"overlay\": \"{}\", \"nodes\": {}, \"workers\": {}, \
+             \"queries\": {}, \"queries_per_sec\": {:.0}, \
+             \"updates\": {}, \"updates_per_sec\": {:.0}, \
+             \"query_wall_ms\": {:.3}, \"update_wall_ms\": {:.3}, \
+             \"hops\": {}, \"cross_shard\": {}}}{comma}\n",
+            p.overlay.name(),
+            p.nodes,
+            p.workers,
+            p.queries,
+            p.queries_per_sec(),
+            p.updates,
+            p.updates_per_sec(),
+            p.query_wall.as_secs_f64() * 1e3,
+            p.update_wall.as_secs_f64() * 1e3,
+            p.hops,
+            p.cross_shard,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_runs_and_renders() {
+        let p = run_point(OverlayKind::Can, 128, 64, 64, 2, 9);
+        assert_eq!(p.nodes, 128);
+        assert_eq!(p.workers, 2);
+        assert_eq!(p.queries, 64);
+        assert!(p.hops > 0);
+        assert!(p.queries_per_sec() > 0.0);
+        assert!(p.updates_per_sec() > 0.0);
+        let json = render_json(&[p.clone(), p], 9);
+        assert!(json.contains("\"benchmark\": \"cup-runtime worker-pool\""));
+        assert_eq!(json.matches("\"overlay\": \"can\"").count(), 2);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn both_overlays_run() {
+        for kind in OverlayKind::ALL {
+            let p = run_point(kind, 64, 32, 32, 2, 11);
+            assert_eq!(p.overlay, kind);
+            assert!(p.queries_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_populations_do_not_panic() {
+        // Fewer keys than client threads: the thread count adapts.
+        let p = run_point(OverlayKind::Can, 2, 8, 8, 2, 13);
+        assert_eq!(p.queries, 8);
+        assert!(p.queries_per_sec() > 0.0);
+    }
+}

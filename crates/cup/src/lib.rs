@@ -17,8 +17,8 @@
 //!   lifecycles, churn and capacity schedules;
 //! * [`simnet`] — the experiment harness reproducing every table and
 //!   figure of the paper's evaluation;
-//! * [`runtime`] — a live threaded deployment of the same protocol state
-//!   machine.
+//! * [`runtime`] — a live deployment of the same protocol state machine
+//!   on a sharded worker pool.
 //!
 //! # Quickstart
 //!
@@ -55,7 +55,7 @@ pub mod prelude {
     };
     pub use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration, SimTime};
     pub use cup_overlay::{AnyOverlay, Overlay, OverlayKind};
-    pub use cup_runtime::LiveNetwork;
+    pub use cup_runtime::{LiveNetwork, RuntimeError};
     pub use cup_simnet::{run_experiment, ExperimentConfig, ExperimentResult};
     pub use cup_workload::{CapacityProfile, ChurnSchedule, KeySelector, QueryGen, Scenario};
 }

@@ -1,31 +1,45 @@
-//! A live, threaded CUP deployment.
+//! A live, sharded CUP deployment.
 //!
-//! The protocol core is a pure state machine; this crate demonstrates that
-//! it runs unchanged outside the simulator. Every overlay node becomes an
-//! OS thread owning its [`cup_core::CupNode`]; the paper's per-neighbor
-//! query and update channels are std mpsc channels; the clock is the
-//! wall clock mapped onto [`cup_des::SimTime`] microseconds.
+//! The protocol core is a pure state machine; this crate demonstrates
+//! that it runs unchanged outside the simulator — and at scale. The node
+//! population is cut into contiguous shards, one per worker thread
+//! (default: the machine's available parallelism), so a 10k-node network
+//! costs a handful of OS threads instead of 10k. Each worker owns its
+//! shard's [`cup_core::CupNode`]s and a mailbox: intra-shard messages
+//! are handled inline through a local FIFO, cross-shard messages go
+//! through the target shard's mailbox, and the overlay substrate (CAN or
+//! Chord) is a constructor parameter. The clock is the wall clock mapped
+//! onto [`cup_des::SimTime`] microseconds.
 //!
-//! The runtime keeps the overlay static (no churn) — it exists to exercise
-//! the protocol under real concurrency, not to be a full deployment — and
-//! exposes the same knobs as the simulation: node configuration (mode,
-//! cut-off policy), replica events, and client queries.
+//! [`LiveNetwork::quiesce`] is the runtime's barrier: it blocks until
+//! every mailbox is drained and no worker is mid-dispatch, the live
+//! equivalent of running a simulation until its event queue empties.
+//! Tests and benchmarks synchronize on it instead of sleeping.
+//!
+//! The runtime keeps the overlay static (no churn) — it exists to
+//! exercise the protocol under real concurrency, not to be a full
+//! deployment — and exposes the same knobs as the simulation: node
+//! configuration (mode, cut-off policy), replica events, and client
+//! queries.
 //!
 //! # Examples
 //!
 //! ```
 //! use cup_des::{DetRng, KeyId, ReplicaId, SimDuration};
 //! use cup_core::NodeConfig;
+//! use cup_overlay::OverlayKind;
 //! use cup_runtime::LiveNetwork;
 //!
 //! let mut rng = DetRng::seed_from(7);
-//! let net = LiveNetwork::start(16, NodeConfig::cup_default(), &mut rng).unwrap();
+//! let net = LiveNetwork::start(OverlayKind::Can, 16, NodeConfig::cup_default(), &mut rng).unwrap();
 //! net.replica_birth(KeyId(1), ReplicaId(0), SimDuration::from_secs(60));
+//! net.quiesce();
 //! let entries = net.query(net.nodes()[3], KeyId(1)).unwrap();
 //! assert_eq!(entries.len(), 1);
 //! net.shutdown();
 //! ```
 
 pub mod network;
+mod shard;
 
 pub use network::{LiveNetwork, RuntimeError};

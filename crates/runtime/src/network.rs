@@ -1,17 +1,16 @@
-//! The threaded node runtime.
+//! The worker-pool runtime handle.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use cup_core::{
-    Action, ClientId, CupNode, IndexEntry, Message, NodeConfig, ReplicaEvent, Requester,
-};
-use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration, SimTime};
+use cup_core::{ClientId, CupNode, IndexEntry, NodeConfig, ReplicaEvent};
+use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration};
 use cup_overlay::{AnyOverlay, Overlay, OverlayError, OverlayKind};
+
+use crate::shard::{worker_main, Envelope, Shared};
 
 /// Errors surfaced by the live runtime.
 #[derive(Debug)]
@@ -36,38 +35,10 @@ impl core::fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
-/// What a node thread can receive.
-enum Envelope {
-    /// A protocol message from a peer.
-    Peer { from: NodeId, msg: Message },
-    /// A local client query; the response goes to the registered client.
-    Client { key: KeyId, client: ClientId },
-    /// A replica lifecycle message (the node is the key's authority).
-    Replica(ReplicaEvent),
-    /// Stop the thread.
-    Shutdown,
-}
-
-/// Shared state between the runtime handle and node threads.
-struct Shared {
-    inboxes: Vec<Sender<Envelope>>,
-    overlay: AnyOverlay,
-    clients: Mutex<HashMap<ClientId, Sender<Vec<IndexEntry>>>>,
-    start: Instant,
-    /// Total peer messages delivered (the live equivalent of hop counts).
-    hops: AtomicU64,
-}
-
-impl Shared {
-    fn now(&self) -> SimTime {
-        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
-    }
-}
-
-/// A running CUP network of threads.
+/// A running CUP network sharded across a pool of worker threads.
 pub struct LiveNetwork {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<CupNode>>,
+    handles: Vec<JoinHandle<Vec<CupNode>>>,
     node_ids: Vec<NodeId>,
     next_client: AtomicU64,
     /// How long [`LiveNetwork::query`] waits for a response.
@@ -75,34 +46,72 @@ pub struct LiveNetwork {
 }
 
 impl LiveNetwork {
-    /// Builds a CAN overlay of `n` nodes and starts one thread per node.
+    /// Builds an overlay of `n` nodes of the given kind and starts the
+    /// runtime on the default worker count
+    /// ([`LiveNetwork::default_workers`]).
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Overlay`] if the overlay cannot be built.
-    pub fn start(n: usize, config: NodeConfig, rng: &mut DetRng) -> Result<Self, RuntimeError> {
-        let overlay = AnyOverlay::build(OverlayKind::Can, n, rng).map_err(RuntimeError::Overlay)?;
+    pub fn start(
+        kind: OverlayKind,
+        n: usize,
+        config: NodeConfig,
+        rng: &mut DetRng,
+    ) -> Result<Self, RuntimeError> {
+        Self::start_with_workers(kind, n, config, Self::default_workers(), rng)
+    }
+
+    /// Like [`LiveNetwork::start`] with an explicit worker count.
+    ///
+    /// `workers` is clamped to `1..=n` and then honored exactly: each
+    /// worker owns one contiguous shard of nodes (shard sizes differ by
+    /// at most one) and one mailbox.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Overlay`] if the overlay cannot be built.
+    pub fn start_with_workers(
+        kind: OverlayKind,
+        n: usize,
+        config: NodeConfig,
+        workers: usize,
+        rng: &mut DetRng,
+    ) -> Result<Self, RuntimeError> {
+        let overlay = AnyOverlay::build(kind, n, rng).map_err(RuntimeError::Overlay)?;
         let node_ids = overlay.nodes();
-        let mut inboxes = Vec::with_capacity(node_ids.len());
-        let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(node_ids.len());
-        for _ in &node_ids {
+        // Shard arithmetic and the O(1) node check in `query` rely on the
+        // static builders assigning dense ids 0..n.
+        assert!(
+            node_ids.iter().enumerate().all(|(i, id)| id.index() == i),
+            "static overlay builders must assign dense node ids"
+        );
+        // Exactly `workers` contiguous shards under the balanced
+        // partition (sizes differ by at most one node), so a pinned
+        // worker count is honored for every n/workers combination.
+        let workers = workers.clamp(1, node_ids.len().max(1));
+        let mut mailboxes = Vec::with_capacity(workers);
+        let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
             let (tx, rx) = channel();
-            inboxes.push(tx);
+            mailboxes.push(tx);
             receivers.push(rx);
         }
-        let shared = Arc::new(Shared {
-            inboxes,
-            overlay,
-            clients: Mutex::new(HashMap::new()),
-            start: Instant::now(),
-            hops: AtomicU64::new(0),
-        });
-        let mut handles = Vec::with_capacity(node_ids.len());
-        for (&id, rx) in node_ids.iter().zip(receivers) {
+        let shared = Arc::new(Shared::new(mailboxes, node_ids.len(), overlay));
+        let mut handles = Vec::with_capacity(workers);
+        for (shard, rx) in receivers.into_iter().enumerate() {
+            let base = Shared::shard_base(node_ids.len(), workers, shard);
+            let end = Shared::shard_base(node_ids.len(), workers, shard + 1);
+            let nodes: Vec<CupNode> = node_ids[base..end]
+                .iter()
+                .map(|&id| CupNode::new(id, config))
+                .collect();
             let shared = Arc::clone(&shared);
-            handles.push(std::thread::spawn(move || {
-                node_main(id, config, rx, shared)
-            }));
+            let handle = std::thread::Builder::new()
+                .name(format!("cup-shard-{shard}"))
+                .spawn(move || worker_main(shard, base, nodes, rx, shared))
+                .expect("worker thread must spawn");
+            handles.push(handle);
         }
         Ok(LiveNetwork {
             shared,
@@ -113,14 +122,51 @@ impl LiveNetwork {
         })
     }
 
+    /// The worker count the parameterless constructor uses: the
+    /// machine's available parallelism (1 if unknown).
+    pub fn default_workers() -> usize {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    }
+
     /// The live node ids.
     pub fn nodes(&self) -> &[NodeId] {
         &self.node_ids
     }
 
+    /// Number of worker threads (= shards) running the nodes.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
     /// Peer messages delivered so far (hop count).
     pub fn hops(&self) -> u64 {
         self.shared.hops.load(Ordering::Relaxed)
+    }
+
+    /// Peer messages that crossed a shard boundary (subset of
+    /// [`LiveNetwork::hops`]).
+    pub fn cross_shard_messages(&self) -> u64 {
+        self.shared.cross_shard.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped because an overlay routing lookup failed
+    /// (client queries are instead answered empty immediately). Always
+    /// zero on a well-formed static overlay.
+    pub fn routing_failures(&self) -> u64 {
+        self.shared.routing_failures.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the network is quiescent: every shard mailbox is
+    /// drained and no worker is mid-dispatch.
+    ///
+    /// This is the synchronization point tests and benchmarks use where
+    /// a simulation would say "run until the event queue is empty" —
+    /// e.g. after replica events, to observe their fully-propagated
+    /// effect. The caller must not race it against other threads still
+    /// injecting work if it wants the barrier to mean "all of *my* work
+    /// is done".
+    pub fn quiesce(&self) {
+        self.shared.wait_quiescent();
     }
 
     /// Announces a replica serving `key` to the key's authority node.
@@ -148,13 +194,18 @@ impl LiveNetwork {
 
     fn send_replica(&self, event: ReplicaEvent) {
         let authority = self.shared.overlay.authority(event.key());
-        // A closed inbox means shutdown is racing us; losing a replica
-        // message then is acceptable.
-        let _ = self.shared.inboxes[authority.index()].send(Envelope::Replica(event));
+        let shard = self.shared.shard_of(authority);
+        self.shared.post(
+            shard,
+            Envelope::Replica {
+                at: authority,
+                event,
+            },
+        );
     }
 
     /// Posts a client query at `node` and blocks for the fresh index
-    /// entries.
+    /// entries. Safe to call from several client threads at once.
     ///
     /// # Errors
     ///
@@ -162,13 +213,21 @@ impl LiveNetwork {
     /// [`RuntimeError::QueryTimeout`] if no response arrives within
     /// [`LiveNetwork::query_timeout`].
     pub fn query(&self, node: NodeId, key: KeyId) -> Result<Vec<IndexEntry>, RuntimeError> {
-        if !self.node_ids.contains(&node) {
+        // Ids are dense, so validity is a range check, not an O(n) scan.
+        if node.index() >= self.node_ids.len() {
             return Err(RuntimeError::UnknownNode(node));
         }
         let client = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = channel();
         self.shared.clients.lock().unwrap().insert(client, tx);
-        let _ = self.shared.inboxes[node.index()].send(Envelope::Client { key, client });
+        self.shared.post(
+            self.shared.shard_of(node),
+            Envelope::Client {
+                at: node,
+                key,
+                client,
+            },
+        );
         let result = rx
             .recv_timeout(self.query_timeout)
             .map_err(|_| RuntimeError::QueryTimeout);
@@ -176,108 +235,58 @@ impl LiveNetwork {
         result
     }
 
-    /// Stops all node threads and returns their final protocol states
-    /// (useful for inspecting per-node statistics).
+    /// Stops the worker pool and returns the final protocol state of
+    /// every node, in node-id order (useful for inspecting per-node
+    /// statistics). Implies [`LiveNetwork::quiesce`], so all previously
+    /// injected traffic is fully processed in the returned states.
     pub fn shutdown(self) -> Vec<CupNode> {
-        for tx in &self.shared.inboxes {
+        self.quiesce();
+        for tx in &self.shared.mailboxes {
             let _ = tx.send(Envelope::Shutdown);
         }
-        self.handles
-            .into_iter()
-            .map(|h| h.join().expect("node thread must not panic"))
-            .collect()
-    }
-}
-
-/// The per-node thread body.
-fn node_main(
-    id: NodeId,
-    config: NodeConfig,
-    rx: Receiver<Envelope>,
-    shared: Arc<Shared>,
-) -> CupNode {
-    let mut node = CupNode::new(id, config);
-    while let Ok(envelope) = rx.recv() {
-        let now = shared.now();
-        let actions = match envelope {
-            Envelope::Shutdown => break,
-            Envelope::Peer { from, msg } => match msg {
-                Message::Query { key } => {
-                    let upstream = upstream_of(&shared.overlay, id, key);
-                    node.handle_query(now, key, Requester::Neighbor(from), upstream)
-                }
-                Message::Update(update) => node.handle_update(now, from, update),
-                Message::ClearBit { key } => {
-                    let upstream = upstream_of(&shared.overlay, id, key);
-                    node.handle_clear_bit(now, key, from, upstream)
-                }
-            },
-            Envelope::Client { key, client } => {
-                let upstream = upstream_of(&shared.overlay, id, key);
-                node.handle_query(now, key, Requester::Client(client), upstream)
-            }
-            Envelope::Replica(event) => node.handle_replica_event(now, event),
-        };
-        for action in actions {
-            match action {
-                Action::Send { to, msg } => {
-                    shared.hops.fetch_add(1, Ordering::Relaxed);
-                    let _ = shared.inboxes[to.index()].send(Envelope::Peer { from: id, msg });
-                }
-                Action::RespondClient {
-                    client, entries, ..
-                } => {
-                    if let Some(tx) = shared.clients.lock().unwrap().get(&client) {
-                        let _ = tx.send(entries);
-                    }
-                }
-            }
+        let mut nodes = Vec::with_capacity(self.node_ids.len());
+        for handle in self.handles {
+            nodes.extend(handle.join().expect("worker thread must not panic"));
         }
-    }
-    node
-}
-
-/// Next hop toward `key`'s authority, or `None` at the authority.
-fn upstream_of(overlay: &AnyOverlay, from: NodeId, key: KeyId) -> Option<NodeId> {
-    if overlay.authority(key) == from {
-        None
-    } else {
-        overlay
-            .next_hop(from, key)
-            .expect("static live overlay routes must succeed")
+        nodes
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cup_des::SimTime;
 
     const LIFE: SimDuration = SimDuration::from_secs(60);
 
-    fn network(n: usize) -> LiveNetwork {
+    /// A 4-worker network (forcing cross-shard traffic even on small
+    /// populations and single-core CI runners).
+    fn network(kind: OverlayKind, n: usize) -> LiveNetwork {
         let mut rng = DetRng::seed_from(11);
-        LiveNetwork::start(n, NodeConfig::cup_default(), &mut rng).unwrap()
+        LiveNetwork::start_with_workers(kind, n, NodeConfig::cup_default(), 4, &mut rng).unwrap()
     }
 
     #[test]
-    fn query_finds_replica_across_threads() {
-        let net = network(16);
-        net.replica_birth(KeyId(1), ReplicaId(0), LIFE);
-        // Give the authority a moment to process the birth.
-        std::thread::sleep(Duration::from_millis(50));
-        for &node in &net.nodes()[..4] {
-            let entries = net.query(node, KeyId(1)).unwrap();
-            assert_eq!(entries.len(), 1);
-            assert_eq!(entries[0].replica, ReplicaId(0));
+    fn query_finds_replica_on_both_overlays() {
+        for kind in OverlayKind::ALL {
+            let net = network(kind, 16);
+            net.replica_birth(KeyId(1), ReplicaId(0), LIFE);
+            net.quiesce();
+            for &node in &net.nodes()[..4] {
+                let entries = net.query(node, KeyId(1)).unwrap();
+                assert_eq!(entries.len(), 1, "{kind}: query at {node}");
+                assert_eq!(entries[0].replica, ReplicaId(0));
+            }
+            assert_eq!(net.routing_failures(), 0);
+            net.shutdown();
         }
-        net.shutdown();
     }
 
     #[test]
     fn repeat_queries_are_served_from_cache() {
-        let net = network(16);
+        let net = network(OverlayKind::Can, 16);
         net.replica_birth(KeyId(2), ReplicaId(3), LIFE);
-        std::thread::sleep(Duration::from_millis(50));
+        net.quiesce();
         let node = net.nodes()[7];
         net.query(node, KeyId(2)).unwrap();
         let hops_after_first = net.hops();
@@ -292,25 +301,27 @@ mod tests {
 
     #[test]
     fn deletion_propagates_to_caches() {
-        let net = network(16);
-        net.replica_birth(KeyId(3), ReplicaId(5), LIFE);
-        std::thread::sleep(Duration::from_millis(50));
-        let node = net.nodes()[9];
-        assert_eq!(net.query(node, KeyId(3)).unwrap().len(), 1);
-        net.replica_deletion(KeyId(3), ReplicaId(5));
-        std::thread::sleep(Duration::from_millis(100));
-        // After the delete propagates, the fresh answer is empty.
-        let entries = net.query(node, KeyId(3)).unwrap();
-        assert!(
-            entries.is_empty(),
-            "delete update should have removed the entry everywhere"
-        );
-        net.shutdown();
+        for kind in OverlayKind::ALL {
+            let net = network(kind, 16);
+            net.replica_birth(KeyId(3), ReplicaId(5), LIFE);
+            net.quiesce();
+            let node = net.nodes()[9];
+            assert_eq!(net.query(node, KeyId(3)).unwrap().len(), 1);
+            net.replica_deletion(KeyId(3), ReplicaId(5));
+            net.quiesce();
+            // After the delete propagates, the fresh answer is empty.
+            let entries = net.query(node, KeyId(3)).unwrap();
+            assert!(
+                entries.is_empty(),
+                "{kind}: delete update should have removed the entry everywhere"
+            );
+            net.shutdown();
+        }
     }
 
     #[test]
     fn unknown_key_yields_empty_answer() {
-        let net = network(8);
+        let net = network(OverlayKind::Can, 8);
         let entries = net.query(net.nodes()[0], KeyId(99)).unwrap();
         assert!(entries.is_empty());
         net.shutdown();
@@ -318,7 +329,7 @@ mod tests {
 
     #[test]
     fn unknown_node_is_rejected() {
-        let net = network(8);
+        let net = network(OverlayKind::Can, 8);
         assert!(matches!(
             net.query(NodeId(999), KeyId(1)),
             Err(RuntimeError::UnknownNode(_))
@@ -327,14 +338,118 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_returns_node_states() {
-        let net = network(8);
+    fn shutdown_returns_node_states_in_id_order() {
+        let net = network(OverlayKind::Chord, 8);
         net.replica_birth(KeyId(1), ReplicaId(0), LIFE);
-        std::thread::sleep(Duration::from_millis(50));
+        net.quiesce();
         net.query(net.nodes()[3], KeyId(1)).unwrap();
         let nodes = net.shutdown();
         assert_eq!(nodes.len(), 8);
+        assert!(nodes.iter().enumerate().all(|(i, n)| n.id().index() == i));
         let total_queries: u64 = nodes.iter().map(|n| n.stats.client_queries).sum();
         assert_eq!(total_queries, 1);
+    }
+
+    #[test]
+    fn quiesce_on_an_idle_network_returns_immediately() {
+        let net = network(OverlayKind::Can, 8);
+        net.quiesce();
+        net.quiesce();
+        net.shutdown();
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_population() {
+        let mut rng = DetRng::seed_from(3);
+        let net = LiveNetwork::start_with_workers(
+            OverlayKind::Can,
+            3,
+            NodeConfig::cup_default(),
+            64,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(net.workers(), 3);
+        net.shutdown();
+    }
+
+    #[test]
+    fn awkward_worker_counts_are_honored_exactly() {
+        // 16 nodes over 7 workers does not divide evenly; the balanced
+        // partition must still produce exactly 7 shards covering every
+        // node exactly once.
+        let mut rng = DetRng::seed_from(5);
+        let net = LiveNetwork::start_with_workers(
+            OverlayKind::Can,
+            16,
+            NodeConfig::cup_default(),
+            7,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(net.workers(), 7);
+        net.replica_birth(KeyId(1), ReplicaId(0), LIFE);
+        net.quiesce();
+        for &node in net.nodes() {
+            assert_eq!(net.query(node, KeyId(1)).unwrap().len(), 1);
+        }
+        let nodes = net.shutdown();
+        assert_eq!(nodes.len(), 16);
+        assert!(nodes.iter().enumerate().all(|(i, n)| n.id().index() == i));
+    }
+
+    #[test]
+    fn cross_shard_traffic_flows_through_mailboxes() {
+        let net = network(OverlayKind::Can, 32);
+        for k in 0..8 {
+            net.replica_birth(KeyId(k), ReplicaId(k), LIFE);
+        }
+        net.quiesce();
+        let mut rng = DetRng::seed_from(17);
+        for _ in 0..32 {
+            let node = net.nodes()[rng.choose_index(32)];
+            net.query(node, KeyId(rng.next_below(8) as u32)).unwrap();
+        }
+        assert!(
+            net.cross_shard_messages() > 0,
+            "a 4-shard network must route some messages across shards"
+        );
+        assert!(net.cross_shard_messages() <= net.hops());
+        net.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_are_all_answered() {
+        let net = network(OverlayKind::Can, 32);
+        for k in 0..4 {
+            net.replica_birth(KeyId(k), ReplicaId(k), LIFE);
+        }
+        net.quiesce();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let net = &net;
+                s.spawn(move || {
+                    let mut rng = DetRng::seed_from(100 + u64::from(t));
+                    for _ in 0..16 {
+                        let node = net.nodes()[rng.choose_index(32)];
+                        let entries = net.query(node, KeyId(t)).unwrap();
+                        assert_eq!(entries.len(), 1);
+                    }
+                });
+            }
+        });
+        let nodes = net.shutdown();
+        let total: u64 = nodes.iter().map(|n| n.stats.client_queries).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn live_clock_is_monotonic() {
+        let net = network(OverlayKind::Can, 8);
+        net.replica_birth(KeyId(1), ReplicaId(0), SimDuration::from_secs(3600));
+        net.quiesce();
+        let entries = net.query(net.nodes()[1], KeyId(1)).unwrap();
+        assert!(entries[0].expires_at() > SimTime::ZERO);
+        net.shutdown();
     }
 }

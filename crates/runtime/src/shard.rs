@@ -1,0 +1,375 @@
+//! The sharded worker pool behind [`crate::LiveNetwork`].
+//!
+//! The node population is cut into contiguous shards of equal size; one
+//! OS worker thread owns each shard's [`CupNode`]s and its mpsc mailbox.
+//! A message whose target lives on the same shard is handled inline
+//! through a local FIFO (no channel round-trip); a cross-shard message
+//! goes through the target shard's mailbox. An atomic in-flight counter
+//! brackets every mailbox envelope from send to fully-dispatched, which
+//! is what makes the [`Shared::wait_quiescent`] barrier exact: zero
+//! in-flight envelopes means every mailbox is drained *and* no worker is
+//! mid-dispatch (workers send an envelope's children before finishing
+//! it, so the counter can never dip to zero while work remains).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use cup_core::{Action, ClientId, CupNode, IndexEntry, Message, ReplicaEvent, Requester};
+use cup_des::{KeyId, NodeId, SimTime};
+use cup_overlay::{AnyOverlay, Overlay};
+
+/// What a shard mailbox can receive.
+pub(crate) enum Envelope {
+    /// A protocol message for `to` from peer `from`.
+    Peer {
+        /// Receiving node (owned by this shard).
+        to: NodeId,
+        /// Sending neighbor.
+        from: NodeId,
+        /// The message.
+        msg: Message,
+    },
+    /// A local client query posted at `at`; the response goes to the
+    /// registered client channel.
+    Client {
+        /// The posting node.
+        at: NodeId,
+        /// The key queried.
+        key: KeyId,
+        /// Who is waiting for the answer.
+        client: ClientId,
+    },
+    /// A replica lifecycle message for `at`, the key's authority.
+    Replica {
+        /// The authority node.
+        at: NodeId,
+        /// Birth, refresh, or deletion.
+        event: ReplicaEvent,
+    },
+    /// Stop the worker. Not tracked as in-flight work: shutdown is the
+    /// one envelope [`Shared::wait_quiescent`] must not wait for.
+    Shutdown,
+}
+
+/// Marker for a failed overlay routing lookup: the message carrying the
+/// lookup is dropped (and counted) instead of panicking the worker.
+pub(crate) struct RoutingFailed;
+
+/// State shared between the runtime handle and every worker.
+pub(crate) struct Shared {
+    /// Per-shard mailbox senders, indexed by shard.
+    pub(crate) mailboxes: Vec<Sender<Envelope>>,
+    /// Total node population (ids are dense `0..population`).
+    population: usize,
+    /// Shard count; nodes map onto shards by the balanced contiguous
+    /// partition (shard sizes differ by at most one node).
+    shards: usize,
+    /// The static overlay all routing decisions come from.
+    pub(crate) overlay: AnyOverlay,
+    /// Client response channels, keyed by the id carried in the query.
+    pub(crate) clients: Mutex<HashMap<ClientId, Sender<Vec<IndexEntry>>>>,
+    /// Wall-clock epoch mapped onto [`SimTime`] microseconds.
+    start: Instant,
+    /// Total peer messages delivered (the live equivalent of hop counts).
+    pub(crate) hops: AtomicU64,
+    /// Peer messages that crossed a shard boundary (subset of `hops`).
+    pub(crate) cross_shard: AtomicU64,
+    /// Messages dropped because the overlay failed to route them.
+    pub(crate) routing_failures: AtomicU64,
+    /// In-flight envelopes: incremented before a mailbox send,
+    /// decremented after the receiving worker fully dispatched the
+    /// envelope, including its inline intra-shard cascade.
+    pending: AtomicU64,
+    /// Set when a worker unwinds mid-dispatch; `wait_quiescent` turns
+    /// it into a panic instead of waiting forever on an in-flight
+    /// counter that will never reach zero.
+    panicked: AtomicBool,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+impl Shared {
+    pub(crate) fn new(
+        mailboxes: Vec<Sender<Envelope>>,
+        population: usize,
+        overlay: AnyOverlay,
+    ) -> Self {
+        let shards = mailboxes.len();
+        Shared {
+            mailboxes,
+            population,
+            shards,
+            overlay,
+            clients: Mutex::new(HashMap::new()),
+            start: Instant::now(),
+            hops: AtomicU64::new(0),
+            cross_shard: AtomicU64::new(0),
+            routing_failures: AtomicU64::new(0),
+            pending: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        }
+    }
+
+    /// The live clock: microseconds since the network started.
+    pub(crate) fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// The shard owning `node`: the balanced contiguous partition of
+    /// `0..population` into `shards` ranges whose sizes differ by at
+    /// most one. Shard `s` owns ids `⌈s·N/M⌉..⌈(s+1)·N/M⌉`, and this
+    /// is its O(1) inverse.
+    pub(crate) fn shard_of(&self, node: NodeId) -> usize {
+        node.index() * self.shards / self.population
+    }
+
+    /// First node id owned by `shard` under the balanced partition.
+    pub(crate) fn shard_base(population: usize, shards: usize, shard: usize) -> usize {
+        (shard * population).div_ceil(shards)
+    }
+
+    /// Sends an envelope to the shard owning its target, tracking it as
+    /// in-flight work for the quiesce barrier.
+    pub(crate) fn post(&self, shard: usize, env: Envelope) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        if self.mailboxes[shard].send(env).is_err() {
+            // Shutdown raced the send; losing a message then is
+            // acceptable, but the barrier must stay honest.
+            self.finish();
+        }
+    }
+
+    /// Marks one posted envelope as fully dispatched, waking quiescing
+    /// threads when the network drains.
+    pub(crate) fn finish(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _idle = self.idle_lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Flags a worker unwind and wakes every quiescing thread so the
+    /// failure surfaces instead of hanging.
+    pub(crate) fn flag_panic(&self) {
+        self.panicked.store(true, Ordering::SeqCst);
+        let _idle = self.idle_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.idle_cv.notify_all();
+    }
+
+    /// Blocks until every mailbox is drained and no worker is
+    /// mid-dispatch. Exact, not heuristic: see the module docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked — the counter can then never
+    /// drain, and a loud failure beats a silent permanent hang.
+    pub(crate) fn wait_quiescent(&self) {
+        let mut idle = self.idle_lock.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            assert!(
+                !self.panicked.load(Ordering::SeqCst),
+                "a live-runtime worker panicked (see its message above); the network cannot quiesce"
+            );
+            if self.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            idle = self.idle_cv.wait(idle).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Next hop from `at` toward `key`'s authority (`None` at the
+    /// authority itself). A failed lookup bumps the failure counter and
+    /// tells the caller to drop the message — one bad route must not
+    /// take a whole shard of nodes down.
+    pub(crate) fn upstream_of(
+        &self,
+        at: NodeId,
+        key: KeyId,
+    ) -> Result<Option<NodeId>, RoutingFailed> {
+        if self.overlay.authority(key) == at {
+            return Ok(None);
+        }
+        match self.overlay.next_hop(at, key) {
+            Ok(hop) => Ok(hop),
+            Err(_) => {
+                self.routing_failures.fetch_add(1, Ordering::Relaxed);
+                Err(RoutingFailed)
+            }
+        }
+    }
+
+    /// Delivers a query answer to a waiting client, if it still waits.
+    fn respond_client(&self, client: ClientId, entries: Vec<IndexEntry>) {
+        if let Some(tx) = self.clients.lock().unwrap().get(&client) {
+            let _ = tx.send(entries);
+        }
+    }
+}
+
+/// One worker thread's state: its shard of nodes plus reusable buffers.
+struct Worker {
+    shard: usize,
+    /// Dense id of the first node this shard owns.
+    base: usize,
+    nodes: Vec<CupNode>,
+    shared: Arc<Shared>,
+    /// Intra-shard messages handled inline, FIFO (to, from, msg).
+    local: VecDeque<(NodeId, NodeId, Message)>,
+    /// Reusable action buffer for the allocation-free `_into` handlers.
+    actions: Vec<Action>,
+}
+
+/// Flags the unwind of a worker that panics mid-dispatch, so quiescing
+/// threads fail loudly instead of waiting forever ([`Shared::flag_panic`]);
+/// `shutdown()`'s join then surfaces the original panic payload.
+struct PanicGuard(Arc<Shared>);
+
+impl Drop for PanicGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.flag_panic();
+        }
+    }
+}
+
+/// The worker thread body: drain the mailbox until shutdown, then hand
+/// the shard's final node states back.
+pub(crate) fn worker_main(
+    shard: usize,
+    base: usize,
+    nodes: Vec<CupNode>,
+    rx: Receiver<Envelope>,
+    shared: Arc<Shared>,
+) -> Vec<CupNode> {
+    let guard = PanicGuard(Arc::clone(&shared));
+    let mut worker = Worker {
+        shard,
+        base,
+        nodes,
+        shared,
+        local: VecDeque::new(),
+        actions: Vec::new(),
+    };
+    while let Ok(env) = rx.recv() {
+        if matches!(env, Envelope::Shutdown) {
+            break;
+        }
+        worker.dispatch(env);
+        worker.shared.finish();
+    }
+    drop(guard);
+    worker.nodes
+}
+
+impl Worker {
+    fn node_mut(&mut self, id: NodeId) -> &mut CupNode {
+        &mut self.nodes[id.index() - self.base]
+    }
+
+    fn owns(&self, id: NodeId) -> bool {
+        self.shared.shard_of(id) == self.shard
+    }
+
+    /// Handles one mailbox envelope plus the whole intra-shard cascade
+    /// it sets off.
+    fn dispatch(&mut self, env: Envelope) {
+        match env {
+            Envelope::Shutdown => unreachable!("worker_main filters Shutdown before dispatch"),
+            Envelope::Peer { to, from, msg } => self.handle_peer(to, from, msg),
+            Envelope::Client { at, key, client } => {
+                let now = self.shared.now();
+                match self.shared.upstream_of(at, key) {
+                    Ok(upstream) => {
+                        let mut actions = std::mem::take(&mut self.actions);
+                        self.node_mut(at).handle_query_into(
+                            now,
+                            key,
+                            Requester::Client(client),
+                            upstream,
+                            &mut actions,
+                        );
+                        self.deliver(at, &mut actions);
+                        self.actions = actions;
+                    }
+                    // The query is dead on arrival; answer the client
+                    // empty now rather than letting it stew until its
+                    // timeout (the counter records the failure).
+                    Err(RoutingFailed) => self.shared.respond_client(client, Vec::new()),
+                }
+            }
+            Envelope::Replica { at, event } => {
+                let now = self.shared.now();
+                let mut actions = std::mem::take(&mut self.actions);
+                self.node_mut(at)
+                    .handle_replica_event_into(now, event, &mut actions);
+                self.deliver(at, &mut actions);
+                self.actions = actions;
+            }
+        }
+        while let Some((to, from, msg)) = self.local.pop_front() {
+            self.handle_peer(to, from, msg);
+        }
+    }
+
+    /// Runs one peer message through its target node. A message whose
+    /// routing lookup fails is dropped (counted in `routing_failures`).
+    fn handle_peer(&mut self, to: NodeId, from: NodeId, msg: Message) {
+        let now = self.shared.now();
+        let mut actions = std::mem::take(&mut self.actions);
+        match msg {
+            Message::Query { key } => {
+                if let Ok(upstream) = self.shared.upstream_of(to, key) {
+                    self.node_mut(to).handle_query_into(
+                        now,
+                        key,
+                        Requester::Neighbor(from),
+                        upstream,
+                        &mut actions,
+                    );
+                }
+            }
+            Message::Update(update) => {
+                self.node_mut(to)
+                    .handle_update_into(now, from, update, &mut actions);
+            }
+            Message::ClearBit { key } => {
+                if let Ok(upstream) = self.shared.upstream_of(to, key) {
+                    self.node_mut(to)
+                        .handle_clear_bit_into(now, key, from, upstream, &mut actions);
+                }
+            }
+        }
+        self.deliver(to, &mut actions);
+        self.actions = actions;
+    }
+
+    /// Turns `from`'s protocol actions into traffic: intra-shard sends
+    /// join the inline FIFO, cross-shard sends go through mailboxes,
+    /// client responses go to their waiting channel.
+    fn deliver(&mut self, from: NodeId, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { to, msg } => {
+                    self.shared.hops.fetch_add(1, Ordering::Relaxed);
+                    if self.owns(to) {
+                        self.local.push_back((to, from, msg));
+                    } else {
+                        self.shared.cross_shard.fetch_add(1, Ordering::Relaxed);
+                        let shard = self.shared.shard_of(to);
+                        self.shared.post(shard, Envelope::Peer { to, from, msg });
+                    }
+                }
+                Action::RespondClient {
+                    client, entries, ..
+                } => {
+                    self.shared.respond_client(client, entries);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The sim-vs-live conformance harness: one scripted workload, two
+//! runtimes, one truth.
+//!
+//! The CUP node is a pure state machine; `cup-simnet` drives it inside
+//! the deterministic DES while `cup-runtime` runs it on the sharded
+//! worker pool. [`run_sim`] and [`run_live`] push the same scripted
+//! scenario — replica births, a serialized query workload, a deletion,
+//! more queries — through both runtimes over the *same* topology (same
+//! overlay kind, same build seed) and return comparable [`Outcome`]s.
+//!
+//! Queries are serialized (each completes before the next is posted, and
+//! the live side [`cup::prelude::LiveNetwork::quiesce`]s between script
+//! events where the sim side leaves an inter-event gap), so the message
+//! orders the two runtimes see are equivalent and the comparison is
+//! exact, not statistical.
+
+use cup::des::LatencyModel;
+use cup::prelude::*;
+use cup::protocol::stats::NodeStats;
+use cup::simnet::{Ev, Network};
+use cup::workload::replica::{ReplicaAction, ReplicaActionKind, ReplicaPlan};
+
+/// The key whose replica the script deletes between phases A and B.
+pub const DELETED_KEY: u32 = 1;
+
+/// Entry lifetime: far beyond both runtimes' horizons, so freshness
+/// expiry and refresh traffic never enter the picture.
+pub const LIFETIME: SimDuration = SimDuration::from_secs(1_000_000);
+
+/// One scripted query: posted at the node with this dense index, for
+/// this key.
+pub type ScriptedQuery = (usize, u32);
+
+/// One sim-vs-live conformance scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ConformanceSpec {
+    /// The overlay substrate both runtimes build (same seed).
+    pub kind: OverlayKind,
+    /// Overlay population.
+    pub nodes: usize,
+    /// Keys `0..keys`, one replica each (`ReplicaId(k)` serves
+    /// `KeyId(k)`). Must exceed [`DELETED_KEY`].
+    pub keys: u32,
+    /// Queries in the pre-deletion phase.
+    pub phase_a_queries: usize,
+    /// Topology build seed shared by both runtimes.
+    pub topology_seed: u64,
+    /// Seed of the query script.
+    pub script_seed: u64,
+    /// Sim seconds between scripted events. Must exceed the WAN drain
+    /// time of one query cascade (path hops × latency, both ways) so
+    /// consecutive queries never overlap inside the DES.
+    pub step_secs: u64,
+    /// Worker threads for the live side (explicit, so sharding is
+    /// exercised even on single-core CI runners).
+    pub workers: usize,
+}
+
+impl ConformanceSpec {
+    /// The small exact-script scenario (a couple dozen nodes).
+    pub fn small(kind: OverlayKind) -> Self {
+        ConformanceSpec {
+            kind,
+            nodes: 24,
+            keys: 3,
+            phase_a_queries: 20,
+            topology_seed: 11,
+            script_seed: 99,
+            step_secs: 10,
+            workers: 3,
+        }
+    }
+
+    /// The at-scale scenario: ≥2k live nodes on a small worker pool.
+    pub fn large(kind: OverlayKind) -> Self {
+        ConformanceSpec {
+            kind,
+            nodes: 2_048,
+            keys: 4,
+            phase_a_queries: 30,
+            topology_seed: 17,
+            script_seed: 23,
+            // CAN paths at 2k nodes can run to ~100 hops; at 50 ms per
+            // hop each way a cascade still drains well inside 30 s.
+            step_secs: 30,
+            workers: 4,
+        }
+    }
+
+    /// The scripted workload: `(node_index, key)` per query, two phases.
+    /// Phase B probes the deleted key from three nodes, then each
+    /// surviving key once more.
+    pub fn query_script(&self) -> (Vec<ScriptedQuery>, Vec<ScriptedQuery>) {
+        let mut rng = DetRng::seed_from(self.script_seed);
+        let mut phase_a = Vec::new();
+        for _ in 0..self.phase_a_queries {
+            phase_a.push((
+                rng.choose_index(self.nodes),
+                rng.next_below(u64::from(self.keys)) as u32,
+            ));
+        }
+        let mut phase_b = Vec::new();
+        for _ in 0..3 {
+            phase_b.push((rng.choose_index(self.nodes), DELETED_KEY));
+        }
+        for k in (0..self.keys).filter(|&k| k != DELETED_KEY) {
+            phase_b.push((rng.choose_index(self.nodes), k));
+        }
+        (phase_a, phase_b)
+    }
+
+    /// Total scripted queries across both phases.
+    pub fn total_queries(&self) -> u64 {
+        let (a, b) = self.query_script();
+        (a.len() + b.len()) as u64
+    }
+}
+
+/// What one runtime run produced, in comparable form.
+#[derive(Debug, PartialEq)]
+pub struct Outcome {
+    /// Aggregated per-node protocol counters.
+    pub stats: NodeStats,
+    /// Per key: sorted node ids holding a fresh cached entry at quiesce.
+    pub cached_by: Vec<Vec<NodeId>>,
+}
+
+/// Collects the comparable outcome from final per-node states.
+pub fn outcome_of<'a>(
+    nodes: impl Iterator<Item = &'a CupNode>,
+    keys: u32,
+    probe_time: SimTime,
+) -> Outcome {
+    let mut stats = NodeStats::default();
+    let mut cached_by: Vec<Vec<NodeId>> = (0..keys).map(|_| Vec::new()).collect();
+    for node in nodes {
+        stats.merge(&node.stats);
+        for k in 0..keys {
+            let cached = node
+                .key_state(KeyId(k))
+                .is_some_and(|st| st.has_fresh(probe_time));
+            if cached {
+                cached_by[k as usize].push(node.id());
+            }
+        }
+    }
+    for ids in &mut cached_by {
+        ids.sort_unstable();
+    }
+    Outcome { stats, cached_by }
+}
+
+/// Runs the script through the DES, returning the outcome plus the
+/// number of client responses delivered.
+///
+/// # Panics
+///
+/// Panics if the overlay cannot be built for the spec.
+pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
+    let mut topo_rng = DetRng::seed_from(spec.topology_seed);
+    let overlay = AnyOverlay::build(spec.kind, spec.nodes, &mut topo_rng).unwrap();
+    let mut net = Network::new(
+        overlay,
+        NodeConfig::cup_default(),
+        LatencyModel::default_wan(),
+        DetRng::seed_from(7),
+    );
+    // A plan is required for `Ev::Replica` dispatch; only its lifetime
+    // and next-event logic are used (we schedule births ourselves so the
+    // two runtimes share an explicit, ordered script).
+    let plan_scenario = Scenario {
+        nodes: spec.nodes,
+        keys: spec.keys,
+        entry_lifetime: LIFETIME,
+        sim_end: SimTime::from_secs(2_000_000),
+        query_end: SimTime::from_secs(1_000),
+        ..Scenario::default()
+    };
+    net.replica_plan = Some(ReplicaPlan::build(
+        &plan_scenario,
+        &mut DetRng::seed_from(1),
+    ));
+
+    let mut engine = cup::des::Engine::new(net);
+    for k in 0..spec.keys {
+        engine.schedule(
+            SimTime::from_secs(1 + u64::from(k)),
+            Ev::Replica(ReplicaAction {
+                at: SimTime::from_secs(1 + u64::from(k)),
+                key: KeyId(k),
+                replica: ReplicaId(k),
+                kind: ReplicaActionKind::Birth,
+            }),
+        );
+    }
+    let (phase_a, phase_b) = spec.query_script();
+    let mut t = SimTime::from_secs(100);
+    let step = SimDuration::from_secs(spec.step_secs);
+    for &(node_index, key) in &phase_a {
+        engine.schedule(
+            t,
+            Ev::PostQuery {
+                node_index,
+                key: KeyId(key),
+            },
+        );
+        t += step;
+    }
+    // The deletion, then a settle gap before phase B.
+    engine.schedule(
+        t,
+        Ev::Replica(ReplicaAction {
+            at: t,
+            key: KeyId(DELETED_KEY),
+            replica: ReplicaId(DELETED_KEY),
+            kind: ReplicaActionKind::Death,
+        }),
+    );
+    t += step;
+    for &(node_index, key) in &phase_b {
+        engine.schedule(
+            t,
+            Ev::PostQuery {
+                node_index,
+                key: KeyId(key),
+            },
+        );
+        t += step;
+    }
+    let quiesce = t + SimDuration::from_secs(100);
+    engine.run_until(quiesce, |net, queue, now, ev| net.dispatch(queue, now, ev));
+    let probe = engine.now();
+    let net = engine.into_state();
+    let responses = net.metrics.client_responses;
+    let ids: Vec<NodeId> = (0..spec.nodes as u32).map(NodeId).collect();
+    let outcome = outcome_of(ids.iter().filter_map(|&id| net.node(id)), spec.keys, probe);
+    (outcome, responses)
+}
+
+/// Runs the same script through the worker-pool live runtime,
+/// synchronizing on `quiesce()` between script events (no sleeps).
+///
+/// # Panics
+///
+/// Panics if the runtime cannot start, a query is not answered as the
+/// script demands, or any message hit a routing failure.
+pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
+    let mut topo_rng = DetRng::seed_from(spec.topology_seed);
+    let net = LiveNetwork::start_with_workers(
+        spec.kind,
+        spec.nodes,
+        NodeConfig::cup_default(),
+        spec.workers,
+        &mut topo_rng,
+    )
+    .unwrap();
+    for k in 0..spec.keys {
+        net.replica_birth(KeyId(k), ReplicaId(k), LIFETIME);
+    }
+    net.quiesce();
+
+    let (phase_a, phase_b) = spec.query_script();
+    let mut responses = 0u64;
+    for &(node_index, key) in &phase_a {
+        let entries = net.query(net.nodes()[node_index], KeyId(key)).unwrap();
+        assert_eq!(
+            entries.len(),
+            1,
+            "live query for k{key} must find its replica"
+        );
+        assert_eq!(entries[0].replica, ReplicaId(key));
+        responses += 1;
+        net.quiesce();
+    }
+    net.replica_deletion(KeyId(DELETED_KEY), ReplicaId(DELETED_KEY));
+    net.quiesce();
+    for &(node_index, key) in &phase_b {
+        let entries = net.query(net.nodes()[node_index], KeyId(key)).unwrap();
+        if key == DELETED_KEY {
+            assert!(
+                entries.is_empty(),
+                "deleted key must yield an empty live answer"
+            );
+        } else {
+            assert_eq!(entries.len(), 1);
+        }
+        responses += 1;
+        net.quiesce();
+    }
+    assert_eq!(net.routing_failures(), 0, "static routing must not fail");
+    let final_nodes = net.shutdown();
+    // The live clock is microseconds since start; all entries carry the
+    // huge scripted lifetime, so any probe instant inside the run works.
+    let probe = SimTime::from_secs(1);
+    let outcome = outcome_of(final_nodes.iter(), spec.keys, probe);
+    (outcome, responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_is_deterministic_and_well_formed() {
+        let spec = ConformanceSpec::small(OverlayKind::Can);
+        let (a1, b1) = spec.query_script();
+        let (a2, b2) = spec.query_script();
+        assert_eq!((&a1, &b1), (&a2, &b2), "same seed, same script");
+        assert_eq!(a1.len(), spec.phase_a_queries);
+        assert_eq!(b1.len(), 3 + spec.keys as usize - 1);
+        assert_eq!(spec.total_queries(), (a1.len() + b1.len()) as u64);
+        assert!(b1.iter().take(3).all(|&(_, k)| k == DELETED_KEY));
+        for &(node, key) in a1.iter().chain(&b1) {
+            assert!(node < spec.nodes);
+            assert!(key < spec.keys);
+        }
+    }
+
+    #[test]
+    fn specs_stay_inside_their_populations() {
+        for kind in OverlayKind::ALL {
+            for spec in [ConformanceSpec::small(kind), ConformanceSpec::large(kind)] {
+                assert!(spec.keys > DELETED_KEY);
+                assert!(spec.workers >= 1);
+                assert!(spec.nodes >= spec.workers);
+            }
+        }
+    }
+}

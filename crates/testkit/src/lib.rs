@@ -13,8 +13,14 @@
 //!   benches, regression claims) rests on;
 //! * [`assert_cheaper`] / [`run_cup_and_standard`] — the paper's
 //!   cost-model comparisons with readable failure messages.
+//!
+//! The [`conformance`] module is the sim-vs-live harness: it scripts one
+//! workload through both the DES and the worker-pool live runtime over
+//! the same topology, for the root conformance suite to compare.
 
 use cup::prelude::*;
+
+pub mod conformance;
 
 /// The §3.2 replica warm-up: queries never start before replicas have
 /// had 300 simulated seconds to populate the index.

@@ -1,11 +1,14 @@
-//! A live, threaded CUP network — no simulator involved.
+//! A live CUP network on the sharded worker pool — no simulator involved.
 //!
 //! The protocol core is a pure state machine, so the same code that runs
-//! inside the discrete-event harness also runs across real OS threads
-//! with std mpsc channels as the paper's per-neighbor query/update
-//! channels. This example starts a 32-node network, registers replicas,
-//! posts queries from several nodes, withdraws a replica, and shows the
-//! delete propagating.
+//! inside the discrete-event harness also runs across real OS threads:
+//! the population is cut into contiguous shards, one worker thread per
+//! shard, with per-shard mailboxes carrying the paper's query/update
+//! channels across shard boundaries. This example starts a 512-node
+//! network, registers replicas, posts queries from several nodes,
+//! withdraws a replica, and shows the delete propagating — synchronizing
+//! on `quiesce()` (the live "run until the event queue drains") instead
+//! of sleeping.
 //!
 //! Run with: `cargo run --example live_network`
 
@@ -13,15 +16,19 @@ use cup::prelude::*;
 
 fn main() {
     let mut rng = DetRng::seed_from(1);
-    let net = LiveNetwork::start(32, NodeConfig::cup_default(), &mut rng)
+    let net = LiveNetwork::start(OverlayKind::Can, 512, NodeConfig::cup_default(), &mut rng)
         .expect("failed to start network");
-    println!("started {} node threads", net.nodes().len());
+    println!(
+        "started {} nodes on {} worker thread(s)",
+        net.nodes().len(),
+        net.workers()
+    );
 
     // Two replicas announce themselves for key 7.
     let key = KeyId(7);
     net.replica_birth(key, ReplicaId(0), SimDuration::from_secs(120));
     net.replica_birth(key, ReplicaId(1), SimDuration::from_secs(120));
-    std::thread::sleep(std::time::Duration::from_millis(100));
+    net.quiesce();
 
     for &node in &net.nodes()[..5] {
         let entries = net.query(node, key).expect("query must be answered");
@@ -32,7 +39,10 @@ fn main() {
         );
     }
     let hops_before = net.hops();
-    println!("peer messages so far: {hops_before}");
+    println!(
+        "peer messages so far: {hops_before} ({} crossed shards)",
+        net.cross_shard_messages()
+    );
 
     // Re-query the same nodes: answers now come from nearby caches.
     for &node in &net.nodes()[..5] {
@@ -45,7 +55,7 @@ fn main() {
 
     // Replica 0 stops serving; the delete propagates to the caches.
     net.replica_deletion(key, ReplicaId(0));
-    std::thread::sleep(std::time::Duration::from_millis(100));
+    net.quiesce();
     let entries = net.query(net.nodes()[2], key).expect("query after delete");
     println!(
         "after deletion, fresh answers carry {} replica(s): {:?}",

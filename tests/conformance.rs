@@ -1,11 +1,11 @@
 //! Sim-vs-live conformance: the same protocol, two runtimes, one truth.
 //!
-//! The CUP node is a pure state machine; `cup-simnet` drives it inside
-//! the deterministic DES while `cup-runtime` runs it on real threads and
-//! channels. This suite scripts one small scenario — replica births, a
-//! serialized query workload, a deletion, more queries — through *both*
-//! runtimes over the *same* CAN topology (same build seed) and asserts
-//! the protocol-level outcomes agree:
+//! `cup_testkit::conformance` scripts one scenario — replica births, a
+//! serialized query workload, a deletion, more queries — through the
+//! deterministic DES *and* the sharded worker-pool live runtime over the
+//! same topology, for **both** overlay substrates (CAN and Chord) and at
+//! two scales (24 nodes and 2 048 nodes). This suite asserts the
+//! protocol-level outcomes agree:
 //!
 //! * **cache-hit accounting** — aggregate client queries, hits, and
 //!   first-time misses are identical;
@@ -15,265 +15,98 @@
 //!   no node in either runtime still caches or indexes the deleted
 //!   replica, and every surviving cached entry is fresh.
 //!
-//! Queries are serialized (each completes before the next is posted), so
-//! the message orders the two runtimes see are identical and the
-//! comparison is exact, not statistical.
+//! The live side synchronizes exclusively on `LiveNetwork::quiesce()` —
+//! there is not a single `thread::sleep` in the comparison, so the suite
+//! cannot race on slow CI.
 
-use std::time::Duration;
-
-use cup::des::LatencyModel;
 use cup::prelude::*;
-use cup::simnet::{Ev, Network};
-use cup_workload::replica::{ReplicaAction, ReplicaActionKind, ReplicaPlan};
+use cup_testkit::conformance::{run_live, run_sim, ConformanceSpec, DELETED_KEY};
 
-/// Nodes in the overlay (small enough for the live runtime's threads).
-const NODES: usize = 24;
-/// Keys 0..KEYS, one replica each (`ReplicaId(k)` serves `KeyId(k)`).
-const KEYS: u32 = 3;
-/// The topology seed shared by both runtimes.
-const TOPOLOGY_SEED: u64 = 11;
-/// Entry lifetime: far beyond both runtimes' horizons, so freshness
-/// expiry and refresh traffic never enter the picture.
-const LIFETIME: SimDuration = SimDuration::from_secs(1_000_000);
-
-/// One scripted query: posted at the node with this dense index, for
-/// this key.
-type ScriptedQuery = (usize, u32);
-
-/// The scripted workload: `(node_index, key)` per query, two phases.
-fn query_script() -> (Vec<ScriptedQuery>, Vec<ScriptedQuery>) {
-    let mut rng = DetRng::seed_from(99);
-    let mut phase_a = Vec::new();
-    for _ in 0..20 {
-        phase_a.push((rng.choose_index(NODES), rng.next_below(KEYS as u64) as u32));
-    }
-    // After key 1's replica is deleted: probe the deleted key from three
-    // nodes, and the surviving keys once more.
-    let phase_b = vec![
-        (rng.choose_index(NODES), 1),
-        (rng.choose_index(NODES), 1),
-        (rng.choose_index(NODES), 1),
-        (rng.choose_index(NODES), 0),
-        (rng.choose_index(NODES), 2),
-    ];
-    (phase_a, phase_b)
-}
-
-/// What one runtime run produced, in comparable form.
-#[derive(Debug, PartialEq)]
-struct Outcome {
-    stats: cup::protocol::stats::NodeStats,
-    /// Per key: sorted node ids holding a fresh cached entry at quiesce.
-    cached_by: Vec<Vec<NodeId>>,
-}
-
-/// Collects the comparable outcome from final per-node states.
-fn outcome_of<'a>(nodes: impl Iterator<Item = &'a CupNode>, probe_time: SimTime) -> Outcome {
-    let mut stats = cup::protocol::stats::NodeStats::default();
-    let mut cached_by: Vec<Vec<NodeId>> = (0..KEYS).map(|_| Vec::new()).collect();
-    for node in nodes {
-        stats.merge(&node.stats);
-        for k in 0..KEYS {
-            let cached = node
-                .key_state(KeyId(k))
-                .is_some_and(|st| st.has_fresh(probe_time));
-            if cached {
-                cached_by[k as usize].push(node.id());
-            }
-        }
-    }
-    for ids in &mut cached_by {
-        ids.sort_unstable();
-    }
-    Outcome { stats, cached_by }
-}
-
-/// Runs the script through the DES, returning the outcome plus the
-/// number of client responses delivered.
-fn run_sim() -> (Outcome, u64) {
-    let mut topo_rng = DetRng::seed_from(TOPOLOGY_SEED);
-    let overlay = AnyOverlay::build(OverlayKind::Can, NODES, &mut topo_rng).unwrap();
-    let mut net = Network::new(
-        overlay,
-        NodeConfig::cup_default(),
-        LatencyModel::default_wan(),
-        DetRng::seed_from(7),
-    );
-    // A plan is required for `Ev::Replica` dispatch; only its lifetime
-    // and next-event logic are used (we schedule births ourselves so the
-    // two runtimes share an explicit, ordered script).
-    let plan_scenario = Scenario {
-        nodes: NODES,
-        keys: KEYS,
-        entry_lifetime: LIFETIME,
-        sim_end: SimTime::from_secs(2_000_000),
-        query_end: SimTime::from_secs(1_000),
-        ..Scenario::default()
-    };
-    net.replica_plan = Some(ReplicaPlan::build(
-        &plan_scenario,
-        &mut DetRng::seed_from(1),
-    ));
-
-    let mut engine = cup::des::Engine::new(net);
-    for k in 0..KEYS {
-        engine.schedule(
-            SimTime::from_secs(1 + k as u64),
-            Ev::Replica(ReplicaAction {
-                at: SimTime::from_secs(1 + k as u64),
-                key: KeyId(k),
-                replica: ReplicaId(k),
-                kind: ReplicaActionKind::Birth,
-            }),
-        );
-    }
-    let (phase_a, phase_b) = query_script();
-    let mut t = SimTime::from_secs(100);
-    let step = SimDuration::from_secs(10);
-    for &(node_index, key) in &phase_a {
-        engine.schedule(
-            t,
-            Ev::PostQuery {
-                node_index,
-                key: KeyId(key),
-            },
-        );
-        t += step;
-    }
-    // The deletion, then a settle gap before phase B.
-    engine.schedule(
-        t,
-        Ev::Replica(ReplicaAction {
-            at: t,
-            key: KeyId(1),
-            replica: ReplicaId(1),
-            kind: ReplicaActionKind::Death,
-        }),
-    );
-    t += step;
-    for &(node_index, key) in &phase_b {
-        engine.schedule(
-            t,
-            Ev::PostQuery {
-                node_index,
-                key: KeyId(key),
-            },
-        );
-        t += step;
-    }
-    let quiesce = t + SimDuration::from_secs(100);
-    engine.run_until(quiesce, |net, queue, now, ev| net.dispatch(queue, now, ev));
-    let probe = engine.now();
-    let net = engine.into_state();
-    let responses = net.metrics.client_responses;
-    let ids: Vec<NodeId> = (0..NODES as u32).map(NodeId).collect();
-    let outcome = outcome_of(ids.iter().filter_map(|&id| net.node(id)), probe);
-    (outcome, responses)
-}
-
-/// Runs the same script through the threaded live runtime.
-fn run_live() -> (Outcome, u64) {
-    let mut topo_rng = DetRng::seed_from(TOPOLOGY_SEED);
-    let net = LiveNetwork::start(NODES, NodeConfig::cup_default(), &mut topo_rng).unwrap();
-    for k in 0..KEYS {
-        net.replica_birth(KeyId(k), ReplicaId(k), LIFETIME);
-    }
-    std::thread::sleep(Duration::from_millis(100));
-
-    let (phase_a, phase_b) = query_script();
-    let mut responses = 0u64;
-    for &(node_index, key) in &phase_a {
-        let entries = net.query(net.nodes()[node_index], KeyId(key)).unwrap();
-        assert_eq!(
-            entries.len(),
-            1,
-            "live query for k{key} must find its replica"
-        );
-        assert_eq!(entries[0].replica, ReplicaId(key));
-        responses += 1;
-    }
-    net.replica_deletion(KeyId(1), ReplicaId(1));
-    std::thread::sleep(Duration::from_millis(200));
-    for &(node_index, key) in &phase_b {
-        let entries = net.query(net.nodes()[node_index], KeyId(key)).unwrap();
-        if key == 1 {
-            assert!(
-                entries.is_empty(),
-                "deleted key must yield an empty live answer"
-            );
-        } else {
-            assert_eq!(entries.len(), 1);
-        }
-        responses += 1;
-    }
-    std::thread::sleep(Duration::from_millis(200));
-    let final_nodes = net.shutdown();
-    // The live clock is microseconds since start; all entries carry the
-    // huge scripted lifetime, so any probe instant inside the run works.
-    let probe = SimTime::from_secs(1);
-    let outcome = outcome_of(final_nodes.iter(), probe);
-    (outcome, responses)
-}
-
-#[test]
-fn sim_and_live_agree_on_protocol_outcomes() {
-    let (sim, sim_responses) = run_sim();
-    let (live, live_responses) = run_live();
+fn assert_sim_live_agree(spec: ConformanceSpec) {
+    let (sim, sim_responses) = run_sim(&spec);
+    let (live, live_responses) = run_live(&spec);
+    let label = format!("{} x {} nodes", spec.kind, spec.nodes);
 
     // Every scripted query was answered in both runtimes.
-    let (phase_a, phase_b) = query_script();
-    let total = (phase_a.len() + phase_b.len()) as u64;
-    assert_eq!(sim_responses, total, "sim answered every client query");
-    assert_eq!(live_responses, total, "live answered every client query");
+    let total = spec.total_queries();
+    assert_eq!(sim_responses, total, "{label}: sim answered every query");
+    assert_eq!(live_responses, total, "{label}: live answered every query");
 
     // Cache-hit accounting agrees exactly.
     assert_eq!(
         sim.stats.client_queries, live.stats.client_queries,
-        "client query counts diverged"
+        "{label}: client query counts diverged"
     );
     assert_eq!(
         sim.stats.client_hits, live.stats.client_hits,
-        "cache-hit counts diverged"
+        "{label}: cache-hit counts diverged"
     );
     assert_eq!(
         sim.stats.first_time_misses, live.stats.first_time_misses,
-        "first-time miss counts diverged"
+        "{label}: first-time miss counts diverged"
     );
-    assert_eq!(sim.stats.freshness_misses, 0, "nothing expires in-script");
-    assert_eq!(live.stats.freshness_misses, 0);
+    assert_eq!(
+        sim.stats.freshness_misses, 0,
+        "{label}: nothing expires in-script"
+    );
+    assert_eq!(live.stats.freshness_misses, 0, "{label}");
 
     // Update delivery agrees: same message counts, and the same set of
     // nodes ended up caching each key.
     assert_eq!(
         sim.stats.updates_received, live.stats.updates_received,
-        "update delivery counts diverged"
+        "{label}: update delivery counts diverged"
     );
     assert_eq!(
         sim.stats.updates_forwarded, live.stats.updates_forwarded,
-        "update forward counts diverged"
+        "{label}: update forward counts diverged"
     );
     assert_eq!(
         sim.stats.neighbor_queries, live.stats.neighbor_queries,
-        "neighbor query counts diverged"
+        "{label}: neighbor query counts diverged"
     );
     assert_eq!(
         sim.cached_by, live.cached_by,
-        "the sets of caching nodes diverged"
+        "{label}: the sets of caching nodes diverged"
     );
 
     // No stale state at quiesce: the deleted key is gone everywhere.
     assert!(
-        sim.cached_by[1].is_empty(),
-        "sim nodes still cache the deleted key: {:?}",
-        sim.cached_by[1]
+        sim.cached_by[DELETED_KEY as usize].is_empty(),
+        "{label}: sim nodes still cache the deleted key: {:?}",
+        sim.cached_by[DELETED_KEY as usize]
     );
     assert!(
-        live.cached_by[1].is_empty(),
-        "live nodes still cache the deleted key: {:?}",
-        live.cached_by[1]
+        live.cached_by[DELETED_KEY as usize].is_empty(),
+        "{label}: live nodes still cache the deleted key: {:?}",
+        live.cached_by[DELETED_KEY as usize]
     );
     // The surviving keys are cached somewhere (the workload touched
     // them), in the same places.
-    assert!(!sim.cached_by[0].is_empty());
-    assert!(!sim.cached_by[2].is_empty());
+    for k in (0..spec.keys).filter(|&k| k != DELETED_KEY) {
+        assert!(
+            !sim.cached_by[k as usize].is_empty(),
+            "{label}: k{k} must be cached somewhere"
+        );
+    }
+}
+
+#[test]
+fn sim_and_live_agree_on_can() {
+    assert_sim_live_agree(ConformanceSpec::small(OverlayKind::Can));
+}
+
+#[test]
+fn sim_and_live_agree_on_chord() {
+    assert_sim_live_agree(ConformanceSpec::small(OverlayKind::Chord));
+}
+
+#[test]
+fn sim_and_live_agree_on_can_at_2k_nodes() {
+    assert_sim_live_agree(ConformanceSpec::large(OverlayKind::Can));
+}
+
+#[test]
+fn sim_and_live_agree_on_chord_at_2k_nodes() {
+    assert_sim_live_agree(ConformanceSpec::large(OverlayKind::Chord));
 }

@@ -63,6 +63,73 @@ fn large_scale_100k_is_deterministic_within_budget() {
     assert!(result.total_cost() > 0);
 }
 
+/// The live counterpart of the scale tests: a 10k-node network on the
+/// sharded worker pool (≤ available parallelism threads — **not** 10k
+/// threads) runs a mixed query/update workload to completion, bounded
+/// by the same kind of wall-clock budget as the DES flagship.
+#[test]
+fn live_10k_mixed_workload_completes() {
+    const NODES: usize = 10_000;
+    const KEYS: u32 = 32;
+    const LIFETIME: SimDuration = SimDuration::from_secs(1_000_000);
+    let budget = if cfg!(debug_assertions) {
+        Duration::from_secs(180)
+    } else {
+        Duration::from_secs(60)
+    };
+    let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let start = Instant::now();
+    let mut rng = DetRng::seed_from(81);
+    let net = LiveNetwork::start(OverlayKind::Can, NODES, NodeConfig::cup_default(), &mut rng)
+        .expect("10k-node live network must start");
+    assert!(
+        net.workers() <= parallelism,
+        "the pool must not exceed available parallelism ({} > {parallelism})",
+        net.workers()
+    );
+    for k in 0..KEYS {
+        net.replica_birth(KeyId(k), ReplicaId(k), LIFETIME);
+    }
+    net.quiesce();
+
+    // Mixed workload: rounds of client queries interleaved with replica
+    // refreshes, plus a wave of deletions halfway through.
+    let mut script = DetRng::seed_from(82);
+    let mut queries = 0u64;
+    for round in 0..4 {
+        for _ in 0..50 {
+            let node = net.nodes()[script.choose_index(NODES)];
+            let key = KeyId(script.next_below(u64::from(KEYS)) as u32);
+            net.query(node, key).expect("live query must be answered");
+            queries += 1;
+        }
+        for k in 0..KEYS {
+            net.replica_refresh(KeyId(k), ReplicaId(k), LIFETIME);
+        }
+        net.quiesce();
+        if round == 1 {
+            for k in 0..KEYS / 2 {
+                net.replica_deletion(KeyId(k), ReplicaId(k));
+            }
+            net.quiesce();
+        }
+    }
+
+    assert_eq!(net.routing_failures(), 0, "static routing must not fail");
+    let nodes = net.shutdown();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < budget,
+        "10k-node live workload took {elapsed:?}, budget {budget:?}"
+    );
+    assert_eq!(nodes.len(), NODES);
+    let total_queries: u64 = nodes.iter().map(|n| n.stats.client_queries).sum();
+    assert_eq!(total_queries, queries, "every posted query was handled");
+    let updates: u64 = nodes.iter().map(|n| n.stats.updates_received).sum();
+    assert!(updates > 0, "the update stream reached the caches");
+}
+
 /// Churn at scale: joins and leaves through the query window must keep
 /// the experiment deterministic and the network serving queries.
 #[test]

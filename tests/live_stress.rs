@@ -1,0 +1,148 @@
+//! Worker-pool stress: shard-count independence of the live runtime.
+//!
+//! The sharded runtime's core contract is that sharding is *invisible*
+//! to the protocol: however the node population is cut across workers,
+//! the same injected workload must leave every node in the same final
+//! state. This suite drives a deterministic-seed script that hammers
+//! cross-shard traffic of all three message families — queries from
+//! four concurrent client threads, update cascades from replica
+//! births/refreshes/deletions, and clear-bit cascades provoked by
+//! letting the second-chance policy starve (two refresh rounds with no
+//! interleaved queries) — and asserts the **per-node** final statistics
+//! of a 4-worker run are identical to a single-worker run.
+//!
+//! Concurrent phases only ever overlap operations on *disjoint keys*
+//! (client thread `t` owns keys `k ≡ t (mod THREADS)`), which commute at
+//! shared intermediate nodes; phases are separated by `quiesce()`. That
+//! is what makes the comparison exact rather than statistical.
+
+use cup::prelude::*;
+use cup::protocol::stats::NodeStats;
+
+const NODES: usize = 192;
+const KEYS: u32 = 12;
+const THREADS: usize = 4;
+const QUERIES_PER_THREAD: usize = 25;
+const LIFETIME: SimDuration = SimDuration::from_secs(1_000_000);
+
+/// One pass of parallel client queries: `THREADS` threads, each
+/// querying only its own key class from script-chosen nodes.
+fn query_phase(net: &LiveNetwork, pass: u64) {
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                let mut rng = DetRng::seed_from(1_000 * pass + t as u64);
+                let own: Vec<u32> = (0..KEYS).filter(|k| *k as usize % THREADS == t).collect();
+                for _ in 0..QUERIES_PER_THREAD {
+                    let node = net.nodes()[rng.choose_index(NODES)];
+                    let key = own[rng.choose_index(own.len())];
+                    net.query(node, KeyId(key))
+                        .expect("stress query must be answered");
+                }
+            });
+        }
+    });
+    net.quiesce();
+}
+
+/// Runs the full script on `workers` workers and returns the per-node
+/// final statistics plus the runtime's message counters.
+fn run_script(workers: usize) -> (Vec<NodeStats>, u64, u64) {
+    let mut rng = DetRng::seed_from(31);
+    let net = LiveNetwork::start_with_workers(
+        OverlayKind::Can,
+        NODES,
+        NodeConfig::cup_default(),
+        workers,
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(net.workers(), workers);
+
+    // Births: two replicas per key, all keys concurrently in flight.
+    for k in 0..KEYS {
+        for r in 0..2 {
+            net.replica_birth(KeyId(k), ReplicaId(2 * k + r), LIFETIME);
+        }
+    }
+    net.quiesce();
+
+    // Queries build caches and interest trees (cross-shard by
+    // construction: 4 shards of 48 nodes, CAN neighbors are scattered).
+    query_phase(&net, 1);
+
+    // Two refresh rounds with no interleaved queries: round one is the
+    // second-chance policy's grace interval, round two drives cut-offs
+    // at unqueried leaves — clear-bit traffic flowing shard-to-shard.
+    for round in 0..2 {
+        for k in 0..KEYS {
+            net.replica_refresh(KeyId(k), ReplicaId(2 * k + (round % 2)), LIFETIME);
+        }
+        net.quiesce();
+    }
+
+    // Withdraw one replica per key; deletes walk the (pruned) trees.
+    for k in 0..KEYS {
+        net.replica_deletion(KeyId(k), ReplicaId(2 * k));
+        net.quiesce();
+    }
+
+    // A second query pass over the surviving replicas.
+    query_phase(&net, 2);
+
+    assert_eq!(net.routing_failures(), 0);
+    let hops = net.hops();
+    let cross_shard = net.cross_shard_messages();
+    let nodes = net.shutdown();
+    assert_eq!(nodes.len(), NODES);
+    (nodes.iter().map(|n| n.stats).collect(), hops, cross_shard)
+}
+
+#[test]
+fn multi_worker_run_matches_single_worker_run() {
+    let (multi, multi_hops, multi_cross) = run_script(4);
+    let (single, single_hops, single_cross) = run_script(1);
+
+    assert_eq!(single_cross, 0, "one shard has no boundary to cross");
+    assert!(
+        multi_cross > 0,
+        "a 4-shard run must push messages through mailboxes"
+    );
+
+    // Shard-count independence: identical traffic volume and identical
+    // final protocol state, node by node.
+    assert_eq!(multi_hops, single_hops, "hop counts diverged");
+    for (i, (m, s)) in multi.iter().zip(&single).enumerate() {
+        assert_eq!(m, s, "node n{i}: per-node stats diverged across shardings");
+    }
+
+    // The script really exercised every message family.
+    let mut total = NodeStats::default();
+    for s in &multi {
+        total.merge(s);
+    }
+    assert_eq!(
+        total.client_queries,
+        (2 * THREADS * QUERIES_PER_THREAD) as u64
+    );
+    assert!(total.updates_received > 0, "update traffic flowed");
+    assert!(
+        total.cutoffs > 0 && total.clear_bits_sent > 0,
+        "the refresh starvation rounds must provoke clear-bit traffic \
+         (cutoffs {}, clear-bits {})",
+        total.cutoffs,
+        total.clear_bits_sent
+    );
+    assert!(
+        total.clear_bits_received > 0,
+        "clear-bits must actually arrive upstream"
+    );
+}
+
+#[test]
+fn stress_script_is_reproducible_per_sharding() {
+    let (a, a_hops, _) = run_script(4);
+    let (b, b_hops, _) = run_script(4);
+    assert_eq!(a_hops, b_hops);
+    assert_eq!(a, b, "same sharding, same seed, same outcome");
+}

@@ -133,11 +133,12 @@ fn answers_carry_multiple_replicas() {
     // With several live replicas, responses eventually carry several
     // entries; we verify via the live runtime where answers are visible.
     let mut rng = DetRng::seed_from(5);
-    let net = LiveNetwork::start(16, NodeConfig::cup_default(), &mut rng).unwrap();
+    let net =
+        LiveNetwork::start(OverlayKind::Can, 16, NodeConfig::cup_default(), &mut rng).unwrap();
     for r in 0..3 {
         net.replica_birth(KeyId(1), ReplicaId(r), SimDuration::from_secs(60));
     }
-    std::thread::sleep(std::time::Duration::from_millis(100));
+    net.quiesce();
     let entries = net.query(net.nodes()[5], KeyId(1)).unwrap();
     assert_eq!(entries.len(), 3, "the answer must list all three replicas");
     net.shutdown();
