@@ -1,0 +1,164 @@
+//! Emits `BENCH_policy.json`: the cut-off-policy × query-rate economics
+//! sweep, timed serial vs parallel.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_policy [--scale bench|small|paper] [--rates 1,5,20]
+//!              [--policies always,second-chance,adaptive,...]
+//!              [--workers N] [--seed 42] [--out BENCH_policy.json]
+//!              [--budget-secs N] [--min-speedup X]
+//! ```
+//!
+//! With `--budget-secs`, the process exits non-zero if either sweep pass
+//! exceeds the wall-clock budget. With `--min-speedup`, it exits
+//! non-zero if the parallel path's speedup over serial falls below `X`
+//! (use on runners with known core counts; a 1-core box caps at ~1.0).
+
+use cup_bench::cli::{parse_or_exit, value_of};
+use cup_bench::policy_bench::{default_policies, render_json, run_policy_bench};
+use cup_bench::Scale;
+use cup_core::CutoffPolicy;
+use cup_simnet::par::default_workers;
+use cup_workload::Scenario;
+
+fn main() {
+    let mut scale = Scale::Small;
+    let mut rates: Option<Vec<f64>> = None;
+    let mut policies = default_policies();
+    let mut workers = default_workers();
+    let mut seed: u64 = 42;
+    let mut out_path = String::from("BENCH_policy.json");
+    let mut budget_secs: Option<u64> = None;
+    let mut min_speedup: Option<f64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = value_of(&mut it, "--scale");
+                scale = Scale::parse(&value).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{value}' (use bench|small|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--rates" => {
+                rates = Some(
+                    value_of(&mut it, "--rates")
+                        .split(',')
+                        .map(|s| parse_or_exit(s, "--rates"))
+                        .collect(),
+                );
+            }
+            "--policies" => {
+                policies = value_of(&mut it, "--policies")
+                    .split(',')
+                    .map(|name| {
+                        CutoffPolicy::parse(name.trim()).unwrap_or_else(|| {
+                            eprintln!(
+                                "unknown policy '{name}' (try: always, never, linear:A, \
+                                 log:A, second-chance, log-based:N, push:L, adaptive)"
+                            );
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--workers" => workers = parse_or_exit(&value_of(&mut it, "--workers"), "--workers"),
+            "--seed" => seed = parse_or_exit(&value_of(&mut it, "--seed"), "--seed"),
+            "--out" => out_path = value_of(&mut it, "--out"),
+            "--budget-secs" => {
+                budget_secs = Some(parse_or_exit(
+                    &value_of(&mut it, "--budget-secs"),
+                    "--budget-secs",
+                ));
+            }
+            "--min-speedup" => {
+                min_speedup = Some(parse_or_exit(
+                    &value_of(&mut it, "--min-speedup"),
+                    "--min-speedup",
+                ));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_policy [--scale bench|small|paper] [--rates R,R,..] \
+                     [--policies P,P,..] [--workers N] [--seed N] [--out PATH] \
+                     [--budget-secs N] [--min-speedup X]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let base = Scenario {
+        seed,
+        ..scale.base_scenario()
+    };
+    let rates = rates.unwrap_or_else(|| scale.rates());
+    let report = run_policy_bench(&base, &policies, &rates, workers);
+
+    for p in &report.points {
+        println!(
+            "{:>16}  rate {:>7}  total cost {:>8}  justified {:>6}/{:<6} ({:.2})  hit rate {:.2}",
+            p.policy,
+            p.rate,
+            p.total_cost,
+            p.justified,
+            p.tracked,
+            p.justified_ratio(),
+            p.hit_rate,
+        );
+    }
+    println!(
+        "{} points  serial {:.2} s ({:.2} points/s)  parallel {:.2} s ({:.2} points/s)  \
+         speedup {:.2}x on {} workers",
+        report.points.len(),
+        report.wall_serial.as_secs_f64(),
+        report.serial_points_per_sec(),
+        report.wall_parallel.as_secs_f64(),
+        report.parallel_points_per_sec(),
+        report.speedup(),
+        report.workers,
+    );
+
+    let json = render_json(&report, &base, seed);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+
+    let mut failed = false;
+    if let Some(budget) = budget_secs {
+        for (name, wall) in [
+            ("serial", report.wall_serial),
+            ("parallel", report.wall_parallel),
+        ] {
+            if wall.as_secs() >= budget {
+                eprintln!(
+                    "BUDGET EXCEEDED: {name} sweep took {:.2} s (budget {budget} s)",
+                    wall.as_secs_f64()
+                );
+                failed = true;
+            }
+        }
+    }
+    if let Some(min) = min_speedup {
+        if report.speedup() < min {
+            eprintln!(
+                "SPEEDUP BELOW FLOOR: {:.2}x < {min}x on {} workers",
+                report.speedup(),
+                report.workers
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

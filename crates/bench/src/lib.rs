@@ -11,6 +11,7 @@ use cup_workload::Scenario;
 pub mod cli;
 pub mod des_bench;
 pub mod live_bench;
+pub mod policy_bench;
 
 /// How big to run an experiment sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,215 @@
+//! The policy-sweep benchmark behind `BENCH_policy.json`.
+//!
+//! Runs a cut-off-policy × query-rate grid of justification-tracked DES
+//! experiments twice — once serially, once across the sweep worker pool —
+//! and reports per-point economics (total cost, justified ratio, hit
+//! rate) plus the sweep subsystem's points/sec for both paths. The rows
+//! must be byte-identical between the two runs; `rows_identical` records
+//! that the check ran, and the speedup line is the CI artifact's
+//! scaling-regression tripwire (≥2× expected on a ≥4-core runner).
+
+use std::time::{Duration, Instant};
+
+use cup_core::CutoffPolicy;
+use cup_simnet::par::default_workers;
+use cup_simnet::sweeps::{policy_rate_grid, PolicyGridPoint};
+use cup_workload::Scenario;
+
+/// The default policy list: every family once, paper parameters.
+pub fn default_policies() -> Vec<CutoffPolicy> {
+    vec![
+        CutoffPolicy::Always,
+        CutoffPolicy::Never,
+        CutoffPolicy::Linear { alpha: 0.1 },
+        CutoffPolicy::Logarithmic { alpha: 0.25 },
+        CutoffPolicy::second_chance(),
+        CutoffPolicy::adaptive(),
+    ]
+}
+
+/// One serial-vs-parallel run of the policy × rate grid.
+#[derive(Debug, Clone)]
+pub struct PolicyBenchReport {
+    /// The grid rows (parallel run; asserted identical to the serial
+    /// run's).
+    pub points: Vec<PolicyGridPoint>,
+    /// Wall-clock of the serial (1-worker) sweep.
+    pub wall_serial: Duration,
+    /// Wall-clock of the parallel sweep.
+    pub wall_parallel: Duration,
+    /// Worker threads the parallel sweep used.
+    pub workers: usize,
+    /// Whether the two paths produced byte-identical rows (always true;
+    /// recorded so the artifact proves the check ran).
+    pub rows_identical: bool,
+}
+
+impl PolicyBenchReport {
+    /// Grid points per second for a wall-clock reading.
+    fn points_per_sec(&self, wall: Duration) -> f64 {
+        let secs = wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.points.len() as f64 / secs
+        }
+    }
+
+    /// Points/sec of the serial path.
+    pub fn serial_points_per_sec(&self) -> f64 {
+        self.points_per_sec(self.wall_serial)
+    }
+
+    /// Points/sec of the parallel path.
+    pub fn parallel_points_per_sec(&self) -> f64 {
+        self.points_per_sec(self.wall_parallel)
+    }
+
+    /// Serial wall / parallel wall.
+    pub fn speedup(&self) -> f64 {
+        let parallel = self.wall_parallel.as_secs_f64();
+        if parallel == 0.0 {
+            0.0
+        } else {
+            self.wall_serial.as_secs_f64() / parallel
+        }
+    }
+}
+
+/// Runs the grid serially and in parallel, timing both.
+///
+/// # Panics
+///
+/// Panics if the parallel rows differ from the serial rows — the sweep
+/// subsystem's stable-ordering guarantee is part of what this benchmark
+/// certifies.
+pub fn run_policy_bench(
+    base: &Scenario,
+    policies: &[CutoffPolicy],
+    rates: &[f64],
+    workers: usize,
+) -> PolicyBenchReport {
+    let start = Instant::now();
+    let serial = policy_rate_grid(base, policies, rates, 1);
+    let wall_serial = start.elapsed();
+
+    let start = Instant::now();
+    let parallel = policy_rate_grid(base, policies, rates, workers);
+    let wall_parallel = start.elapsed();
+
+    assert_eq!(
+        serial, parallel,
+        "parallel sweep rows must be byte-identical to the serial path"
+    );
+    PolicyBenchReport {
+        points: parallel,
+        wall_serial,
+        wall_parallel,
+        workers: workers.clamp(1, (policies.len() * rates.len()).max(1)),
+        rows_identical: true,
+    }
+}
+
+/// Convenience wrapper using the machine's sweep worker pool.
+pub fn run_policy_bench_default(
+    base: &Scenario,
+    policies: &[CutoffPolicy],
+    rates: &[f64],
+) -> PolicyBenchReport {
+    run_policy_bench(base, policies, rates, default_workers())
+}
+
+/// Renders the report as the `BENCH_policy.json` document.
+///
+/// Hand-rolled JSON (the workspace builds offline, without serde);
+/// policy names come from `CutoffPolicy::name`, which never needs
+/// escaping.
+pub fn render_json(report: &PolicyBenchReport, base: &Scenario, seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"cup-simnet policy x rate sweep\",\n");
+    out.push_str(&format!("  \"nodes\": {},\n", base.nodes));
+    out.push_str(&format!("  \"keys\": {},\n", base.keys));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"workers\": {},\n", report.workers));
+    out.push_str(&format!(
+        "  \"serial_wall_ms\": {:.3},\n",
+        report.wall_serial.as_secs_f64() * 1e3
+    ));
+    out.push_str(&format!(
+        "  \"parallel_wall_ms\": {:.3},\n",
+        report.wall_parallel.as_secs_f64() * 1e3
+    ));
+    out.push_str(&format!(
+        "  \"serial_points_per_sec\": {:.3},\n",
+        report.serial_points_per_sec()
+    ));
+    out.push_str(&format!(
+        "  \"parallel_points_per_sec\": {:.3},\n",
+        report.parallel_points_per_sec()
+    ));
+    out.push_str(&format!("  \"speedup\": {:.3},\n", report.speedup()));
+    out.push_str(&format!(
+        "  \"rows_identical\": {},\n",
+        report.rows_identical
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, p) in report.points.iter().enumerate() {
+        let comma = if i + 1 < report.points.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"rate\": {}, \"total_cost\": {}, \"miss_cost\": {}, \
+             \"justified\": {}, \"tracked\": {}, \"justified_ratio\": {:.4}, \
+             \"hit_rate\": {:.4}}}{comma}\n",
+            p.policy,
+            p.rate,
+            p.total_cost,
+            p.miss_cost,
+            p.justified,
+            p.tracked,
+            p.justified_ratio(),
+            p.hit_rate,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cup_des::SimTime;
+
+    fn tiny() -> Scenario {
+        Scenario {
+            nodes: 32,
+            keys: 3,
+            query_rate: 5.0,
+            query_start: SimTime::from_secs(300),
+            query_end: SimTime::from_secs(800),
+            sim_end: SimTime::from_secs(1_200),
+            seed: 9,
+            ..Scenario::default()
+        }
+    }
+
+    #[test]
+    fn bench_runs_and_renders() {
+        let policies = [CutoffPolicy::second_chance(), CutoffPolicy::Always];
+        let report = run_policy_bench(&tiny(), &policies, &[5.0], 2);
+        assert_eq!(report.points.len(), 2);
+        assert!(report.rows_identical);
+        assert!(report.serial_points_per_sec() > 0.0);
+        assert!(report.parallel_points_per_sec() > 0.0);
+        let json = render_json(&report, &tiny(), 9);
+        assert!(json.contains("\"policy\": \"second-chance\""));
+        assert!(json.contains("\"rows_identical\": true"));
+        assert!(json.contains("\"speedup\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn default_policies_all_have_stable_names() {
+        for p in default_policies() {
+            assert_eq!(CutoffPolicy::parse(&p.name()), Some(p));
+        }
+    }
+}

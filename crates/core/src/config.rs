@@ -2,7 +2,7 @@
 
 use cup_des::SimDuration;
 
-use crate::policy::CutoffPolicy;
+use crate::policy::{CutoffPolicy, PropagationPolicy};
 use crate::popularity::ResetMode;
 
 /// Which protocol a node runs.
@@ -24,8 +24,10 @@ pub enum Mode {
 pub struct NodeConfig {
     /// Protocol mode (CUP or the standard-caching baseline).
     pub mode: Mode,
-    /// Cut-off policy for incoming updates (§3.4).
-    pub policy: CutoffPolicy,
+    /// Per-key cut-off policy assignment for incoming updates (§3.4).
+    /// A uniform table is the paper's homogeneous configuration; a
+    /// per-class table gives different key classes different policies.
+    pub policies: PropagationPolicy,
     /// When popularity decision windows reset (§3.6).
     pub reset_mode: ResetMode,
     /// If `true`, outgoing updates pass through the bounded §2.8 queues
@@ -56,7 +58,7 @@ impl NodeConfig {
     pub fn cup_default() -> Self {
         NodeConfig {
             mode: Mode::Cup,
-            policy: CutoffPolicy::second_chance(),
+            policies: PropagationPolicy::uniform(CutoffPolicy::second_chance()),
             reset_mode: ResetMode::ReplicaIndependent,
             capacity_limited: false,
             pfu_timeout: SimDuration::from_secs(30),
@@ -69,15 +71,23 @@ impl NodeConfig {
     pub fn standard_caching() -> Self {
         NodeConfig {
             mode: Mode::StandardCaching,
-            policy: CutoffPolicy::Never,
+            policies: PropagationPolicy::uniform(CutoffPolicy::Never),
             ..NodeConfig::cup_default()
         }
     }
 
-    /// CUP with a specific cut-off policy.
+    /// CUP with one cut-off policy for every key.
     pub fn cup_with_policy(policy: CutoffPolicy) -> Self {
         NodeConfig {
-            policy,
+            policies: PropagationPolicy::uniform(policy),
+            ..NodeConfig::cup_default()
+        }
+    }
+
+    /// CUP with a per-key-class policy table.
+    pub fn cup_with_policies(policies: PropagationPolicy) -> Self {
+        NodeConfig {
+            policies,
             ..NodeConfig::cup_default()
         }
     }
@@ -93,11 +103,16 @@ impl Default for NodeConfig {
 mod tests {
     use super::*;
 
+    use cup_des::KeyId;
+
     #[test]
     fn defaults_are_cup_second_chance() {
         let c = NodeConfig::default();
         assert_eq!(c.mode, Mode::Cup);
-        assert_eq!(c.policy, CutoffPolicy::second_chance());
+        assert_eq!(
+            c.policies,
+            PropagationPolicy::uniform(CutoffPolicy::second_chance())
+        );
         assert_eq!(c.reset_mode, ResetMode::ReplicaIndependent);
         assert!(!c.capacity_limited);
     }
@@ -106,13 +121,29 @@ mod tests {
     fn baseline_never_receives_updates() {
         let c = NodeConfig::standard_caching();
         assert_eq!(c.mode, Mode::StandardCaching);
-        assert_eq!(c.policy, CutoffPolicy::Never);
+        assert_eq!(c.policies, PropagationPolicy::uniform(CutoffPolicy::Never));
     }
 
     #[test]
     fn with_policy_overrides_policy_only() {
         let c = NodeConfig::cup_with_policy(CutoffPolicy::Linear { alpha: 0.1 });
         assert_eq!(c.mode, Mode::Cup);
-        assert_eq!(c.policy, CutoffPolicy::Linear { alpha: 0.1 });
+        assert_eq!(
+            c.policies.policy_for(KeyId(9)),
+            CutoffPolicy::Linear { alpha: 0.1 }
+        );
+    }
+
+    #[test]
+    fn per_class_tables_reach_the_node_config() {
+        let table =
+            PropagationPolicy::per_class(&[CutoffPolicy::Always, CutoffPolicy::second_chance()]);
+        let c = NodeConfig::cup_with_policies(table);
+        assert_eq!(c.mode, Mode::Cup);
+        assert_eq!(c.policies.policy_for(KeyId(0)), CutoffPolicy::Always);
+        assert_eq!(
+            c.policies.policy_for(KeyId(1)),
+            CutoffPolicy::second_chance()
+        );
     }
 }

@@ -1,4 +1,4 @@
-//! Justified-update accounting (§3.1).
+//! Justified-update accounting (§3.1) — shared by both runtimes.
 //!
 //! An update pushed down to node N with critical window T is *justified*
 //! if at least one query for the key is posted within T anywhere in the
@@ -9,6 +9,11 @@
 //! X in its subtree. The tracker therefore records open windows per
 //! `(node, key)` and marks them justified as queries walk their virtual
 //! paths.
+//!
+//! The tracker lives in `cup-core` so the DES harness (`cup-simnet`) and
+//! the sharded live runtime (`cup-runtime`) report the same
+//! investment-return metric from the same code — the accounting is part
+//! of the protocol's decision plane, not a simulation-only analysis.
 
 use std::collections::HashMap;
 
@@ -20,6 +25,14 @@ struct Window {
     opened: SimTime,
     closes: SimTime,
     justified: bool,
+}
+
+impl Window {
+    /// A window is settled once it can never change state again: it was
+    /// justified, or it closed unjustified.
+    fn settled(&self, now: SimTime) -> bool {
+        self.justified || self.closes <= now
+    }
 }
 
 /// Tracks justification windows for maintenance updates.
@@ -48,7 +61,7 @@ impl JustificationTracker {
         }
         let slot = self.windows.entry((node, key)).or_default();
         // Prune settled windows opportunistically to bound memory.
-        slot.retain(|w| !w.justified && w.closes > now);
+        slot.retain(|w| !w.settled(now));
         slot.push(Window {
             opened: now,
             closes,
@@ -58,7 +71,9 @@ impl JustificationTracker {
 
     /// Records a query for `key` posted at time `now` whose virtual path
     /// (posting node → authority, inclusive) is `path`. Every open window
-    /// on the path containing `now` becomes justified.
+    /// on the path containing `now` becomes justified (and is then
+    /// settled, so the walk doubles as pruning for slots the update
+    /// stream no longer touches).
     pub fn on_query(&mut self, key: KeyId, now: SimTime, path: &[NodeId]) {
         for &node in path {
             if let Some(slot) = self.windows.get_mut(&(node, key)) {
@@ -68,8 +83,23 @@ impl JustificationTracker {
                         self.justified += 1;
                     }
                 }
+                slot.retain(|w| !w.settled(now));
+                if slot.is_empty() {
+                    self.windows.remove(&(node, key));
+                }
             }
         }
+    }
+
+    /// Drops every settled window (and empty slot) as of `now`. The
+    /// per-event hooks already prune the slots they touch; long-lived
+    /// deployments call this periodically to reclaim slots whose traffic
+    /// stopped entirely.
+    pub fn prune_settled(&mut self, now: SimTime) {
+        self.windows.retain(|_, slot| {
+            slot.retain(|w| !w.settled(now));
+            !slot.is_empty()
+        });
     }
 
     /// Number of justified updates so far.
@@ -80,6 +110,21 @@ impl JustificationTracker {
     /// Number of updates tracked so far.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Fraction of tracked updates justified so far.
+    pub fn justified_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.justified as f64 / self.total as f64
+        }
+    }
+
+    /// Windows currently held open in memory (the memory-bound metric:
+    /// settled windows must not accumulate here).
+    pub fn open_windows(&self) -> usize {
+        self.windows.values().map(Vec::len).sum()
     }
 }
 
@@ -105,6 +150,7 @@ mod tests {
         );
         assert_eq!(t.justified(), 1);
         assert_eq!(t.total(), 1);
+        assert_eq!(t.justified_ratio(), 1.0);
     }
 
     #[test]
@@ -191,5 +237,40 @@ mod tests {
         assert_eq!(t.total(), 1);
         t.on_query(KEY, SimTime::from_secs(10), &[NodeId(1)]);
         assert_eq!(t.justified(), 0);
+    }
+
+    #[test]
+    fn justified_windows_are_pruned_on_the_query_walk() {
+        let mut t = JustificationTracker::new();
+        t.on_update_delivered(
+            NodeId(1),
+            KEY,
+            SimTime::from_secs(0),
+            SimTime::from_secs(100),
+        );
+        assert_eq!(t.open_windows(), 1);
+        t.on_query(KEY, SimTime::from_secs(10), &[NodeId(1)]);
+        assert_eq!(t.open_windows(), 0, "a justified window is settled");
+        assert_eq!(t.justified(), 1, "pruning keeps the counters");
+    }
+
+    #[test]
+    fn prune_settled_reclaims_abandoned_slots() {
+        let mut t = JustificationTracker::new();
+        for n in 0..4u32 {
+            t.on_update_delivered(
+                NodeId(n),
+                KEY,
+                SimTime::from_secs(0),
+                SimTime::from_secs(50),
+            );
+        }
+        assert_eq!(t.open_windows(), 4);
+        // Still open at t = 49, all expired by t = 50.
+        t.prune_settled(SimTime::from_secs(49));
+        assert_eq!(t.open_windows(), 4);
+        t.prune_settled(SimTime::from_secs(50));
+        assert_eq!(t.open_windows(), 0);
+        assert_eq!(t.total(), 4, "pruning never rewrites history");
     }
 }

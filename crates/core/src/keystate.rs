@@ -10,6 +10,7 @@ use cup_des::SimTime;
 use crate::entry::IndexEntry;
 use crate::interest::InterestSet;
 use crate::message::{ClientId, Requester, Update, UpdateKind};
+use crate::policy::PolicyState;
 use crate::popularity::Popularity;
 
 /// All state a node keeps for one cached (non-local) key.
@@ -25,6 +26,9 @@ pub struct KeyState {
     pub interest: InterestSet,
     /// Popularity measure driving cut-off decisions.
     pub popularity: Popularity,
+    /// Per-key propagation-policy decision state (interval observations
+    /// and, for the adaptive policy, its tuned tolerance).
+    pub policy_state: PolicyState,
     /// Local clients with connections held open (CUP mode; §2.5).
     pub waiting_clients: Vec<ClientId>,
     /// Pending requesters in standard-caching mode (per-query response

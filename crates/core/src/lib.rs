@@ -26,9 +26,13 @@
 //! * **§2.9 churn support** — interest patching on neighbor changes and
 //!   index hand-over hooks.
 //! * **§3.4 cut-off policies** — linear and logarithmic
-//!   probability-based thresholds, the log-based second-chance policy, and
-//!   the fixed push-level policy used to find the optimal level
+//!   probability-based thresholds, the log-based second-chance policy, the
+//!   fixed push-level policy used to find the optimal level, and an
+//!   adaptive policy tuned from the locally observed justified ratio —
+//!   assigned per key class through [`policy::PropagationPolicy`]
 //!   ([`policy::CutoffPolicy`]).
+//! * **§3.1 justified-update accounting** — shared by the simulation and
+//!   live runtimes ([`justify::JustificationTracker`]).
 //! * **§3.6 replica-independent cut-off** — both the naive and the fixed
 //!   popularity-reset rules ([`popularity::ResetMode`]).
 //!
@@ -42,6 +46,7 @@ pub mod config;
 pub mod directory;
 pub mod entry;
 pub mod interest;
+pub mod justify;
 pub mod keystate;
 pub mod message;
 pub mod node;
@@ -52,7 +57,8 @@ pub mod stats;
 pub use action::Action;
 pub use config::{Mode, NodeConfig};
 pub use entry::IndexEntry;
+pub use justify::JustificationTracker;
 pub use message::{ClientId, Message, ReplicaEvent, Requester, Update, UpdateKind};
 pub use node::CupNode;
-pub use policy::CutoffPolicy;
+pub use policy::{CutoffPolicy, PolicyState, PropagationPolicy};
 pub use popularity::ResetMode;

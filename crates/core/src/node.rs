@@ -361,7 +361,11 @@ impl CupNode {
                     consecutive_empty: st.popularity.consecutive_empty(),
                     depth: update.depth,
                 };
-                if !self.config.policy.keep_receiving(&ctx) {
+                if !self
+                    .config
+                    .policies
+                    .decide(update.key, &mut st.policy_state, &ctx)
+                {
                     // Not popular enough: cut off our incoming supply.
                     self.stats.cutoffs += 1;
                     self.stats.clear_bits_sent += 1;
@@ -413,7 +417,7 @@ impl CupNode {
     ) {
         let child_depth = update.depth.saturating_add(1);
         if update.kind != UpdateKind::FirstTime {
-            if let Some(level) = self.config.policy.sender_side_level() {
+            if let Some(level) = self.config.policies.sender_side_level(update.key) {
                 if child_depth > level {
                     return;
                 }
@@ -482,7 +486,9 @@ impl CupNode {
             consecutive_empty: st.popularity.consecutive_empty(),
             depth: st.last_depth,
         };
-        if !self.config.policy.keep_receiving(&ctx) {
+        // Read-only evaluation: losing a downstream subscriber is not an
+        // update decision point, so no interval is consumed here.
+        if !self.config.policies.would_keep(key, &st.policy_state, &ctx) {
             self.stats.clear_bits_sent += 1;
             out.push(Action::send(upstream, Message::ClearBit { key }));
         }
@@ -1454,6 +1460,84 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn per_key_policy_classes_decide_independently() {
+        use crate::policy::PropagationPolicy;
+        // Key class 0 pushes forever (Always); class 1 cuts immediately
+        // (Never). One node, two keys, opposite decisions.
+        let config = NodeConfig::cup_with_policies(PropagationPolicy::per_class(&[
+            CutoffPolicy::Always,
+            CutoffPolicy::Never,
+        ]));
+        let mut node = CupNode::new(NodeId(1), config);
+        for key in [0u32, 1] {
+            node.handle_query(
+                SimTime::ZERO,
+                KeyId(key),
+                Requester::Client(ClientId(u64::from(key))),
+                Some(NodeId(9)),
+            );
+            node.handle_update(
+                SimTime::from_secs(1),
+                NodeId(9),
+                first_time(key, vec![entry(key, 0, 0)], 2),
+            );
+        }
+        let keep = node.handle_update(SimTime::from_secs(300), NodeId(9), refresh(0, 0, 300, 2));
+        assert!(keep.is_empty(), "class 0 (Always) keeps receiving");
+        let cut = node.handle_update(SimTime::from_secs(300), NodeId(9), refresh(1, 0, 300, 2));
+        assert_eq!(
+            cut,
+            vec![Action::send(NodeId(9), Message::ClearBit { key: KeyId(1) })],
+            "class 1 (Never) cuts off"
+        );
+        assert_eq!(node.stats.cutoffs, 1);
+    }
+
+    #[test]
+    fn adaptive_policy_state_lives_per_key() {
+        let mut node = CupNode::new(
+            NodeId(1),
+            NodeConfig::cup_with_policy(CutoffPolicy::adaptive()),
+        );
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Client(ClientId(1)),
+            Some(NodeId(9)),
+        );
+        node.handle_update(
+            SimTime::from_secs(1),
+            NodeId(9),
+            first_time(1, vec![entry(1, 0, 0)], 2),
+        );
+        // A query in every interval (posted while the cache is still
+        // fresh, so no Pending-First-Update round-trips): each refresh is
+        // a justified decision interval recorded against this key's
+        // state.
+        for round in 1..6 {
+            node.handle_query(
+                SimTime::from_secs(round * 300 - 10),
+                KeyId(1),
+                Requester::Client(ClientId(round)),
+                Some(NodeId(9)),
+            );
+            node.handle_update(
+                SimTime::from_secs(round * 300),
+                NodeId(9),
+                refresh(1, 0, round * 300, 2),
+            );
+        }
+        let st = node.key_state(KeyId(1)).unwrap();
+        assert_eq!(st.policy_state.intervals(), 5);
+        assert_eq!(st.policy_state.justified_ratio(), 1.0);
+        assert!(
+            st.policy_state.tolerance() > 3,
+            "sustained queries must loosen the adaptive tolerance"
+        );
+        assert_eq!(node.stats.cutoffs, 0);
     }
 
     #[test]

@@ -50,8 +50,8 @@ pub use cup_workload as workload;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use cup_core::{
-        Action, CupNode, CutoffPolicy, IndexEntry, Message, Mode, NodeConfig, ReplicaEvent,
-        Requester, ResetMode, Update, UpdateKind,
+        Action, CupNode, CutoffPolicy, IndexEntry, JustificationTracker, Message, Mode, NodeConfig,
+        PolicyState, PropagationPolicy, ReplicaEvent, Requester, ResetMode, Update, UpdateKind,
     };
     pub use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration, SimTime};
     pub use cup_overlay::{AnyOverlay, Overlay, OverlayKind};
@@ -68,5 +68,7 @@ mod tests {
         let _ = NodeConfig::cup_default();
         let _ = Scenario::default();
         let _ = CutoffPolicy::second_chance();
+        let _ = PropagationPolicy::uniform(CutoffPolicy::adaptive());
+        let _ = JustificationTracker::new();
     }
 }

@@ -156,6 +156,30 @@ impl LiveNetwork {
         self.shared.routing_failures.load(Ordering::Relaxed)
     }
 
+    /// Switches §3.1 justified-update accounting on or off. Enable it
+    /// before injecting traffic: the tracker only sees events recorded
+    /// while it is on. Costs one lock per maintenance-update delivery
+    /// and per posted query, so benchmarks leave it off.
+    pub fn track_justification(&self, enabled: bool) {
+        self.shared
+            .justify_on
+            .store(enabled, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// The live `(justified, tracked)` maintenance-update counts — the
+    /// same investment-return metric the DES reports in
+    /// `ExperimentResult::{justified_updates, tracked_updates}`.
+    /// `(0, 0)` until [`LiveNetwork::track_justification`] is enabled.
+    /// Call after [`LiveNetwork::quiesce`] for a stable reading.
+    pub fn justification(&self) -> (u64, u64) {
+        let tracker = self
+            .shared
+            .justify
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        (tracker.justified(), tracker.total())
+    }
+
     /// Blocks until the network is quiescent: every shard mailbox is
     /// drained and no worker is mid-dispatch.
     ///
@@ -441,6 +465,52 @@ mod tests {
         let nodes = net.shutdown();
         let total: u64 = nodes.iter().map(|n| n.stats.client_queries).sum();
         assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn justification_accounting_tracks_maintenance_updates() {
+        let net = network(OverlayKind::Can, 16);
+        net.track_justification(true);
+        net.replica_birth(KeyId(1), ReplicaId(0), LIFE);
+        net.quiesce();
+        // Queries subscribe their reverse paths; responses (first-time
+        // updates) are never tracked.
+        for &i in &[3usize, 5, 9] {
+            net.query(net.nodes()[i], KeyId(1)).unwrap();
+            net.quiesce();
+        }
+        assert_eq!(
+            net.justification(),
+            (0, 0),
+            "first-time responses are not §3.1 maintenance updates"
+        );
+        // A refresh flows down the interest tree and opens windows.
+        net.replica_refresh(KeyId(1), ReplicaId(0), LIFE);
+        net.quiesce();
+        let (_, tracked) = net.justification();
+        assert!(tracked > 0, "refresh deliveries must be tracked");
+        // Re-querying walks those windows' virtual paths and justifies
+        // them.
+        for &i in &[3usize, 5, 9] {
+            net.query(net.nodes()[i], KeyId(1)).unwrap();
+            net.quiesce();
+        }
+        let (justified, total) = net.justification();
+        assert!(justified >= 1, "a query inside the window justifies it");
+        assert!(justified <= total);
+        net.shutdown();
+    }
+
+    #[test]
+    fn justification_is_off_by_default() {
+        let net = network(OverlayKind::Can, 16);
+        net.replica_birth(KeyId(1), ReplicaId(0), LIFE);
+        net.quiesce();
+        net.query(net.nodes()[5], KeyId(1)).unwrap();
+        net.replica_refresh(KeyId(1), ReplicaId(0), LIFE);
+        net.quiesce();
+        assert_eq!(net.justification(), (0, 0));
+        net.shutdown();
     }
 
     #[test]

@@ -17,7 +17,10 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use cup_core::{Action, ClientId, CupNode, IndexEntry, Message, ReplicaEvent, Requester};
+use cup_core::justify::JustificationTracker;
+use cup_core::{
+    Action, ClientId, CupNode, IndexEntry, Message, ReplicaEvent, Requester, UpdateKind,
+};
 use cup_des::{KeyId, NodeId, SimTime};
 use cup_overlay::{AnyOverlay, Overlay};
 
@@ -79,6 +82,12 @@ pub(crate) struct Shared {
     pub(crate) cross_shard: AtomicU64,
     /// Messages dropped because the overlay failed to route them.
     pub(crate) routing_failures: AtomicU64,
+    /// §3.1 justified-update accounting, shared with the DES through
+    /// [`cup_core::justify`]. Gated by `justify_on` so the disabled path
+    /// costs one relaxed load per event, not a lock.
+    pub(crate) justify: Mutex<JustificationTracker>,
+    /// Whether the justification tracker records events.
+    pub(crate) justify_on: AtomicBool,
     /// In-flight envelopes: incremented before a mailbox send,
     /// decremented after the receiving worker fully dispatched the
     /// envelope, including its inline intra-shard cascade.
@@ -108,6 +117,8 @@ impl Shared {
             hops: AtomicU64::new(0),
             cross_shard: AtomicU64::new(0),
             routing_failures: AtomicU64::new(0),
+            justify: Mutex::new(JustificationTracker::new()),
+            justify_on: AtomicBool::new(false),
             pending: AtomicU64::new(0),
             panicked: AtomicBool::new(false),
             idle_lock: Mutex::new(()),
@@ -203,6 +214,31 @@ impl Shared {
         }
     }
 
+    /// Whether justification accounting is live.
+    pub(crate) fn justify_enabled(&self) -> bool {
+        self.justify_on.load(Ordering::Relaxed)
+    }
+
+    /// Records a delivered maintenance update with the shared tracker.
+    pub(crate) fn justify_update(&self, to: NodeId, key: KeyId, now: SimTime, closes: SimTime) {
+        self.justify
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .on_update_delivered(to, key, now, closes);
+    }
+
+    /// Records a posted client query's virtual path with the tracker
+    /// (mirrors the DES harness: one `on_query` per posted query, never
+    /// per forwarded hop).
+    pub(crate) fn justify_query(&self, at: NodeId, key: KeyId, now: SimTime) {
+        if let Ok(path) = self.overlay.route(at, key) {
+            self.justify
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .on_query(key, now, &path);
+        }
+    }
+
     /// Delivers a query answer to a waiting client, if it still waits.
     fn respond_client(&self, client: ClientId, entries: Vec<IndexEntry>) {
         if let Some(tx) = self.clients.lock().unwrap().get(&client) {
@@ -285,6 +321,12 @@ impl Worker {
                 let now = self.shared.now();
                 match self.shared.upstream_of(at, key) {
                     Ok(upstream) => {
+                        // Justification bookkeeping first, exactly like
+                        // the DES harness: the posted query covers every
+                        // node on its virtual path (§3.1).
+                        if self.shared.justify_enabled() {
+                            self.shared.justify_query(at, key, now);
+                        }
                         let mut actions = std::mem::take(&mut self.actions);
                         self.node_mut(at).handle_query_into(
                             now,
@@ -334,6 +376,10 @@ impl Worker {
                 }
             }
             Message::Update(update) => {
+                if update.kind != UpdateKind::FirstTime && self.shared.justify_enabled() {
+                    self.shared
+                        .justify_update(to, update.key, now, update.window_end);
+                }
                 self.node_mut(to)
                     .handle_update_into(now, from, update, &mut actions);
             }

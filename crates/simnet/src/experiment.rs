@@ -1,6 +1,7 @@
 //! One experiment, end to end.
 
-use cup_core::NodeConfig;
+use cup_core::justify::JustificationTracker;
+use cup_core::{CutoffPolicy, NodeConfig, PropagationPolicy};
 use cup_des::{DetRng, Engine, LatencyModel, SimDuration};
 use cup_overlay::{AnyOverlay, OverlayKind};
 use cup_workload::{
@@ -9,7 +10,6 @@ use cup_workload::{
 };
 
 use crate::event::Ev;
-use crate::justify::JustificationTracker;
 use crate::metrics::ExperimentResult;
 use crate::network::Network;
 
@@ -67,14 +67,29 @@ impl ExperimentConfig {
 ///
 /// # Panics
 ///
-/// Panics if the scenario fails validation or the overlay cannot be
-/// built — experiment configurations are programmer input.
+/// Panics if the scenario fails validation, names an unknown policy
+/// class, or the overlay cannot be built — experiment configurations are
+/// programmer input.
 pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
     config
         .scenario
         .validate()
         .expect("scenario must be internally consistent");
     let scenario = &config.scenario;
+    let mut node_config = config.node_config;
+    if !scenario.policy_classes.is_empty() {
+        // The workload names its policy mix; parse it into the table so
+        // heterogeneous populations come straight from the scenario.
+        let classes: Vec<CutoffPolicy> = scenario
+            .policy_classes
+            .iter()
+            .map(|name| {
+                CutoffPolicy::parse(name)
+                    .unwrap_or_else(|| panic!("unknown policy class name '{name}'"))
+            })
+            .collect();
+        node_config.policies = PropagationPolicy::per_class(&classes);
+    }
     let root = DetRng::seed_from(scenario.seed);
     let mut overlay_rng = root.derive(1);
     let workload_rng = root.derive(2);
@@ -84,12 +99,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
 
     let overlay = AnyOverlay::build(config.overlay, scenario.nodes, &mut overlay_rng)
         .expect("overlay construction");
-    let mut net = Network::new(
-        overlay,
-        config.node_config,
-        config.latency.clone(),
-        latency_rng,
-    );
+    let mut net = Network::new(overlay, node_config, config.latency.clone(), latency_rng);
     if config.track_justification {
         net.justify = Some(JustificationTracker::new());
     }
@@ -255,6 +265,60 @@ mod tests {
             "justified fraction {} unexpectedly low",
             result.justified_fraction()
         );
+    }
+
+    #[test]
+    fn mixed_policy_scenario_interpolates_between_its_classes() {
+        // Keys alternate between all-out push and immediate cut-off; the
+        // mixed population's overhead must land strictly between the two
+        // homogeneous runs' (immediate cut-off is not free — clear-bit
+        // churn and re-subscription cycles give `never` its own overhead
+        // profile, distinct from `always`'s steady refresh stream).
+        let base = small_scenario(5.0);
+        let run_named = |classes: &[&str]| {
+            let scenario = base.clone().with_policy_classes(classes);
+            run_experiment(&ExperimentConfig::cup(scenario))
+        };
+        let all_push = run_named(&["always"]);
+        let no_push = run_named(&["never"]);
+        let mixed = run_named(&["always", "never"]);
+        let lo = no_push.overhead().min(all_push.overhead());
+        let hi = no_push.overhead().max(all_push.overhead());
+        assert!(
+            lo < mixed.overhead() && mixed.overhead() < hi,
+            "mixed overhead {} must sit strictly between the homogeneous runs' {lo} and {hi}",
+            mixed.overhead()
+        );
+        // Deterministic like every other configuration.
+        let again = run_named(&["always", "never"]);
+        assert_eq!(mixed, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy class name")]
+    fn unknown_policy_class_names_fail_loudly() {
+        let scenario = small_scenario(1.0).with_policy_classes(&["pastry"]);
+        let _ = run_experiment(&ExperimentConfig::cup(scenario));
+    }
+
+    #[test]
+    fn adaptive_policy_runs_and_stays_economical() {
+        let mut adaptive = ExperimentConfig::cup(small_scenario(5.0));
+        adaptive.node_config = NodeConfig::cup_with_policy(CutoffPolicy::adaptive());
+        adaptive.track_justification = true;
+        let adaptive = run_experiment(&adaptive);
+        let mut always = ExperimentConfig::cup(small_scenario(5.0));
+        always.node_config = NodeConfig::cup_with_policy(CutoffPolicy::Always);
+        always.track_justification = true;
+        let always = run_experiment(&always);
+        assert!(adaptive.tracked_updates > 0);
+        assert!(
+            adaptive.justified_fraction() >= always.justified_fraction(),
+            "adaptive {} must justify at least as well as all-out push {}",
+            adaptive.justified_fraction(),
+            always.justified_fraction()
+        );
+        assert!(adaptive.total_cost() <= always.total_cost());
     }
 
     #[test]

@@ -14,23 +14,28 @@
 //!   the paper's accounting);
 //! * **total cost** = miss cost + overhead.
 //!
-//! A [`justify::JustificationTracker`] measures the fraction of pushed
-//! updates whose cost is recovered by a subsequent query in the receiving
-//! node's virtual subtree (§3.1), using the determinism of overlay routing
-//! to enumerate virtual query paths exactly.
+//! A [`cup_core::justify::JustificationTracker`] (shared with the live
+//! runtime) measures the fraction of pushed updates whose cost is
+//! recovered by a subsequent query in the receiving node's virtual
+//! subtree (§3.1), using the determinism of overlay routing to enumerate
+//! virtual query paths exactly.
 //!
 //! [`experiment::run_experiment`] runs one configuration end to end;
 //! [`sweeps`] contains the parameter sweeps behind every table and figure
-//! of the paper; [`report`] renders them in the paper's format.
+//! of the paper — each grid point is an independent deterministic run, so
+//! [`par::parallel_map`] farms them across worker threads with stable
+//! output ordering; [`report`] renders them in the paper's format.
 
 pub mod arena;
 pub mod event;
 pub mod experiment;
-pub mod justify;
 pub mod metrics;
 pub mod network;
+pub mod par;
 pub mod report;
 pub mod sweeps;
+
+pub use cup_core::justify;
 
 pub use arena::NodeArena;
 pub use event::Ev;

@@ -17,9 +17,10 @@ use cup_workload::{
     QueryGen,
 };
 
+use cup_core::justify::JustificationTracker;
+
 use crate::arena::NodeArena;
 use crate::event::Ev;
-use crate::justify::JustificationTracker;
 use crate::metrics::NetMetrics;
 
 /// How often capacity-limited nodes service their outgoing queues.

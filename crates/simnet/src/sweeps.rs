@@ -1,17 +1,39 @@
-//! Parameter sweeps reproducing every table and figure of the paper.
+//! Parameter sweeps reproducing every table and figure of the paper —
+//! run as a thread-parallel sweep subsystem.
 //!
 //! Each function takes a *base* scenario so callers choose the scale: the
 //! `repro` binary uses the paper's parameters (2¹⁰ nodes, 3 000 s of
 //! querying), the Criterion benches use scaled-down versions with the same
 //! shape.
+//!
+//! Every grid point is an independent deterministic DES run, so each
+//! sweep flattens its grid into a job list and farms it over
+//! [`crate::par::parallel_map`] — results come back in input order, which
+//! makes the parallel path byte-identical to the serial one (`workers =
+//! 1`). The `*_with` variants expose the worker count; the plain
+//! functions use the machine's available parallelism.
 
 use cup_core::{CutoffPolicy, NodeConfig, ResetMode};
 use cup_workload::{capacity::CapacityProfile, Scenario};
 
 use crate::experiment::{run_experiment, ExperimentConfig};
+use crate::metrics::ExperimentResult;
+use crate::par::{default_workers, parallel_map};
+
+/// Runs one grid point: `base` at `rate` under `node_config`.
+fn run_point(base: &Scenario, node_config: NodeConfig, rate: f64) -> ExperimentResult {
+    let scenario = Scenario {
+        query_rate: rate,
+        ..base.clone()
+    };
+    run_experiment(&ExperimentConfig {
+        node_config,
+        ..ExperimentConfig::cup(scenario)
+    })
+}
 
 /// One point of the Figure 3/4 push-level sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PushLevelPoint {
     /// Network-wide query rate (q/s).
     pub rate: f64,
@@ -29,31 +51,37 @@ pub struct PushLevelPoint {
 /// have queried for the key and that are at most p hops from the
 /// authority node. A push level of 0 corresponds to standard caching."
 pub fn push_level_sweep(base: &Scenario, rates: &[f64], levels: &[u32]) -> Vec<PushLevelPoint> {
-    let mut out = Vec::new();
-    for &rate in rates {
-        for &level in levels {
-            let scenario = Scenario {
-                query_rate: rate,
-                ..base.clone()
-            };
-            let config = ExperimentConfig {
-                node_config: NodeConfig::cup_with_policy(CutoffPolicy::PushLevel { level }),
-                ..ExperimentConfig::cup(scenario)
-            };
-            let r = run_experiment(&config);
-            out.push(PushLevelPoint {
-                rate,
-                level,
-                total_cost: r.total_cost(),
-                miss_cost: r.miss_cost(),
-            });
+    push_level_sweep_with(base, rates, levels, default_workers())
+}
+
+/// [`push_level_sweep`] with an explicit sweep worker count.
+pub fn push_level_sweep_with(
+    base: &Scenario,
+    rates: &[f64],
+    levels: &[u32],
+    workers: usize,
+) -> Vec<PushLevelPoint> {
+    let grid: Vec<(f64, u32)> = rates
+        .iter()
+        .flat_map(|&rate| levels.iter().map(move |&level| (rate, level)))
+        .collect();
+    parallel_map(&grid, workers, |&(rate, level)| {
+        let r = run_point(
+            base,
+            NodeConfig::cup_with_policy(CutoffPolicy::PushLevel { level }),
+            rate,
+        );
+        PushLevelPoint {
+            rate,
+            level,
+            total_cost: r.total_cost(),
+            miss_cost: r.miss_cost(),
         }
-    }
-    out
+    })
 }
 
 /// One row of Table 1.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolicyRow {
     /// Human-readable policy name in the paper's wording.
     pub policy: String,
@@ -69,18 +97,16 @@ pub struct PolicyRow {
 /// α values, second-chance, and the optimal push level (the minimum over
 /// `optimal_levels`).
 pub fn policy_table(base: &Scenario, rates: &[f64], optimal_levels: &[u32]) -> Vec<PolicyRow> {
-    let run = |node_config: NodeConfig, rate: f64| {
-        let scenario = Scenario {
-            query_rate: rate,
-            ..base.clone()
-        };
-        run_experiment(&ExperimentConfig {
-            node_config,
-            ..ExperimentConfig::cup(scenario)
-        })
-        .total_cost()
-    };
+    policy_table_with(base, rates, optimal_levels, default_workers())
+}
 
+/// [`policy_table`] with an explicit sweep worker count.
+pub fn policy_table_with(
+    base: &Scenario,
+    rates: &[f64],
+    optimal_levels: &[u32],
+    workers: usize,
+) -> Vec<PolicyRow> {
     let mut policies: Vec<(String, NodeConfig)> =
         vec![("Standard Caching".into(), NodeConfig::standard_caching())];
     for alpha in [0.25, 0.10, 0.01, 0.001] {
@@ -100,27 +126,43 @@ pub fn policy_table(base: &Scenario, rates: &[f64], optimal_levels: &[u32]) -> V
         NodeConfig::cup_with_policy(CutoffPolicy::second_chance()),
     ));
 
-    let mut rows = Vec::new();
-    let mut standard_costs = Vec::new();
-    for (name, node_config) in policies {
-        let costs: Vec<u64> = rates.iter().map(|&r| run(node_config, r)).collect();
-        if name == "Standard Caching" {
-            standard_costs = costs.clone();
+    // Flatten the whole table — named policies plus the push levels the
+    // optimal row minimizes over — into one job list, one experiment
+    // each.
+    let mut jobs: Vec<(NodeConfig, f64)> = Vec::new();
+    for (_, config) in &policies {
+        for &rate in rates {
+            jobs.push((*config, rate));
         }
-        let normalized = normalize(&costs, &standard_costs);
+    }
+    for &level in optimal_levels {
+        let config = NodeConfig::cup_with_policy(CutoffPolicy::PushLevel { level });
+        for &rate in rates {
+            jobs.push((config, rate));
+        }
+    }
+    let costs: Vec<u64> = parallel_map(&jobs, workers, |&(config, rate)| {
+        run_point(base, config, rate).total_cost()
+    });
+
+    // Reassemble in job order: `policies` rows first, rates fastest.
+    let mut rows = Vec::new();
+    let standard_costs: Vec<u64> = costs[..rates.len()].to_vec();
+    for (i, (name, _)) in policies.iter().enumerate() {
+        let row_costs = costs[i * rates.len()..(i + 1) * rates.len()].to_vec();
+        let normalized = normalize(&row_costs, &standard_costs);
         rows.push(PolicyRow {
-            policy: name,
-            total_costs: costs,
+            policy: name.clone(),
+            total_costs: row_costs,
             normalized,
         });
     }
-
     // Optimal push level: best total cost over the sweep, per rate.
     let mut optimal = vec![u64::MAX; rates.len()];
-    for &level in optimal_levels {
-        let config = NodeConfig::cup_with_policy(CutoffPolicy::PushLevel { level });
-        for (i, &rate) in rates.iter().enumerate() {
-            optimal[i] = optimal[i].min(run(config, rate));
+    let tail = &costs[policies.len() * rates.len()..];
+    for (l, _) in optimal_levels.iter().enumerate() {
+        for (i, _) in rates.iter().enumerate() {
+            optimal[i] = optimal[i].min(tail[l * rates.len() + i]);
         }
     }
     let normalized = normalize(&optimal, &standard_costs);
@@ -140,8 +182,71 @@ fn normalize(costs: &[u64], baseline: &[u64]) -> Vec<f64> {
         .collect()
 }
 
+/// One point of the `bench_policy` policy × query-rate grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyGridPoint {
+    /// Stable policy name ([`CutoffPolicy::name`]).
+    pub policy: String,
+    /// Network-wide query rate (q/s).
+    pub rate: f64,
+    /// Total cost in hops.
+    pub total_cost: u64,
+    /// Miss cost in hops.
+    pub miss_cost: u64,
+    /// §3.1 justified maintenance updates.
+    pub justified: u64,
+    /// Maintenance updates tracked (justification denominator).
+    pub tracked: u64,
+    /// Client cache-hit rate.
+    pub hit_rate: f64,
+}
+
+impl PolicyGridPoint {
+    /// Fraction of tracked updates that were justified.
+    pub fn justified_ratio(&self) -> f64 {
+        ratio(self.justified, self.tracked)
+    }
+}
+
+/// The policy × query-rate grid behind `BENCH_policy.json`: every
+/// combination runs one justification-tracked experiment; rows come back
+/// in `policies`-major, `rates`-minor order.
+pub fn policy_rate_grid(
+    base: &Scenario,
+    policies: &[CutoffPolicy],
+    rates: &[f64],
+    workers: usize,
+) -> Vec<PolicyGridPoint> {
+    let grid: Vec<(CutoffPolicy, f64)> = policies
+        .iter()
+        .flat_map(|&p| rates.iter().map(move |&r| (p, r)))
+        .collect();
+    parallel_map(&grid, workers, |&(policy, rate)| {
+        let scenario = Scenario {
+            query_rate: rate,
+            ..base.clone()
+        };
+        let config = ExperimentConfig {
+            node_config: NodeConfig::cup_with_policy(policy),
+            track_justification: true,
+            ..ExperimentConfig::cup(scenario)
+        };
+        let r = run_experiment(&config);
+        let hit_rate = ratio(r.nodes.client_hits, r.nodes.client_queries);
+        PolicyGridPoint {
+            policy: policy.name(),
+            rate,
+            total_cost: r.total_cost(),
+            miss_cost: r.miss_cost(),
+            justified: r.justified_updates,
+            tracked: r.tracked_updates,
+            hit_rate,
+        }
+    })
+}
+
 /// One column of Table 2.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SizeColumn {
     /// Number of nodes.
     pub nodes: usize,
@@ -158,15 +263,32 @@ pub struct SizeColumn {
 /// Table 2: CUP versus standard caching across network sizes (second-
 /// chance policy).
 pub fn size_sweep(base: &Scenario, sizes: &[usize]) -> Vec<SizeColumn> {
+    size_sweep_with(base, sizes, default_workers())
+}
+
+/// [`size_sweep`] with an explicit sweep worker count.
+pub fn size_sweep_with(base: &Scenario, sizes: &[usize], workers: usize) -> Vec<SizeColumn> {
+    // Two jobs per size: the baseline and the CUP run.
+    let jobs: Vec<(usize, bool)> = sizes
+        .iter()
+        .flat_map(|&nodes| [(nodes, false), (nodes, true)])
+        .collect();
+    let results = parallel_map(&jobs, workers, |&(nodes, cup)| {
+        let scenario = Scenario {
+            nodes,
+            ..base.clone()
+        };
+        if cup {
+            run_experiment(&ExperimentConfig::cup(scenario))
+        } else {
+            run_experiment(&ExperimentConfig::standard_caching(scenario))
+        }
+    });
     sizes
         .iter()
-        .map(|&nodes| {
-            let scenario = Scenario {
-                nodes,
-                ..base.clone()
-            };
-            let std = run_experiment(&ExperimentConfig::standard_caching(scenario.clone()));
-            let cup = run_experiment(&ExperimentConfig::cup(scenario));
+        .zip(results.chunks_exact(2))
+        .map(|(&nodes, pair)| {
+            let (std, cup) = (&pair[0], &pair[1]);
             SizeColumn {
                 nodes,
                 miss_cost_ratio: ratio(cup.miss_cost(), std.miss_cost()),
@@ -187,7 +309,7 @@ fn ratio(a: u64, b: u64) -> f64 {
 }
 
 /// One row of Table 3.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplicaRow {
     /// Replicas per key.
     pub replicas: u32,
@@ -207,17 +329,36 @@ pub struct ReplicaRow {
 /// the replica-independent cut-off (second-chance policy, λ = 1 q/s in
 /// the paper).
 pub fn replica_sweep(base: &Scenario, replica_counts: &[u32]) -> Vec<ReplicaRow> {
+    replica_sweep_with(base, replica_counts, default_workers())
+}
+
+/// [`replica_sweep`] with an explicit sweep worker count.
+pub fn replica_sweep_with(
+    base: &Scenario,
+    replica_counts: &[u32],
+    workers: usize,
+) -> Vec<ReplicaRow> {
+    // Two jobs per count: naive reset and replica-independent reset.
+    let jobs: Vec<(u32, bool)> = replica_counts
+        .iter()
+        .flat_map(|&replicas| [(replicas, true), (replicas, false)])
+        .collect();
+    let results = parallel_map(&jobs, workers, |&(replicas, naive)| {
+        let scenario = Scenario {
+            replicas_per_key: replicas,
+            ..base.clone()
+        };
+        let mut config = ExperimentConfig::cup(scenario);
+        if naive {
+            config.node_config.reset_mode = ResetMode::Naive;
+        }
+        run_experiment(&config)
+    });
     replica_counts
         .iter()
-        .map(|&replicas| {
-            let scenario = Scenario {
-                replicas_per_key: replicas,
-                ..base.clone()
-            };
-            let mut naive_config = ExperimentConfig::cup(scenario.clone());
-            naive_config.node_config.reset_mode = ResetMode::Naive;
-            let naive = run_experiment(&naive_config);
-            let fixed = run_experiment(&ExperimentConfig::cup(scenario));
+        .zip(results.chunks_exact(2))
+        .map(|(&replicas, pair)| {
+            let (naive, fixed) = (&pair[0], &pair[1]);
             ReplicaRow {
                 replicas,
                 naive_miss_cost: naive.miss_cost(),
@@ -231,7 +372,7 @@ pub fn replica_sweep(base: &Scenario, replica_counts: &[u32]) -> Vec<ReplicaRow>
 }
 
 /// One point of the Figure 5/6 capacity sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CapacityPoint {
     /// Reduced capacity c.
     pub capacity: f64,
@@ -246,26 +387,49 @@ pub struct CapacityPoint {
 /// Figures 5 and 6: total cost versus reduced capacity for the two §3.7
 /// degradation profiles, plus the standard-caching horizontal reference.
 pub fn capacity_sweep(base: &Scenario, capacities: &[f64]) -> Vec<CapacityPoint> {
-    let standard = run_experiment(&ExperimentConfig::standard_caching(base.clone())).total_cost();
+    capacity_sweep_with(base, capacities, default_workers())
+}
+
+/// [`capacity_sweep`] with an explicit sweep worker count.
+pub fn capacity_sweep_with(
+    base: &Scenario,
+    capacities: &[f64],
+    workers: usize,
+) -> Vec<CapacityPoint> {
+    // Job 0 is the shared standard-caching reference; then two profile
+    // runs per capacity.
+    let mut jobs: Vec<Option<(f64, bool)>> = vec![None];
+    for &c in capacities {
+        jobs.push(Some((c, true)));
+        jobs.push(Some((c, false)));
+    }
+    let results = parallel_map(&jobs, workers, |job| match job {
+        None => run_experiment(&ExperimentConfig::standard_caching(base.clone())).total_cost(),
+        Some((c, up_and_down)) => {
+            let mut config = ExperimentConfig::cup(base.clone());
+            config.capacity_profile = if *up_and_down {
+                CapacityProfile::UpAndDown {
+                    fraction: 0.2,
+                    reduced: *c,
+                }
+            } else {
+                CapacityProfile::OnceDownAlwaysDown {
+                    fraction: 0.2,
+                    reduced: *c,
+                }
+            };
+            run_experiment(&config).total_cost()
+        }
+    });
+    let standard = results[0];
     capacities
         .iter()
-        .map(|&c| {
-            let mut up = ExperimentConfig::cup(base.clone());
-            up.capacity_profile = CapacityProfile::UpAndDown {
-                fraction: 0.2,
-                reduced: c,
-            };
-            let mut once = ExperimentConfig::cup(base.clone());
-            once.capacity_profile = CapacityProfile::OnceDownAlwaysDown {
-                fraction: 0.2,
-                reduced: c,
-            };
-            CapacityPoint {
-                capacity: c,
-                up_and_down: run_experiment(&up).total_cost(),
-                once_down: run_experiment(&once).total_cost(),
-                standard,
-            }
+        .zip(results[1..].chunks_exact(2))
+        .map(|(&capacity, pair)| CapacityPoint {
+            capacity,
+            up_and_down: pair[0],
+            once_down: pair[1],
+            standard,
         })
         .collect()
 }
@@ -345,5 +509,60 @@ mod tests {
         // Even at zero capacity CUP should not exceed standard caching by
         // much (fallback behaviour); allow slack for clear-bit overhead.
         assert!(points[0].up_and_down as f64 <= points[0].standard as f64 * 1.3);
+    }
+
+    #[test]
+    fn parallel_sweeps_match_serial_byte_for_byte() {
+        let base = tiny();
+        assert_eq!(
+            policy_table_with(&base, &[5.0], &[2, 6], 1),
+            policy_table_with(&base, &[5.0], &[2, 6], 4),
+            "policy table"
+        );
+        assert_eq!(
+            push_level_sweep_with(&base, &[5.0], &[0, 4], 1),
+            push_level_sweep_with(&base, &[5.0], &[0, 4], 4),
+            "push-level sweep"
+        );
+        assert_eq!(
+            size_sweep_with(&base, &[16, 32], 1),
+            size_sweep_with(&base, &[16, 32], 4),
+            "size sweep"
+        );
+        assert_eq!(
+            replica_sweep_with(&base, &[1, 4], 1),
+            replica_sweep_with(&base, &[1, 4], 4),
+            "replica sweep"
+        );
+        assert_eq!(
+            capacity_sweep_with(&base, &[0.0, 1.0], 1),
+            capacity_sweep_with(&base, &[0.0, 1.0], 4),
+            "capacity sweep"
+        );
+    }
+
+    #[test]
+    fn policy_rate_grid_covers_the_cross_product() {
+        let policies = [
+            CutoffPolicy::second_chance(),
+            CutoffPolicy::Always,
+            CutoffPolicy::adaptive(),
+        ];
+        let rates = [2.0, 5.0];
+        let grid = policy_rate_grid(&tiny(), &policies, &rates, 2);
+        assert_eq!(grid.len(), policies.len() * rates.len());
+        for (i, point) in grid.iter().enumerate() {
+            assert_eq!(point.policy, policies[i / rates.len()].name());
+            assert_eq!(point.rate, rates[i % rates.len()]);
+            assert!(
+                point.tracked > 0,
+                "{}: justification must be tracked",
+                point.policy
+            );
+            assert!(point.justified_ratio() <= 1.0);
+            assert!((0.0..=1.0).contains(&point.hit_rate));
+        }
+        // Deterministic across worker counts.
+        assert_eq!(grid, policy_rate_grid(&tiny(), &policies, &rates, 1));
     }
 }

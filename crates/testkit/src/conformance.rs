@@ -13,9 +13,16 @@
 //! events where the sim side leaves an inter-event gap), so the message
 //! orders the two runtimes see are equivalent and the comparison is
 //! exact, not statistical.
+//!
+//! Both runtimes run §3.1 justified-update accounting through the shared
+//! [`cup::protocol::justify::JustificationTracker`], and the script's
+//! refresh rounds (between phase A and the deletion) generate the
+//! maintenance updates the accounting measures — so the comparison
+//! covers the economics, not just the caching behaviour.
 
 use cup::des::LatencyModel;
 use cup::prelude::*;
+use cup::protocol::justify::JustificationTracker;
 use cup::protocol::stats::NodeStats;
 use cup::simnet::{Ev, Network};
 use cup::workload::replica::{ReplicaAction, ReplicaActionKind, ReplicaPlan};
@@ -43,6 +50,16 @@ pub struct ConformanceSpec {
     pub keys: u32,
     /// Queries in the pre-deletion phase.
     pub phase_a_queries: usize,
+    /// Serialized replica-refresh rounds between phase A and the
+    /// deletion, one refresh per surviving key per round. These generate
+    /// the maintenance updates the justification accounting tracks (and
+    /// give cut-off policies something to decide about). The deleted
+    /// key's tree is left unrefreshed so the deletion still reaches every
+    /// cache.
+    pub refresh_rounds: u32,
+    /// Node configuration both runtimes run (policy economics scripts
+    /// override the default second-chance CUP).
+    pub config: NodeConfig,
     /// Topology build seed shared by both runtimes.
     pub topology_seed: u64,
     /// Seed of the query script.
@@ -64,6 +81,8 @@ impl ConformanceSpec {
             nodes: 24,
             keys: 3,
             phase_a_queries: 20,
+            refresh_rounds: 2,
+            config: NodeConfig::cup_default(),
             topology_seed: 11,
             script_seed: 99,
             step_secs: 10,
@@ -78,6 +97,8 @@ impl ConformanceSpec {
             nodes: 2_048,
             keys: 4,
             phase_a_queries: 30,
+            refresh_rounds: 2,
+            config: NodeConfig::cup_default(),
             topology_seed: 17,
             script_seed: 23,
             // CAN paths at 2k nodes can run to ~100 hops; at 50 ms per
@@ -85,6 +106,24 @@ impl ConformanceSpec {
             step_secs: 30,
             workers: 4,
         }
+    }
+
+    /// The same script under a different node configuration (policy
+    /// comparisons).
+    pub fn with_config(mut self, config: NodeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The same script with a different number of refresh rounds.
+    pub fn with_refresh_rounds(mut self, rounds: u32) -> Self {
+        self.refresh_rounds = rounds;
+        self
+    }
+
+    /// Surviving keys, in script order.
+    fn surviving_keys(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.keys).filter(|&k| k != DELETED_KEY)
     }
 
     /// The scripted workload: `(node_index, key)` per query, two phases.
@@ -123,13 +162,34 @@ pub struct Outcome {
     pub stats: NodeStats,
     /// Per key: sorted node ids holding a fresh cached entry at quiesce.
     pub cached_by: Vec<Vec<NodeId>>,
+    /// §3.1 justified maintenance updates.
+    pub justified: u64,
+    /// Maintenance updates tracked (the justification denominator).
+    pub tracked: u64,
+    /// Peer messages delivered (total hops — the live counter and the
+    /// DES's summed hop metrics measure the same thing).
+    pub hops: u64,
 }
 
-/// Collects the comparable outcome from final per-node states.
+impl Outcome {
+    /// Fraction of tracked updates justified.
+    pub fn justified_ratio(&self) -> f64 {
+        if self.tracked == 0 {
+            0.0
+        } else {
+            self.justified as f64 / self.tracked as f64
+        }
+    }
+}
+
+/// Collects the comparable outcome from final per-node states plus the
+/// runtime's network-level counters.
 pub fn outcome_of<'a>(
     nodes: impl Iterator<Item = &'a CupNode>,
     keys: u32,
     probe_time: SimTime,
+    (justified, tracked): (u64, u64),
+    hops: u64,
 ) -> Outcome {
     let mut stats = NodeStats::default();
     let mut cached_by: Vec<Vec<NodeId>> = (0..keys).map(|_| Vec::new()).collect();
@@ -147,7 +207,13 @@ pub fn outcome_of<'a>(
     for ids in &mut cached_by {
         ids.sort_unstable();
     }
-    Outcome { stats, cached_by }
+    Outcome {
+        stats,
+        cached_by,
+        justified,
+        tracked,
+        hops,
+    }
 }
 
 /// Runs the script through the DES, returning the outcome plus the
@@ -161,10 +227,11 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
     let overlay = AnyOverlay::build(spec.kind, spec.nodes, &mut topo_rng).unwrap();
     let mut net = Network::new(
         overlay,
-        NodeConfig::cup_default(),
+        spec.config,
         LatencyModel::default_wan(),
         DetRng::seed_from(7),
     );
+    net.justify = Some(JustificationTracker::new());
     // A plan is required for `Ev::Replica` dispatch; only its lifetime
     // and next-event logic are used (we schedule births ourselves so the
     // two runtimes share an explicit, ordered script).
@@ -206,6 +273,24 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
         );
         t += step;
     }
+    // Refresh rounds for the surviving keys: the maintenance traffic the
+    // justification accounting (and the cut-off policies) act on. The
+    // deleted key is skipped so its interest tree stays intact and the
+    // deletion reaches every cache.
+    for _round in 0..spec.refresh_rounds {
+        for k in spec.surviving_keys() {
+            engine.schedule(
+                t,
+                Ev::Replica(ReplicaAction {
+                    at: t,
+                    key: KeyId(k),
+                    replica: ReplicaId(k),
+                    kind: ReplicaActionKind::Refresh,
+                }),
+            );
+            t += step;
+        }
+    }
     // The deletion, then a settle gap before phase B.
     engine.schedule(
         t,
@@ -232,8 +317,19 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
     let probe = engine.now();
     let net = engine.into_state();
     let responses = net.metrics.client_responses;
+    let justification = net
+        .justify
+        .as_ref()
+        .map_or((0, 0), |j| (j.justified(), j.total()));
+    let hops = net.metrics.total_cost();
     let ids: Vec<NodeId> = (0..spec.nodes as u32).map(NodeId).collect();
-    let outcome = outcome_of(ids.iter().filter_map(|&id| net.node(id)), spec.keys, probe);
+    let outcome = outcome_of(
+        ids.iter().filter_map(|&id| net.node(id)),
+        spec.keys,
+        probe,
+        justification,
+        hops,
+    );
     (outcome, responses)
 }
 
@@ -249,11 +345,12 @@ pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
     let net = LiveNetwork::start_with_workers(
         spec.kind,
         spec.nodes,
-        NodeConfig::cup_default(),
+        spec.config,
         spec.workers,
         &mut topo_rng,
     )
     .unwrap();
+    net.track_justification(true);
     for k in 0..spec.keys {
         net.replica_birth(KeyId(k), ReplicaId(k), LIFETIME);
     }
@@ -272,6 +369,14 @@ pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
         responses += 1;
         net.quiesce();
     }
+    // Refresh rounds for the surviving keys, serialized exactly like the
+    // DES schedule (one quiesce per refresh = one step gap).
+    for _round in 0..spec.refresh_rounds {
+        for k in spec.surviving_keys() {
+            net.replica_refresh(KeyId(k), ReplicaId(k), LIFETIME);
+            net.quiesce();
+        }
+    }
     net.replica_deletion(KeyId(DELETED_KEY), ReplicaId(DELETED_KEY));
     net.quiesce();
     for &(node_index, key) in &phase_b {
@@ -288,11 +393,13 @@ pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
         net.quiesce();
     }
     assert_eq!(net.routing_failures(), 0, "static routing must not fail");
+    let justification = net.justification();
+    let hops = net.hops();
     let final_nodes = net.shutdown();
     // The live clock is microseconds since start; all entries carry the
     // huge scripted lifetime, so any probe instant inside the run works.
     let probe = SimTime::from_secs(1);
-    let outcome = outcome_of(final_nodes.iter(), spec.keys, probe);
+    let outcome = outcome_of(final_nodes.iter(), spec.keys, probe, justification, hops);
     (outcome, responses)
 }
 

@@ -49,6 +49,13 @@ pub struct Scenario {
     pub burst_size: u32,
     /// Time window one burst's queries are spread over.
     pub burst_spread: SimDuration,
+    /// Cut-off policy assignment by key class, as stable policy *names*
+    /// (`cup_core::CutoffPolicy::parse`): key k runs
+    /// `policy_classes[k % len]`. Empty (the default) leaves the node
+    /// configuration's policy table in charge. Names keep this crate free
+    /// of a protocol dependency while letting workloads describe
+    /// mixed-policy populations.
+    pub policy_classes: Vec<String>,
     /// Master random seed.
     pub seed: u64,
 }
@@ -68,6 +75,7 @@ impl Default for Scenario {
             replica_mean_life: None,
             burst_size: 1,
             burst_spread: SimDuration::from_secs(2),
+            policy_classes: Vec::new(),
             seed: 0xC0FFEE,
         }
     }
@@ -114,6 +122,13 @@ impl Scenario {
         }
     }
 
+    /// Assigns cut-off policies by key class (policy *names*; see
+    /// [`Scenario::policy_classes`]).
+    pub fn with_policy_classes(mut self, names: &[&str]) -> Self {
+        self.policy_classes = names.iter().map(|s| (*s).to_string()).collect();
+        self
+    }
+
     /// Length of the query window.
     pub fn query_window(&self) -> SimDuration {
         self.query_end.saturating_since(self.query_start)
@@ -153,6 +168,9 @@ impl Scenario {
         }
         if self.burst_size == 0 {
             return Err("burst size must be at least 1".into());
+        }
+        if self.policy_classes.iter().any(|s| s.trim().is_empty()) {
+            return Err("policy class names must be non-empty".into());
         }
         Ok(())
     }
@@ -222,6 +240,16 @@ mod tests {
         let tiny = Scenario::large_scale(100, 1_000, 2);
         tiny.validate().unwrap();
         assert_eq!(tiny.keys, 4);
+    }
+
+    #[test]
+    fn policy_classes_ride_along() {
+        let s = Scenario::default().with_policy_classes(&["second-chance", "always"]);
+        s.validate().unwrap();
+        assert_eq!(s.policy_classes, vec!["second-chance", "always"]);
+        assert_ne!(s, Scenario::default());
+        let bad = Scenario::default().with_policy_classes(&["  "]);
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!   first-time misses are identical;
 //! * **update delivery** — updates received/forwarded agree, and the
 //!   *set of nodes* caching each key is identical;
+//! * **justified-update accounting** — the §3.1 justified/tracked
+//!   maintenance-update counts (and total hop counts) agree exactly:
+//!   both runtimes report the same investment return from the shared
+//!   `cup_core::justify` tracker;
 //! * **no stale entries at quiesce** — after the deletion propagates,
 //!   no node in either runtime still caches or indexes the deleted
 //!   replica, and every surviving cached entry is fresh.
@@ -69,6 +73,29 @@ fn assert_sim_live_agree(spec: ConformanceSpec) {
         sim.cached_by, live.cached_by,
         "{label}: the sets of caching nodes diverged"
     );
+
+    // The decision plane agrees: cut-offs and clear-bit traffic match.
+    assert_eq!(
+        sim.stats.cutoffs, live.stats.cutoffs,
+        "{label}: cut-off counts diverged"
+    );
+    assert_eq!(
+        sim.stats.clear_bits_sent, live.stats.clear_bits_sent,
+        "{label}: clear-bit counts diverged"
+    );
+
+    // The economics agree byte-for-byte: both runtimes report identical
+    // justified/tracked maintenance-update counts and total hop counts.
+    assert!(
+        sim.tracked > 0,
+        "{label}: the refresh rounds must generate tracked maintenance updates"
+    );
+    assert_eq!(
+        (sim.justified, sim.tracked),
+        (live.justified, live.tracked),
+        "{label}: justified-update accounting diverged"
+    );
+    assert_eq!(sim.hops, live.hops, "{label}: total hop counts diverged");
 
     // No stale state at quiesce: the deleted key is gone everywhere.
     assert!(

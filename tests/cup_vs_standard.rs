@@ -1,6 +1,10 @@
-//! The paper's headline comparisons: CUP versus standard caching.
+//! The paper's headline comparisons: CUP versus standard caching — and
+//! the economic claim behind them: controlled propagation buys a higher
+//! justified-update ratio (§3.1) at equal or lower total cost than
+//! all-out push, on both runtimes.
 
 use cup::prelude::*;
+use cup_testkit::conformance::{run_live, run_sim, ConformanceSpec, Outcome};
 use cup_testkit::{assert_cheaper, assert_no_costlier, medium, run_cup_and_standard, scenario};
 
 /// This suite's master seed.
@@ -85,6 +89,78 @@ fn deeper_push_levels_cut_misses() {
     assert!(mid.miss_cost() < shallow.miss_cost());
     assert!(deep.miss_cost() <= mid.miss_cost());
     assert!(deep.overhead() >= mid.overhead());
+}
+
+/// The DES side of the paper's economic claim: second-chance cut-offs
+/// prune exactly the subscriptions whose updates were not paying for
+/// themselves. The regime matters — with short entry lifetimes (many
+/// refresh intervals per run) and per-node query rates too low to
+/// justify every subscription, all-out push keeps feeding dead
+/// subscribers while second-chance stops after two silent intervals.
+#[test]
+fn second_chance_justifies_better_than_all_out_push_in_sim() {
+    let run = |policy: CutoffPolicy| {
+        let mut s = medium(1.0, SEED);
+        s.keys = 8;
+        s.entry_lifetime = SimDuration::from_secs(100);
+        let mut config = ExperimentConfig::cup(s);
+        config.node_config = NodeConfig::cup_with_policy(policy);
+        config.track_justification = true;
+        run_experiment(&config)
+    };
+    let second = run(CutoffPolicy::second_chance());
+    let always = run(CutoffPolicy::Always);
+    assert!(second.tracked_updates > 0 && always.tracked_updates > 0);
+    assert!(
+        second.justified_fraction() > always.justified_fraction(),
+        "second-chance justified ratio {:.3} must strictly beat all-out push {:.3}",
+        second.justified_fraction(),
+        always.justified_fraction()
+    );
+    assert!(
+        second.total_cost() <= always.total_cost(),
+        "second-chance total cost {} must not exceed all-out push {}",
+        second.total_cost(),
+        always.total_cost()
+    );
+}
+
+/// The same claim on both runtimes, through the conformance script: the
+/// worker-pool live runtime and the DES each report a strictly higher
+/// justified ratio for second-chance than for `Always`, at equal or
+/// lower total hop cost.
+#[test]
+fn second_chance_justifies_better_than_all_out_push_on_both_runtimes() {
+    // Extra refresh rounds give the cut-offs time to prune the
+    // no-longer-queried subscriptions that all-out push keeps feeding.
+    let base = ConformanceSpec::small(OverlayKind::Can).with_refresh_rounds(6);
+    let second_spec = base; // cup_default *is* second-chance
+    let always_spec = base.with_config(NodeConfig::cup_with_policy(CutoffPolicy::Always));
+    type Runner = fn(&ConformanceSpec) -> (Outcome, u64);
+    for (runtime, run) in [("sim", run_sim as Runner), ("live", run_live as Runner)] {
+        let (second, _) = run(&second_spec);
+        let (always, _) = run(&always_spec);
+        assert!(
+            second.tracked > 0 && always.tracked > 0,
+            "{runtime}: the script must generate tracked maintenance updates"
+        );
+        assert!(
+            second.justified_ratio() > always.justified_ratio(),
+            "{runtime}: second-chance ratio {:.3} ({}/{}) must strictly beat always {:.3} ({}/{})",
+            second.justified_ratio(),
+            second.justified,
+            second.tracked,
+            always.justified_ratio(),
+            always.justified,
+            always.tracked
+        );
+        assert!(
+            second.hops <= always.hops,
+            "{runtime}: second-chance hops {} must not exceed always {}",
+            second.hops,
+            always.hops
+        );
+    }
 }
 
 #[test]
