@@ -1,0 +1,162 @@
+//! Emits `BENCH_faults.json`: the loss × crash-count fault sweep, CUP
+//! (second-chance) versus all-out push at every point.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_faults [--scale bench|small|paper] [--losses 0,0.05,0.2]
+//!              [--crashes 0,4] [--replicas N] [--mean-life SECS]
+//!              [--workers N] [--seed 42]
+//!              [--out BENCH_faults.json] [--budget-secs N]
+//! ```
+//!
+//! `--replicas` multiplies the refresh traffic (each replica keeps its
+//! own lease), which is what separates the two policies' costs;
+//! `--mean-life` gives replicas finite lives, which is what makes the
+//! stale-answer and recovery-latency columns non-trivial (lost deletes
+//! linger).
+//!
+//! The grid runs twice (serial, then across the sweep pool) and the
+//! binary asserts the rows are byte-identical — fault runs must not
+//! depend on the worker count. With `--budget-secs`, the process exits
+//! non-zero if either pass exceeds the wall-clock budget.
+
+use cup_bench::cli::{parse_or_exit, value_of};
+use cup_bench::fault_bench::{render_json, run_fault_bench};
+use cup_bench::Scale;
+use cup_des::SimDuration;
+use cup_simnet::par::default_workers;
+use cup_workload::Scenario;
+
+fn main() {
+    let mut scale = Scale::Small;
+    let mut losses: Vec<f64> = vec![0.0, 0.05, 0.2];
+    let mut crashes: Vec<u32> = vec![0, 4];
+    let mut replicas: u32 = 1;
+    let mut mean_life: Option<u64> = None;
+    let mut workers = default_workers();
+    let mut seed: u64 = 42;
+    let mut out_path = String::from("BENCH_faults.json");
+    let mut budget_secs: Option<u64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = value_of(&mut it, "--scale");
+                scale = Scale::parse(&value).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{value}' (use bench|small|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--losses" => {
+                losses = value_of(&mut it, "--losses")
+                    .split(',')
+                    .map(|s| parse_or_exit(s, "--losses"))
+                    .collect();
+            }
+            "--crashes" => {
+                crashes = value_of(&mut it, "--crashes")
+                    .split(',')
+                    .map(|s| parse_or_exit(s, "--crashes"))
+                    .collect();
+            }
+            "--replicas" => {
+                replicas = parse_or_exit(&value_of(&mut it, "--replicas"), "--replicas");
+            }
+            "--mean-life" => {
+                mean_life = Some(parse_or_exit(
+                    &value_of(&mut it, "--mean-life"),
+                    "--mean-life",
+                ));
+            }
+            "--workers" => workers = parse_or_exit(&value_of(&mut it, "--workers"), "--workers"),
+            "--seed" => seed = parse_or_exit(&value_of(&mut it, "--seed"), "--seed"),
+            "--out" => out_path = value_of(&mut it, "--out"),
+            "--budget-secs" => {
+                budget_secs = Some(parse_or_exit(
+                    &value_of(&mut it, "--budget-secs"),
+                    "--budget-secs",
+                ));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_faults [--scale bench|small|paper] [--losses L,L,..] \
+                     [--crashes C,C,..] [--replicas N] [--mean-life SECS] [--workers N] \
+                     [--seed N] [--out PATH] [--budget-secs N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    if losses.iter().any(|l| !(0.0..=1.0).contains(l)) {
+        eprintln!("loss rates must lie in [0, 1]");
+        std::process::exit(2);
+    }
+
+    let base = Scenario {
+        seed,
+        replicas_per_key: replicas,
+        replica_mean_life: mean_life.map(SimDuration::from_secs),
+        ..scale.base_scenario()
+    };
+    let report = run_fault_bench(&base, &losses, &crashes, workers);
+
+    for p in &report.points {
+        println!(
+            "{:>14}  loss {:>5}  crashes {:>3}  hit {:.3}  stale {:.3}  \
+             justified {:>6}/{:<6} ({:.2})  dropped {:>7}  recovery {:>6.1}s  cost {:>9}",
+            p.policy,
+            p.loss,
+            p.crashes,
+            p.hit_rate,
+            p.stale_rate,
+            p.justified,
+            p.tracked,
+            p.justified_ratio(),
+            p.dropped,
+            p.recovery_latency_secs,
+            p.total_cost,
+        );
+    }
+    println!(
+        "{} points  serial {:.2} s  parallel {:.2} s ({:.2} points/s, {:.2}x on {} workers)",
+        report.points.len(),
+        report.wall_serial.as_secs_f64(),
+        report.wall_parallel.as_secs_f64(),
+        report.parallel_points_per_sec(),
+        report.speedup(),
+        report.workers,
+    );
+
+    let json = render_json(&report, &base, seed);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+
+    if let Some(budget) = budget_secs {
+        let mut failed = false;
+        for (name, wall) in [
+            ("serial", report.wall_serial),
+            ("parallel", report.wall_parallel),
+        ] {
+            if wall.as_secs() >= budget {
+                eprintln!(
+                    "BUDGET EXCEEDED: {name} sweep took {:.2} s (budget {budget} s)",
+                    wall.as_secs_f64()
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

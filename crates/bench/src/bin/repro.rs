@@ -3,14 +3,21 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--scale bench|small|paper] [fig3] [fig4] [table1] [table2] [table3] [fig5] [fig6] [all]
+//! repro [--scale bench|small|paper] [--workers N]
+//!       [fig3] [fig4] [table1] [table2] [table3] [fig5] [fig6] [all]
 //! ```
 //!
 //! With no experiment named, runs `all`. `--scale paper` uses the paper's
 //! 2¹⁰-node configuration and all four query rates (the λ = 1000 runs
 //! simulate millions of queries; expect minutes per experiment).
+//! `--workers` sets the sweep worker-pool size (default: the machine's
+//! available parallelism); every grid point is an independent
+//! deterministic run and results come back in input order, so the output
+//! is byte-identical whatever the pool size.
 
+use cup_bench::cli::{parse_or_exit, value_of};
 use cup_bench::Scale;
+use cup_simnet::par::default_workers;
 use cup_simnet::report;
 use cup_simnet::sweeps;
 use cup_workload::{capacity::CapacityProfile, Scenario};
@@ -18,6 +25,7 @@ use cup_workload::{capacity::CapacityProfile, Scenario};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
+    let mut workers = default_workers();
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -29,9 +37,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--workers" => {
+                workers = parse_or_exit(&value_of(&mut it, "--workers"), "--workers");
+                if workers == 0 {
+                    eprintln!("--workers must be at least 1");
+                    std::process::exit(2);
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--scale bench|small|paper] [fig3|fig4|table1|table2|table3|fig5|fig6|all]..."
+                    "usage: repro [--scale bench|small|paper] [--workers N] \
+                     [fig3|fig4|table1|table2|table3|fig5|fig6|all]..."
                 );
                 return;
             }
@@ -55,15 +71,15 @@ fn main() {
     );
 
     if want("fig3") {
-        run_fig34(&base, scale, false);
+        run_fig34(&base, scale, false, workers);
     }
     if want("fig4") {
-        run_fig34(&base, scale, true);
+        run_fig34(&base, scale, true, workers);
     }
     if want("table1") {
         println!("## Table 1 — total cost for varying cut-off policies");
         let rates = scale.rates();
-        let rows = sweeps::policy_table(&base, &rates, &scale.push_levels());
+        let rows = sweeps::policy_table_with(&base, &rates, &scale.push_levels(), workers);
         println!("{}", report::render_policy_table(&rows, &rates));
     }
     if want("table2") {
@@ -74,25 +90,25 @@ fn main() {
             query_rate: 1.0,
             ..base.clone()
         };
-        let cols = sweeps::size_sweep(&scenario, &scale.sizes());
+        let cols = sweeps::size_sweep_with(&scenario, &scale.sizes(), workers);
         println!("{}", report::render_size_table(&cols));
     }
     if want("table3") {
         println!("## Table 3 — naive vs replica-independent cut-off across replica counts");
-        let rows = sweeps::replica_sweep(&base, &scale.replica_counts());
+        let rows = sweeps::replica_sweep_with(&base, &scale.replica_counts(), workers);
         println!("{}", report::render_replica_table(&rows));
     }
     if want("fig5") {
-        run_fig56(&base, scale, false);
+        run_fig56(&base, scale, false, workers);
     }
     if want("fig6") {
-        run_fig56(&base, scale, true);
+        run_fig56(&base, scale, true, workers);
     }
 }
 
 /// Figures 3 (low rates, linear axes) and 4 (high rates, log y-axis in
 /// the paper).
-fn run_fig34(base: &Scenario, scale: Scale, high: bool) {
+fn run_fig34(base: &Scenario, scale: Scale, high: bool, workers: usize) {
     let rates = scale.rates();
     let (name, selected): (_, Vec<f64>) = if high {
         (
@@ -110,13 +126,13 @@ fn run_fig34(base: &Scenario, scale: Scale, high: bool) {
         return;
     }
     println!("## {name} — total and miss cost vs push level");
-    let points = sweeps::push_level_sweep(base, &selected, &scale.push_levels());
+    let points = sweeps::push_level_sweep_with(base, &selected, &scale.push_levels(), workers);
     println!("{}", report::render_push_level(&points));
 }
 
 /// Figures 5 (λ = 1) and 6 (λ = 1000; highest available rate at smaller
 /// scales).
-fn run_fig56(base: &Scenario, scale: Scale, high: bool) {
+fn run_fig56(base: &Scenario, scale: Scale, high: bool, workers: usize) {
     let rates = scale.rates();
     let rate = if high {
         rates.iter().copied().fold(f64::MIN, f64::max)
@@ -129,7 +145,7 @@ fn run_fig56(base: &Scenario, scale: Scale, high: bool) {
         query_rate: rate,
         ..base.clone()
     };
-    let points = sweeps::capacity_sweep(&scenario, &scale.capacities());
+    let points = sweeps::capacity_sweep_with(&scenario, &scale.capacities(), workers);
     println!("{}", report::render_capacity(&points));
     // Sanity line mirroring the paper's observation.
     if let Some(zero) = points.iter().find(|p| p.capacity == 0.0) {

@@ -1,0 +1,197 @@
+//! The fault-sweep benchmark behind `BENCH_faults.json`.
+//!
+//! Runs the loss × crash-count fault grid (CUP second-chance vs all-out
+//! push at every point, justification tracked) twice — serially and
+//! across the sweep worker pool — and reports per-point resilience
+//! economics: hit rate, stale-answer rate, justified ratio, drop counts,
+//! and recovery latency. The rows must be byte-identical between the two
+//! passes: that determinism (same `FaultPlan` ⇒ same run, whatever the
+//! pool size) is part of what the artifact certifies.
+
+use std::time::{Duration, Instant};
+
+use cup_simnet::par::default_workers;
+use cup_simnet::sweeps::{fault_grid_with, FaultGridPoint};
+use cup_workload::Scenario;
+
+/// One serial-vs-parallel run of the fault grid.
+#[derive(Debug, Clone)]
+pub struct FaultBenchReport {
+    /// The grid rows (parallel run; asserted identical to the serial
+    /// run's).
+    pub points: Vec<FaultGridPoint>,
+    /// Wall-clock of the serial (1-worker) sweep.
+    pub wall_serial: Duration,
+    /// Wall-clock of the parallel sweep.
+    pub wall_parallel: Duration,
+    /// Worker threads the parallel sweep used.
+    pub workers: usize,
+    /// Whether the two passes produced byte-identical rows (always true;
+    /// recorded so the artifact proves the check ran).
+    pub rows_identical: bool,
+}
+
+impl FaultBenchReport {
+    /// Grid points per second for a wall-clock reading.
+    fn points_per_sec(&self, wall: Duration) -> f64 {
+        let secs = wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.points.len() as f64 / secs
+        }
+    }
+
+    /// Points/sec of the serial pass.
+    pub fn serial_points_per_sec(&self) -> f64 {
+        self.points_per_sec(self.wall_serial)
+    }
+
+    /// Points/sec of the parallel pass.
+    pub fn parallel_points_per_sec(&self) -> f64 {
+        self.points_per_sec(self.wall_parallel)
+    }
+
+    /// Serial wall / parallel wall.
+    pub fn speedup(&self) -> f64 {
+        let parallel = self.wall_parallel.as_secs_f64();
+        if parallel == 0.0 {
+            0.0
+        } else {
+            self.wall_serial.as_secs_f64() / parallel
+        }
+    }
+}
+
+/// Runs the grid serially and in parallel, timing both.
+///
+/// # Panics
+///
+/// Panics if the parallel rows differ from the serial rows — fault runs
+/// must be byte-identical whatever the sweep pool size.
+pub fn run_fault_bench(
+    base: &Scenario,
+    losses: &[f64],
+    crash_counts: &[u32],
+    workers: usize,
+) -> FaultBenchReport {
+    let start = Instant::now();
+    let serial = fault_grid_with(base, losses, crash_counts, 1);
+    let wall_serial = start.elapsed();
+
+    let start = Instant::now();
+    let parallel = fault_grid_with(base, losses, crash_counts, workers);
+    let wall_parallel = start.elapsed();
+
+    assert_eq!(
+        serial, parallel,
+        "fault-grid rows must be byte-identical across sweep worker counts"
+    );
+    let jobs = losses.len() * crash_counts.len() * 2;
+    FaultBenchReport {
+        points: parallel,
+        wall_serial,
+        wall_parallel,
+        workers: workers.clamp(1, jobs.max(1)),
+        rows_identical: true,
+    }
+}
+
+/// Convenience wrapper using the machine's sweep worker pool.
+pub fn run_fault_bench_default(
+    base: &Scenario,
+    losses: &[f64],
+    crash_counts: &[u32],
+) -> FaultBenchReport {
+    run_fault_bench(base, losses, crash_counts, default_workers())
+}
+
+/// Renders the report as the `BENCH_faults.json` document (hand-rolled
+/// JSON; the workspace builds offline, without serde).
+pub fn render_json(report: &FaultBenchReport, base: &Scenario, seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"cup-faults loss x crash sweep\",\n");
+    out.push_str(&format!("  \"nodes\": {},\n", base.nodes));
+    out.push_str(&format!("  \"keys\": {},\n", base.keys));
+    out.push_str(&format!(
+        "  \"replicas_per_key\": {},\n",
+        base.replicas_per_key
+    ));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"workers\": {},\n", report.workers));
+    out.push_str(&format!(
+        "  \"serial_wall_ms\": {:.3},\n",
+        report.wall_serial.as_secs_f64() * 1e3
+    ));
+    out.push_str(&format!(
+        "  \"parallel_wall_ms\": {:.3},\n",
+        report.wall_parallel.as_secs_f64() * 1e3
+    ));
+    out.push_str(&format!(
+        "  \"parallel_points_per_sec\": {:.3},\n",
+        report.parallel_points_per_sec()
+    ));
+    out.push_str(&format!("  \"speedup\": {:.3},\n", report.speedup()));
+    out.push_str(&format!(
+        "  \"rows_identical\": {},\n",
+        report.rows_identical
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, p) in report.points.iter().enumerate() {
+        let comma = if i + 1 < report.points.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"loss\": {}, \"crashes\": {}, \
+             \"total_cost\": {}, \"miss_cost\": {}, \"hit_rate\": {:.4}, \
+             \"stale_rate\": {:.4}, \"justified\": {}, \"tracked\": {}, \
+             \"justified_ratio\": {:.4}, \"dropped\": {}, \
+             \"recovery_latency_secs\": {:.3}}}{comma}\n",
+            p.policy,
+            p.loss,
+            p.crashes,
+            p.total_cost,
+            p.miss_cost,
+            p.hit_rate,
+            p.stale_rate,
+            p.justified,
+            p.tracked,
+            p.justified_ratio(),
+            p.dropped,
+            p.recovery_latency_secs,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cup_des::SimTime;
+
+    fn tiny() -> Scenario {
+        Scenario {
+            nodes: 32,
+            keys: 3,
+            query_rate: 5.0,
+            query_start: SimTime::from_secs(300),
+            query_end: SimTime::from_secs(800),
+            sim_end: SimTime::from_secs(1_200),
+            seed: 9,
+            ..Scenario::default()
+        }
+    }
+
+    #[test]
+    fn bench_runs_and_renders() {
+        let report = run_fault_bench(&tiny(), &[0.0, 0.1], &[0], 2);
+        assert_eq!(report.points.len(), 4);
+        assert!(report.rows_identical);
+        assert!(report.parallel_points_per_sec() > 0.0);
+        let json = render_json(&report, &tiny(), 9);
+        assert!(json.contains("\"policy\": \"second-chance\""));
+        assert!(json.contains("\"policy\": \"always\""));
+        assert!(json.contains("\"loss\": 0.1"));
+        assert!(json.contains("\"rows_identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -10,6 +10,7 @@ use cup_workload::Scenario;
 
 pub mod cli;
 pub mod des_bench;
+pub mod fault_bench;
 pub mod live_bench;
 pub mod policy_bench;
 

@@ -53,6 +53,7 @@ pub mod node;
 pub mod policy;
 pub mod popularity;
 pub mod stats;
+pub mod surface;
 
 pub use action::Action;
 pub use config::{Mode, NodeConfig};

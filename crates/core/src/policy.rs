@@ -332,11 +332,7 @@ impl CutoffPolicy {
     }
 }
 
-impl core::fmt::Display for CutoffPolicy {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(&self.name())
-    }
-}
+crate::string_surface!(display_via_name CutoffPolicy);
 
 /// Maximum policy classes a [`PropagationPolicy`] can hold (keeps
 /// `NodeConfig` `Copy`).
@@ -442,11 +438,7 @@ impl Default for PropagationPolicy {
     }
 }
 
-impl core::fmt::Display for PropagationPolicy {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(&self.name())
-    }
-}
+crate::string_surface!(display_via_name PropagationPolicy);
 
 #[cfg(test)]
 mod tests {

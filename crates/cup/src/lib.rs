@@ -18,7 +18,9 @@
 //! * [`simnet`] — the experiment harness reproducing every table and
 //!   figure of the paper's evaluation;
 //! * [`runtime`] — a live deployment of the same protocol state machine
-//!   on a sharded worker pool.
+//!   on a sharded worker pool;
+//! * [`faults`] — the deterministic fault-injection plane (link loss,
+//!   latency spikes, crash/restart, partitions) shared by both runtimes.
 //!
 //! # Quickstart
 //!
@@ -42,6 +44,7 @@
 
 pub use cup_core as protocol;
 pub use cup_des as des;
+pub use cup_faults as faults;
 pub use cup_overlay as overlay;
 pub use cup_runtime as runtime;
 pub use cup_simnet as simnet;
@@ -54,8 +57,9 @@ pub mod prelude {
         PolicyState, PropagationPolicy, ReplicaEvent, Requester, ResetMode, Update, UpdateKind,
     };
     pub use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration, SimTime};
+    pub use cup_faults::{FaultAction, FaultCounters, FaultPlan, FaultState};
     pub use cup_overlay::{AnyOverlay, Overlay, OverlayKind};
-    pub use cup_runtime::{LiveNetwork, RuntimeError};
+    pub use cup_runtime::{LiveNetwork, PendingQuery, RuntimeError};
     pub use cup_simnet::{run_experiment, ExperimentConfig, ExperimentResult};
     pub use cup_workload::{CapacityProfile, ChurnSchedule, KeySelector, QueryGen, Scenario};
 }
@@ -70,5 +74,9 @@ mod tests {
         let _ = CutoffPolicy::second_chance();
         let _ = PropagationPolicy::uniform(CutoffPolicy::adaptive());
         let _ = JustificationTracker::new();
+        let _ = FaultPlan::none();
+        let _ = FaultState::new(0);
+        let _ = FaultAction::Heal;
+        let _ = FaultCounters::default();
     }
 }

@@ -1,0 +1,353 @@
+//! Fault scripts: timed events and their stable spec-string surface.
+//!
+//! Workloads name faults as strings (mirroring `Scenario::policy_classes`,
+//! which keeps `cup-workload` free of protocol dependencies):
+//!
+//! ```text
+//! drop:0.05                 5% link loss for the whole run
+//! drop:0.2@t=100..400       20% loss during [100 s, 400 s)
+//! spike:3@t=50..80          per-hop latency ×3 during the window
+//! crash:17@t=50             node 17 crashes at t = 50 s (no restart)
+//! crash:17@t=50..90         ... and restarts cold at t = 90 s
+//! partition:2@t=30..60      2-way partition during [30 s, 60 s)
+//! ```
+//!
+//! [`FaultPlan::parse_specs`] turns a list of those specs into one sorted
+//! event script.
+
+use cup_des::SimTime;
+
+/// The fault families a spec string can name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Probabilistic per-message link loss.
+    Drop,
+    /// Multiplicative latency spike.
+    Spike,
+    /// Node crash (state wiped), with optional restart.
+    Crash,
+    /// K-way overlay partition, with optional heal.
+    Partition,
+}
+
+cup_core::string_surface!(FaultKind {
+    Drop => "drop",
+    Spike => "spike",
+    Crash => "crash",
+    Partition => "partition",
+});
+
+/// One instantaneous change to the fault plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Sets the global per-message link-loss probability.
+    SetLoss {
+        /// Drop probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Sets the multiplicative factor on per-hop latency.
+    SetLatencyFactor {
+        /// Multiplier (1.0 = nominal).
+        factor: f64,
+    },
+    /// Crashes a node: protocol state wiped, all traffic to it dropped.
+    Crash {
+        /// Dense index of the crashing node.
+        node: usize,
+    },
+    /// Restarts a crashed node (cold cache, empty directory).
+    Restart {
+        /// Dense index of the restarting node.
+        node: usize,
+    },
+    /// Splits the population into `groups` hash-assigned groups; messages
+    /// crossing a group boundary are dropped.
+    Partition {
+        /// Number of groups (at least 2 to have any effect).
+        groups: u32,
+    },
+    /// Heals the active partition.
+    Heal,
+}
+
+/// One timed fault action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the action fires.
+    pub at: SimTime,
+    /// What changes.
+    pub action: FaultAction,
+}
+
+/// An ordered script of fault events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Returns `true` if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events, sorted by fire time (stable for ties).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Appends one timed action (builder style).
+    pub fn with(mut self, at: SimTime, action: FaultAction) -> Self {
+        self.push(at, action);
+        self
+    }
+
+    /// Appends one timed action, keeping the script sorted by time
+    /// (insertion order breaks ties).
+    pub fn push(&mut self, at: SimTime, action: FaultAction) {
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, FaultEvent { at, action });
+    }
+
+    /// Parses a list of fault spec strings (see the module docs for the
+    /// grammar) into one plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed spec.
+    pub fn parse_specs<S: AsRef<str>>(specs: &[S]) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for spec in specs {
+            let spec = spec.as_ref();
+            for ev in parse_spec(spec).map_err(|e| format!("fault spec '{spec}': {e}"))? {
+                plan.push(ev.at, ev.action);
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// A parsed `@t=A` or `@t=A..B` suffix.
+struct Window {
+    from: SimTime,
+    until: Option<SimTime>,
+}
+
+/// Splits `body@t=...` into the body and its (optional) time window.
+fn split_window(spec: &str) -> Result<(&str, Option<Window>), String> {
+    let Some((body, time)) = spec.split_once("@t=") else {
+        return Ok((spec, None));
+    };
+    let (from, until) = match time.split_once("..") {
+        Some((a, b)) => {
+            let from = parse_secs(a)?;
+            let until = parse_secs(b)?;
+            if until <= from {
+                return Err(format!("window {a}..{b} must end after it starts"));
+            }
+            (from, Some(until))
+        }
+        None => (parse_secs(time)?, None),
+    };
+    Ok((body, Some(Window { from, until })))
+}
+
+fn parse_secs(s: &str) -> Result<SimTime, String> {
+    s.trim()
+        .parse::<u64>()
+        .map(SimTime::from_secs)
+        .map_err(|_| format!("bad time '{s}' (whole seconds)"))
+}
+
+/// Parses one spec string into its (one or two) events.
+fn parse_spec(spec: &str) -> Result<Vec<FaultEvent>, String> {
+    let (body, window) = split_window(spec.trim())?;
+    let (family, params) = body
+        .split_once(':')
+        .ok_or_else(|| "expected family:params".to_string())?;
+    let kind = FaultKind::parse(family)
+        .ok_or_else(|| format!("unknown fault family '{family}' (drop|spike|crash|partition)"))?;
+    let at = window.as_ref().map_or(SimTime::ZERO, |w| w.from);
+    let until = window.as_ref().and_then(|w| w.until);
+    match kind {
+        FaultKind::Drop => {
+            let rate: f64 = params.parse().map_err(|_| format!("bad rate '{params}'"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("loss rate {rate} outside [0, 1]"));
+            }
+            let mut evs = vec![FaultEvent {
+                at,
+                action: FaultAction::SetLoss { rate },
+            }];
+            if let Some(until) = until {
+                evs.push(FaultEvent {
+                    at: until,
+                    action: FaultAction::SetLoss { rate: 0.0 },
+                });
+            }
+            Ok(evs)
+        }
+        FaultKind::Spike => {
+            let factor: f64 = params
+                .parse()
+                .map_err(|_| format!("bad factor '{params}'"))?;
+            if !(factor > 0.0 && factor.is_finite()) {
+                return Err(format!("latency factor {factor} must be positive"));
+            }
+            let mut evs = vec![FaultEvent {
+                at,
+                action: FaultAction::SetLatencyFactor { factor },
+            }];
+            if let Some(until) = until {
+                evs.push(FaultEvent {
+                    at: until,
+                    action: FaultAction::SetLatencyFactor { factor: 1.0 },
+                });
+            }
+            Ok(evs)
+        }
+        FaultKind::Crash => {
+            let node: usize = params.parse().map_err(|_| format!("bad node '{params}'"))?;
+            if window.is_none() {
+                return Err("crash needs a time (@t=A or @t=A..B)".into());
+            }
+            let mut evs = vec![FaultEvent {
+                at,
+                action: FaultAction::Crash { node },
+            }];
+            if let Some(until) = until {
+                evs.push(FaultEvent {
+                    at: until,
+                    action: FaultAction::Restart { node },
+                });
+            }
+            Ok(evs)
+        }
+        FaultKind::Partition => {
+            let groups: u32 = params
+                .parse()
+                .map_err(|_| format!("bad group count '{params}'"))?;
+            if groups < 2 {
+                return Err(format!("a {groups}-way partition partitions nothing"));
+            }
+            if window.is_none() {
+                return Err("partition needs a time (@t=A or @t=A..B)".into());
+            }
+            let mut evs = vec![FaultEvent {
+                at,
+                action: FaultAction::Partition { groups },
+            }];
+            if let Some(until) = until {
+                evs.push(FaultEvent {
+                    at: until,
+                    action: FaultAction::Heal,
+                });
+            }
+            Ok(evs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(FaultKind::parse("meteor"), None);
+    }
+
+    #[test]
+    fn whole_run_loss_spec() {
+        let plan = FaultPlan::parse_specs(&["drop:0.05"]).unwrap();
+        assert_eq!(
+            plan.events(),
+            &[FaultEvent {
+                at: SimTime::ZERO,
+                action: FaultAction::SetLoss { rate: 0.05 },
+            }]
+        );
+    }
+
+    #[test]
+    fn windowed_specs_emit_paired_events() {
+        let plan = FaultPlan::parse_specs(&["drop:0.2@t=100..400", "crash:17@t=50..90"]).unwrap();
+        assert_eq!(plan.events().len(), 4);
+        // Sorted by time across specs.
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_micros()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        assert!(plan.events().iter().any(
+            |e| e.action == FaultAction::Restart { node: 17 } && e.at == SimTime::from_secs(90)
+        ));
+        assert!(plan
+            .events()
+            .iter()
+            .any(|e| e.action == FaultAction::SetLoss { rate: 0.0 }
+                && e.at == SimTime::from_secs(400)));
+    }
+
+    #[test]
+    fn partition_and_spike_specs() {
+        let plan = FaultPlan::parse_specs(&["partition:2@t=30..60", "spike:3@t=10..20"]).unwrap();
+        assert_eq!(plan.events().len(), 4);
+        assert_eq!(
+            plan.events()[0].action,
+            FaultAction::SetLatencyFactor { factor: 3.0 }
+        );
+        assert_eq!(plan.events()[3].action, FaultAction::Heal);
+    }
+
+    #[test]
+    fn crash_without_restart_is_permanent() {
+        let plan = FaultPlan::parse_specs(&["crash:3@t=7"]).unwrap();
+        assert_eq!(plan.events().len(), 1);
+        assert_eq!(plan.events()[0].action, FaultAction::Crash { node: 3 });
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_context() {
+        for bad in [
+            "drop:1.5",
+            "drop:x",
+            "drop",
+            "crash:3",
+            "crash:3@t=9..9",
+            "crash:x@t=1",
+            "partition:1@t=5..9",
+            "partition:2",
+            "spike:0@t=1..2",
+            "meteor:1@t=5",
+            "drop:0.1@t=abc",
+        ] {
+            let err = FaultPlan::parse_specs(&[bad]).unwrap_err();
+            assert!(
+                err.contains(bad),
+                "error for '{bad}' must name the spec: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_keeps_time_order_with_stable_ties() {
+        let plan = FaultPlan::none()
+            .with(SimTime::from_secs(5), FaultAction::Heal)
+            .with(SimTime::from_secs(1), FaultAction::Crash { node: 0 })
+            .with(SimTime::from_secs(5), FaultAction::Crash { node: 1 });
+        assert_eq!(plan.events()[0].action, FaultAction::Crash { node: 0 });
+        assert_eq!(plan.events()[1].action, FaultAction::Heal);
+        assert_eq!(plan.events()[2].action, FaultAction::Crash { node: 1 });
+        assert!(FaultPlan::none().is_empty());
+        assert!(!plan.is_empty());
+    }
+}

@@ -1,0 +1,369 @@
+//! The live fault plane: current loss/crash/partition state plus the
+//! deterministic drop decision both runtimes share.
+
+use std::collections::HashMap;
+
+use cup_des::NodeId;
+
+use crate::plan::FaultAction;
+
+/// What the fault plane says about one about-to-be-sent message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropVerdict {
+    /// Deliver normally.
+    Deliver,
+    /// Dropped by probabilistic link loss.
+    Loss,
+    /// Dropped because sender and receiver sit in different partition
+    /// groups.
+    Partitioned,
+    /// Dropped because the receiver is crashed.
+    TargetCrashed,
+}
+
+/// Fault-plane counters, identical in shape across the DES and the live
+/// runtime (the conformance harness compares them field by field).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Messages dropped by probabilistic link loss.
+    pub dropped_loss: u64,
+    /// Messages dropped at a partition boundary.
+    pub dropped_partition: u64,
+    /// Messages dropped because their receiver was crashed.
+    pub dropped_to_crashed: u64,
+    /// Crash actions applied (to previously live nodes).
+    pub crashes: u64,
+    /// Restart actions applied (to previously crashed nodes).
+    pub restarts: u64,
+    /// Client queries swallowed because the posting node was crashed.
+    pub queries_at_crashed: u64,
+    /// Replica lifecycle events lost at a crashed authority.
+    pub replica_at_crashed: u64,
+}
+
+impl FaultCounters {
+    /// Total messages the fault plane dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_loss + self.dropped_partition + self.dropped_to_crashed
+    }
+}
+
+/// An active partition: group assignment by seeded hash.
+#[derive(Debug, Clone, Copy)]
+struct Partition {
+    groups: u32,
+    salt: u64,
+}
+
+/// The mutable fault plane consulted on every send.
+///
+/// Drop decisions are *counter-mode*: message `n` on link `(from, to)`
+/// hashes `(seed, epoch, from, to, n)` into a uniform variate compared
+/// against the loss rate. The per-link counters are advanced only by the
+/// sender's execution context (drops are decided before enqueue), so the
+/// DES and a sharded live run consume them in the same per-link order and
+/// reach identical verdicts.
+#[derive(Debug)]
+pub struct FaultState {
+    seed: u64,
+    /// Bumped on every applied action: successive loss phases draw from
+    /// decorrelated hash streams.
+    epoch: u64,
+    loss_rate: f64,
+    latency_factor: f64,
+    crashed: Vec<bool>,
+    crashed_count: usize,
+    partition: Option<Partition>,
+    link_seq: HashMap<(u32, u32), u64>,
+    /// What the plane has dropped and toggled so far.
+    pub counters: FaultCounters,
+}
+
+/// SplitMix64 finalizer — the workspace's standard bit mixer.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from a hash (53 high bits, like `DetRng::next_f64`).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultState {
+    /// A fault-free plane keyed by `seed` (derive the seed from the
+    /// experiment's `DetRng` so fault decisions are part of the same
+    /// reproducible universe).
+    pub fn new(seed: u64) -> Self {
+        FaultState {
+            seed,
+            epoch: 0,
+            loss_rate: 0.0,
+            latency_factor: 1.0,
+            crashed: Vec::new(),
+            crashed_count: 0,
+            partition: None,
+            link_seq: HashMap::new(),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// Returns `true` while any fault is in effect (the hot-path gate:
+    /// an inactive plane never touches the per-link counters).
+    pub fn active(&self) -> bool {
+        self.loss_rate > 0.0
+            || self.crashed_count > 0
+            || self.partition.is_some()
+            || self.latency_factor != 1.0
+    }
+
+    /// The current per-hop latency multiplier.
+    pub fn latency_factor(&self) -> f64 {
+        self.latency_factor
+    }
+
+    /// Returns `true` if `node` is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// The partition group of `node` under the active partition, if any.
+    pub fn partition_group(&self, node: NodeId) -> Option<u32> {
+        self.partition
+            .map(|p| (mix64(p.salt ^ (node.index() as u64)) % u64::from(p.groups)) as u32)
+    }
+
+    /// Applies one action to the plane. Crash/restart verdicts change
+    /// here; the embedding runtime is responsible for the matching state
+    /// wipe (the plane has no access to node internals).
+    ///
+    /// Returns `true` if the action changed anything (a crash of an
+    /// already-crashed node, or a restart of a live one, is a no-op).
+    pub fn apply(&mut self, action: FaultAction) -> bool {
+        self.epoch += 1;
+        match action {
+            FaultAction::SetLoss { rate } => {
+                self.loss_rate = rate.clamp(0.0, 1.0);
+                true
+            }
+            FaultAction::SetLatencyFactor { factor } => {
+                self.latency_factor = if factor.is_finite() && factor > 0.0 {
+                    factor
+                } else {
+                    1.0
+                };
+                true
+            }
+            FaultAction::Crash { node } => {
+                if self.crashed.len() <= node {
+                    self.crashed.resize(node + 1, false);
+                }
+                if self.crashed[node] {
+                    return false;
+                }
+                self.crashed[node] = true;
+                self.crashed_count += 1;
+                self.counters.crashes += 1;
+                true
+            }
+            FaultAction::Restart { node } => {
+                if !self.crashed.get(node).copied().unwrap_or(false) {
+                    return false;
+                }
+                self.crashed[node] = false;
+                self.crashed_count -= 1;
+                self.counters.restarts += 1;
+                true
+            }
+            FaultAction::Partition { groups } => {
+                self.partition = Some(Partition {
+                    groups: groups.max(2),
+                    salt: mix64(self.seed ^ self.epoch),
+                });
+                true
+            }
+            FaultAction::Heal => {
+                self.partition = None;
+                true
+            }
+        }
+    }
+
+    /// Decides the fate of one message about to be sent on `(from, to)`,
+    /// counting any drop. Call exactly once per send, sender-side, before
+    /// the message enters any queue.
+    pub fn roll(&mut self, from: NodeId, to: NodeId) -> DropVerdict {
+        if !self.active() {
+            return DropVerdict::Deliver;
+        }
+        if self.is_crashed(to) {
+            self.counters.dropped_to_crashed += 1;
+            return DropVerdict::TargetCrashed;
+        }
+        if self.partition.is_some() && self.partition_group(from) != self.partition_group(to) {
+            self.counters.dropped_partition += 1;
+            return DropVerdict::Partitioned;
+        }
+        if self.loss_rate > 0.0 {
+            let seq = self
+                .link_seq
+                .entry((from.index() as u32, to.index() as u32))
+                .or_insert(0);
+            let n = *seq;
+            *seq += 1;
+            let h = mix64(
+                self.seed
+                    ^ mix64(
+                        self.epoch
+                            ^ mix64(((from.index() as u64) << 32 | to.index() as u64) ^ mix64(n)),
+                    ),
+            );
+            if unit(h) < self.loss_rate {
+                self.counters.dropped_loss += 1;
+                return DropVerdict::Loss;
+            }
+        }
+        DropVerdict::Deliver
+    }
+
+    /// Records a client query swallowed at a crashed node.
+    pub fn note_query_at_crashed(&mut self) {
+        self.counters.queries_at_crashed += 1;
+    }
+
+    /// Records a replica lifecycle event lost at a crashed authority.
+    pub fn note_replica_at_crashed(&mut self) {
+        self.counters.replica_at_crashed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn inactive_plane_delivers_everything() {
+        let mut st = FaultState::new(1);
+        assert!(!st.active());
+        for i in 0..100 {
+            assert_eq!(st.roll(n(i), n(i + 1)), DropVerdict::Deliver);
+        }
+        assert_eq!(st.counters, FaultCounters::default());
+    }
+
+    #[test]
+    fn loss_rate_drops_about_the_right_fraction() {
+        let mut st = FaultState::new(7);
+        st.apply(FaultAction::SetLoss { rate: 0.2 });
+        let total = 10_000u32;
+        let mut dropped = 0u32;
+        for i in 0..total {
+            if st.roll(n(i % 50), n((i + 1) % 50)) == DropVerdict::Loss {
+                dropped += 1;
+            }
+        }
+        assert_eq!(u64::from(dropped), st.counters.dropped_loss);
+        let rate = f64::from(dropped) / f64::from(total);
+        assert!(
+            (0.17..0.23).contains(&rate),
+            "empirical loss {rate} far from 0.2"
+        );
+    }
+
+    #[test]
+    fn rolls_are_reproducible_and_link_local() {
+        let script = |st: &mut FaultState| -> Vec<DropVerdict> {
+            st.apply(FaultAction::SetLoss { rate: 0.5 });
+            (0..64).map(|i| st.roll(n(i % 4), n(4 + i % 3))).collect()
+        };
+        let a = script(&mut FaultState::new(42));
+        let b = script(&mut FaultState::new(42));
+        assert_eq!(a, b, "same seed, same verdicts");
+        let c = script(&mut FaultState::new(43));
+        assert_ne!(a, c, "different seeds diverge");
+
+        // Link-locality: interleaving traffic on other links must not
+        // perturb a given link's verdict sequence.
+        let mut lone = FaultState::new(9);
+        lone.apply(FaultAction::SetLoss { rate: 0.5 });
+        let solo: Vec<DropVerdict> = (0..32).map(|_| lone.roll(n(1), n(2))).collect();
+        let mut busy = FaultState::new(9);
+        busy.apply(FaultAction::SetLoss { rate: 0.5 });
+        let mut interleaved = Vec::new();
+        for _ in 0..32 {
+            busy.roll(n(7), n(8));
+            interleaved.push(busy.roll(n(1), n(2)));
+            busy.roll(n(3), n(1));
+        }
+        assert_eq!(solo, interleaved);
+    }
+
+    #[test]
+    fn crash_restart_toggle_and_count_once() {
+        let mut st = FaultState::new(3);
+        assert!(st.apply(FaultAction::Crash { node: 5 }));
+        assert!(!st.apply(FaultAction::Crash { node: 5 }), "idempotent");
+        assert!(st.is_crashed(n(5)));
+        assert!(st.active());
+        assert_eq!(st.roll(n(1), n(5)), DropVerdict::TargetCrashed);
+        assert_eq!(st.roll(n(1), n(2)), DropVerdict::Deliver);
+        assert!(st.apply(FaultAction::Restart { node: 5 }));
+        assert!(!st.apply(FaultAction::Restart { node: 5 }));
+        assert!(!st.is_crashed(n(5)));
+        assert!(!st.active());
+        assert_eq!(st.counters.crashes, 1);
+        assert_eq!(st.counters.restarts, 1);
+        assert_eq!(st.counters.dropped_to_crashed, 1);
+    }
+
+    #[test]
+    fn partition_splits_and_heals() {
+        let mut st = FaultState::new(11);
+        st.apply(FaultAction::Partition { groups: 2 });
+        let groups: Vec<u32> = (0..64).map(|i| st.partition_group(n(i)).unwrap()).collect();
+        assert!(groups.contains(&0) && groups.contains(&1));
+        let (a, b) = (
+            groups.iter().position(|&g| g == 0).unwrap() as u32,
+            groups.iter().position(|&g| g == 1).unwrap() as u32,
+        );
+        assert_eq!(st.roll(n(a), n(b)), DropVerdict::Partitioned);
+        let same: Vec<u32> = (0..64).filter(|&i| groups[i as usize] == 0).collect();
+        assert_eq!(st.roll(n(same[0]), n(same[1])), DropVerdict::Deliver);
+        st.apply(FaultAction::Heal);
+        assert_eq!(st.partition_group(n(a)), None);
+        assert_eq!(st.roll(n(a), n(b)), DropVerdict::Deliver);
+        assert_eq!(st.counters.dropped_partition, 1);
+    }
+
+    #[test]
+    fn epochs_decorrelate_loss_phases() {
+        // The same link sequence under the same rate in two different
+        // epochs must not produce the same drop pattern.
+        let mut st = FaultState::new(5);
+        st.apply(FaultAction::SetLoss { rate: 0.5 });
+        let phase1: Vec<DropVerdict> = (0..64).map(|_| st.roll(n(0), n(1))).collect();
+        st.apply(FaultAction::SetLoss { rate: 0.0 });
+        st.apply(FaultAction::SetLoss { rate: 0.5 });
+        let phase2: Vec<DropVerdict> = (0..64).map(|_| st.roll(n(0), n(1))).collect();
+        assert_ne!(phase1, phase2);
+    }
+
+    #[test]
+    fn latency_factor_and_notes() {
+        let mut st = FaultState::new(2);
+        assert_eq!(st.latency_factor(), 1.0);
+        st.apply(FaultAction::SetLatencyFactor { factor: 2.5 });
+        assert_eq!(st.latency_factor(), 2.5);
+        assert!(st.active());
+        st.note_query_at_crashed();
+        st.note_replica_at_crashed();
+        assert_eq!(st.counters.queries_at_crashed, 1);
+        assert_eq!(st.counters.replica_at_crashed, 1);
+        assert_eq!(st.counters.dropped(), 0);
+    }
+}

@@ -22,33 +22,7 @@ pub enum OverlayKind {
     Chord,
 }
 
-impl OverlayKind {
-    /// Every overlay kind, for parametrized tests and benches.
-    pub const ALL: [OverlayKind; 2] = [OverlayKind::Can, OverlayKind::Chord];
-
-    /// Stable lower-case name (bench JSON fields, CLI flags).
-    pub fn name(self) -> &'static str {
-        match self {
-            OverlayKind::Can => "can",
-            OverlayKind::Chord => "chord",
-        }
-    }
-
-    /// Parses the inverse of [`OverlayKind::name`].
-    pub fn parse(s: &str) -> Option<OverlayKind> {
-        match s {
-            "can" => Some(OverlayKind::Can),
-            "chord" => Some(OverlayKind::Chord),
-            _ => None,
-        }
-    }
-}
-
-impl core::fmt::Display for OverlayKind {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(self.name())
-    }
-}
+cup_core::string_surface!(OverlayKind { Can => "can", Chord => "chord" });
 
 /// Either overlay, with a uniform churn interface.
 #[derive(Debug, Clone)]

@@ -1,0 +1,176 @@
+//! Property tests for routing invariants under fault-shaped churn.
+//!
+//! The fault plane (`cup-faults`) models crashes, restarts, and
+//! partitions *above* the overlay: a crashed node keeps its zone and
+//! messages to it are dropped, so routing invariants are untouched. The
+//! overlays must additionally survive the topology-level mirror of those
+//! faults — the hard churn the recovery story leans on when a crashed
+//! node is eventually *replaced* rather than restarted: abrupt
+//! (ungraceful) departures, rejoining nodes, and a partition-sized batch
+//! of simultaneous departures followed by a heal-sized batch of joins.
+//!
+//! After every step, two invariants must hold on the surviving topology:
+//!
+//! * **owner uniqueness** — every key has exactly one live node that
+//!   considers itself the authority (`next_hop == None`);
+//! * **reachability** — routing from every sampled live node terminates
+//!   at that owner along real neighbor edges.
+//!
+//! And after the final heal (population restored), the invariants must
+//! hold for a fresh sample — nothing about the crash/restart history may
+//! leak into steady-state routing.
+
+use proptest::prelude::*;
+
+use cup_des::{DetRng, KeyId};
+use cup_overlay::{AnyOverlay, Overlay, OverlayKind};
+
+/// One fault-shaped topology op.
+#[derive(Debug, Clone, Copy)]
+enum FaultOp {
+    /// One node crashes and is replaced (ungraceful leave).
+    Crash,
+    /// A crashed-and-replaced node's capacity comes back (join).
+    Restart,
+    /// `k` nodes drop out at once (one side of a partition dies).
+    Partition(u8),
+    /// `k` nodes come back at once.
+    Heal(u8),
+}
+
+/// Decodes one generated `(selector, batch)` pair into an op.
+fn decode_op((selector, batch): (u8, u8)) -> FaultOp {
+    match selector {
+        0 => FaultOp::Crash,
+        1 => FaultOp::Restart,
+        2 => FaultOp::Partition(batch),
+        _ => FaultOp::Heal(batch),
+    }
+}
+
+/// Asserts owner uniqueness for `key`: exactly one live node routes
+/// nowhere, and it is the reported authority.
+fn check_owner_unique(overlay: &AnyOverlay, key: KeyId) -> Result<(), TestCaseError> {
+    let authority = overlay.authority(key);
+    prop_assert!(overlay.is_alive(authority));
+    let mut owners = Vec::new();
+    for node in overlay.nodes() {
+        if overlay.next_hop(node, key).unwrap().is_none() {
+            owners.push(node);
+        }
+    }
+    prop_assert_eq!(
+        owners.clone(),
+        vec![authority],
+        "key {} must have exactly one owner, found {:?}",
+        key,
+        owners
+    );
+    Ok(())
+}
+
+/// Asserts reachability: routing from sampled live nodes ends at the
+/// owner over genuine neighbor edges.
+fn check_reachability(
+    overlay: &AnyOverlay,
+    rng: &mut DetRng,
+    lookups: usize,
+) -> Result<(), TestCaseError> {
+    let live = overlay.nodes();
+    for _ in 0..lookups {
+        let start = live[rng.choose_index(live.len())];
+        let key = KeyId(rng.next_below(1 << 16) as u32);
+        let path = overlay
+            .route(start, key)
+            .map_err(|e| TestCaseError::fail(format!("route({start}, {key}): {e}")))?;
+        prop_assert_eq!(*path.last().unwrap(), overlay.authority(key));
+        for w in path.windows(2) {
+            prop_assert!(
+                overlay.neighbors(w[0]).contains(&w[1]),
+                "edge {} -> {} is not a neighbor link",
+                w[0],
+                w[1]
+            );
+        }
+    }
+    Ok(())
+}
+
+fn leave_one(overlay: &mut AnyOverlay, rng: &mut DetRng) {
+    if overlay.len() > 2 {
+        let live = overlay.nodes();
+        let victim = live[rng.choose_index(live.len())];
+        overlay.leave(victim).unwrap();
+    }
+}
+
+proptest! {
+    /// Owner uniqueness and reachability survive arbitrary interleaved
+    /// crash/restart/partition/heal sequences on both substrates, and
+    /// still hold after the population is healed back to full strength.
+    #[test]
+    fn invariants_hold_under_interleaved_crash_restart_partition(
+        seed in any::<u64>(),
+        n in 8usize..48,
+        ops in proptest::collection::vec((0u8..4, 2u8..6), 1..16),
+    ) {
+        for kind in OverlayKind::ALL {
+            let mut rng = DetRng::seed_from(seed);
+            let mut overlay = AnyOverlay::build(kind, n, &mut rng).unwrap();
+            for &encoded in &ops {
+                match decode_op(encoded) {
+                    FaultOp::Crash => leave_one(&mut overlay, &mut rng),
+                    FaultOp::Restart => {
+                        overlay.join(&mut rng).unwrap();
+                    }
+                    FaultOp::Partition(k) => {
+                        for _ in 0..k {
+                            leave_one(&mut overlay, &mut rng);
+                        }
+                    }
+                    FaultOp::Heal(k) => {
+                        for _ in 0..k {
+                            overlay.join(&mut rng).unwrap();
+                        }
+                    }
+                }
+                // Invariants after *every* step, not just at the end.
+                for probe in 0..4u32 {
+                    check_owner_unique(&overlay, KeyId(rng.next_below(1 << 20) as u32 + probe))?;
+                }
+                check_reachability(&overlay, &mut rng, 6)?;
+            }
+            // Heal back to (at least) the starting population and demand
+            // full-strength invariants on a fresh sample.
+            while overlay.len() < n {
+                overlay.join(&mut rng).unwrap();
+            }
+            for probe in 0..8u32 {
+                check_owner_unique(&overlay, KeyId(rng.next_below(1 << 20) as u32 + probe))?;
+            }
+            check_reachability(&overlay, &mut rng, 12)?;
+        }
+    }
+
+    /// A total-minus-two wipeout (everything crashes except a sliver)
+    /// followed by a full heal leaves both substrates routable: the
+    /// extreme end of the partition/heal spectrum.
+    #[test]
+    fn deep_partition_then_full_heal_recovers(seed in any::<u64>(), n in 8usize..32) {
+        for kind in OverlayKind::ALL {
+            let mut rng = DetRng::seed_from(seed);
+            let mut overlay = AnyOverlay::build(kind, n, &mut rng).unwrap();
+            while overlay.len() > 2 {
+                leave_one(&mut overlay, &mut rng);
+            }
+            check_reachability(&overlay, &mut rng, 4)?;
+            while overlay.len() < n {
+                overlay.join(&mut rng).unwrap();
+            }
+            for probe in 0..6u32 {
+                check_owner_unique(&overlay, KeyId(rng.next_below(1 << 20) as u32 + probe))?;
+            }
+            check_reachability(&overlay, &mut rng, 12)?;
+        }
+    }
+}

@@ -22,6 +22,14 @@
 //! configuration (mode, cut-off policy), replica events, and client
 //! queries.
 //!
+//! The `cup-faults` plane plugs in through the same decide-before-
+//! enqueue rule the DES uses: [`LiveNetwork::enable_faults`] arms a
+//! shared [`cup_faults::FaultState`], every worker consults it before a
+//! message enters any mailbox (so `quiesce` stays exact under loss), and
+//! [`LiveNetwork::inject_fault`] scripts loss phases, partitions, and
+//! crash/restart cycles — a crash wipes the node's protocol state while
+//! its counters are folded into a retained aggregate.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,4 +50,4 @@
 pub mod network;
 mod shard;
 
-pub use network::{LiveNetwork, RuntimeError};
+pub use network::{LiveNetwork, PendingQuery, RuntimeError};

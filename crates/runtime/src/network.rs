@@ -6,8 +6,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use cup_core::stats::NodeStats;
 use cup_core::{ClientId, CupNode, IndexEntry, NodeConfig, ReplicaEvent};
 use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration};
+use cup_faults::{FaultAction, FaultCounters, FaultState};
 use cup_overlay::{AnyOverlay, Overlay, OverlayError, OverlayKind};
 
 use crate::shard::{worker_main, Envelope, Shared};
@@ -97,7 +99,7 @@ impl LiveNetwork {
             mailboxes.push(tx);
             receivers.push(rx);
         }
-        let shared = Arc::new(Shared::new(mailboxes, node_ids.len(), overlay));
+        let shared = Arc::new(Shared::new(mailboxes, node_ids.len(), overlay, config));
         let mut handles = Vec::with_capacity(workers);
         for (shard, rx) in receivers.into_iter().enumerate() {
             let base = Shared::shard_base(node_ids.len(), workers, shard);
@@ -180,6 +182,77 @@ impl LiveNetwork {
         (tracker.justified(), tracker.total())
     }
 
+    /// Arms the fault plane with a fresh [`FaultState`] keyed by `seed`.
+    /// Use the same seed as a DES run's plane to get byte-identical drop
+    /// decisions (the conformance harness does exactly that).
+    ///
+    /// Call while the network is quiescent — re-seeding under traffic
+    /// would split one logical fault universe into two. Note that
+    /// byte-identical agreement with a DES run additionally requires
+    /// serialized traffic (quiesce between scripted events, the
+    /// conformance pattern): under concurrent cascades, per-link message
+    /// order — and therefore which message a lossy link eats — depends
+    /// on mailbox arrival order.
+    pub fn enable_faults(&self, seed: u64) {
+        let mut state = self.shared.faults.lock().unwrap_or_else(|e| e.into_inner());
+        *state = FaultState::new(seed);
+        self.shared
+            .faults_on
+            .store(state.active(), std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Applies one fault action to the live plane: loss rates and
+    /// partitions take effect on the next send; a crash additionally
+    /// wipes the node's protocol state via its owner shard (quiesce
+    /// afterwards to observe the completed wipe).
+    ///
+    /// Workers consult the plane only while some fault is in effect, so
+    /// a fully healed network (loss 0, no partition, everyone restarted)
+    /// pays nothing per send again.
+    pub fn inject_fault(&self, action: FaultAction) {
+        let changed = {
+            let mut state = self.shared.faults.lock().unwrap_or_else(|e| e.into_inner());
+            let changed = state.apply(action);
+            self.shared
+                .faults_on
+                .store(state.active(), std::sync::atomic::Ordering::SeqCst);
+            changed
+        };
+        if let FaultAction::Crash { node } = action {
+            if changed && node < self.node_ids.len() {
+                let at = NodeId(node as u32);
+                self.shared
+                    .post(self.shared.shard_of(at), Envelope::CrashReset { at });
+            }
+        }
+    }
+
+    /// The fault plane's drop/crash counters (all zero while unarmed).
+    /// Call after [`LiveNetwork::quiesce`] for a stable reading.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.shared
+            .faults
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .counters
+    }
+
+    /// Messages the fault plane dropped so far.
+    pub fn dropped_messages(&self) -> u64 {
+        self.fault_counters().dropped()
+    }
+
+    /// Protocol counters retained from crashed nodes (the live mirror of
+    /// the DES arena's departed-stats aggregate; crash wipes must not
+    /// lose history from network-wide statistics).
+    pub fn crash_retained_stats(&self) -> NodeStats {
+        *self
+            .shared
+            .crash_retained
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Blocks until the network is quiescent: every shard mailbox is
     /// drained and no worker is mid-dispatch.
     ///
@@ -237,6 +310,27 @@ impl LiveNetwork {
     /// [`RuntimeError::QueryTimeout`] if no response arrives within
     /// [`LiveNetwork::query_timeout`].
     pub fn query(&self, node: NodeId, key: KeyId) -> Result<Vec<IndexEntry>, RuntimeError> {
+        let pending = self.query_detached(node, key)?;
+        pending
+            .rx
+            .recv_timeout(self.query_timeout)
+            .map_err(|_| RuntimeError::QueryTimeout)
+    }
+
+    /// Posts a client query without blocking for the answer. Under fault
+    /// injection an answer may legitimately never come (the query or its
+    /// response was dropped); the deterministic pattern is to post,
+    /// [`LiveNetwork::quiesce`], then [`PendingQuery::try_take`] — after
+    /// a quiesce, "no answer yet" means "no answer ever".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownNode`] for an invalid node.
+    pub fn query_detached(
+        &self,
+        node: NodeId,
+        key: KeyId,
+    ) -> Result<PendingQuery<'_>, RuntimeError> {
         // Ids are dense, so validity is a range check, not an O(n) scan.
         if node.index() >= self.node_ids.len() {
             return Err(RuntimeError::UnknownNode(node));
@@ -252,17 +346,19 @@ impl LiveNetwork {
                 client,
             },
         );
-        let result = rx
-            .recv_timeout(self.query_timeout)
-            .map_err(|_| RuntimeError::QueryTimeout);
-        self.shared.clients.lock().unwrap().remove(&client);
-        result
+        Ok(PendingQuery {
+            net: self,
+            client,
+            rx,
+        })
     }
 
     /// Stops the worker pool and returns the final protocol state of
     /// every node, in node-id order (useful for inspecting per-node
     /// statistics). Implies [`LiveNetwork::quiesce`], so all previously
     /// injected traffic is fully processed in the returned states.
+    /// Counters wiped by crashes are available separately through
+    /// [`LiveNetwork::crash_retained_stats`].
     pub fn shutdown(self) -> Vec<CupNode> {
         self.quiesce();
         for tx in &self.shared.mailboxes {
@@ -273,6 +369,34 @@ impl LiveNetwork {
             nodes.extend(handle.join().expect("worker thread must not panic"));
         }
         nodes
+    }
+}
+
+/// A posted-but-unclaimed client query (see
+/// [`LiveNetwork::query_detached`]). Dropping it deregisters the client.
+pub struct PendingQuery<'a> {
+    net: &'a LiveNetwork,
+    client: ClientId,
+    rx: Receiver<Vec<IndexEntry>>,
+}
+
+impl PendingQuery<'_> {
+    /// Takes the answer if one has arrived. After a
+    /// [`LiveNetwork::quiesce`], `None` is definitive: the query (or its
+    /// response) was dropped and no answer will ever come.
+    pub fn try_take(self) -> Option<Vec<IndexEntry>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl Drop for PendingQuery<'_> {
+    fn drop(&mut self) {
+        self.net
+            .shared
+            .clients
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.client);
     }
 }
 
@@ -510,6 +634,126 @@ mod tests {
         net.replica_refresh(KeyId(1), ReplicaId(0), LIFE);
         net.quiesce();
         assert_eq!(net.justification(), (0, 0));
+        net.shutdown();
+    }
+
+    #[test]
+    fn crash_wipes_state_and_restart_comes_back_cold() {
+        let net = network(OverlayKind::Can, 16);
+        net.enable_faults(5);
+        net.replica_birth(KeyId(1), ReplicaId(0), LIFE);
+        net.quiesce();
+        let victim = net.nodes()[6];
+        let entries = net.query(victim, KeyId(1)).unwrap();
+        assert_eq!(entries.len(), 1);
+        net.quiesce();
+        // Crash the node: queries at it are swallowed, traffic to it is
+        // dropped.
+        net.inject_fault(FaultAction::Crash {
+            node: victim.index(),
+        });
+        net.quiesce();
+        let pending = net.query_detached(victim, KeyId(1)).unwrap();
+        net.quiesce();
+        assert!(
+            pending.try_take().is_none(),
+            "a crashed node answers nothing"
+        );
+        assert_eq!(net.fault_counters().queries_at_crashed, 1);
+        assert_eq!(net.fault_counters().crashes, 1);
+        // Restart: the node is reachable again, but cold — its next
+        // answer needs a fresh upstream fetch, and its pre-crash
+        // counters moved to the retained aggregate.
+        net.inject_fault(FaultAction::Restart {
+            node: victim.index(),
+        });
+        net.quiesce();
+        let entries = net.query(victim, KeyId(1)).unwrap();
+        assert_eq!(entries.len(), 1, "restarted node re-fetches and answers");
+        assert_eq!(net.fault_counters().restarts, 1);
+        assert!(net.crash_retained_stats().client_queries >= 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn full_loss_drops_everything_and_quiesce_stays_exact() {
+        let net = network(OverlayKind::Can, 16);
+        net.enable_faults(9);
+        net.replica_birth(KeyId(1), ReplicaId(0), LIFE);
+        net.quiesce();
+        net.inject_fault(FaultAction::SetLoss { rate: 1.0 });
+        let hops_before = net.hops();
+        // Query at a non-authority node: the upstream hop is dropped at
+        // the sender, so the network drains instantly (quiesce must not
+        // hang on a message that never entered a mailbox) and the client
+        // never hears back.
+        let poster = net.nodes()[9];
+        let pending = net.query_detached(poster, KeyId(1)).unwrap();
+        net.quiesce();
+        if let Some(entries) = pending.try_take() {
+            // The node could be on the authority shard answering from its
+            // own cache/directory (no network hop); anything else means a
+            // message survived 100% loss.
+            assert!(entries.is_empty() || net.hops() == hops_before);
+        }
+        assert!(
+            net.fault_counters().dropped_loss > 0,
+            "the upstream query must have been dropped"
+        );
+        assert_eq!(net.hops(), hops_before, "dropped messages are not hops");
+        net.shutdown();
+    }
+
+    #[test]
+    fn partition_cuts_cross_group_traffic_until_heal() {
+        // A response dropped at the partition boundary leaves the
+        // posting node's Pending-First-Update flag set; recovery is the
+        // PFU timeout retrying on the next miss. A short timeout lets the
+        // post-heal queries exercise that path instead of coalescing
+        // against the lost in-flight fetch for the default 30 s.
+        let mut config = NodeConfig::cup_default();
+        config.pfu_timeout = SimDuration::from_millis(1);
+        let mut rng = DetRng::seed_from(11);
+        let net =
+            LiveNetwork::start_with_workers(OverlayKind::Chord, 32, config, 4, &mut rng).unwrap();
+        net.enable_faults(11);
+        for k in 0..4 {
+            net.replica_birth(KeyId(k), ReplicaId(k), LIFE);
+        }
+        net.quiesce();
+        net.inject_fault(FaultAction::Partition { groups: 2 });
+        for node in 0..32u32 {
+            let pending = net.query_detached(NodeId(node), KeyId(node % 4)).unwrap();
+            net.quiesce();
+            drop(pending.try_take());
+        }
+        let partitioned = net.fault_counters().dropped_partition;
+        assert!(partitioned > 0, "a 2-way split must cut some query paths");
+        net.inject_fault(FaultAction::Heal);
+        net.quiesce();
+        // Let the (wall-clock) PFU timeout elapse so retries fire instead
+        // of coalescing against fetches the partition swallowed.
+        std::thread::sleep(Duration::from_millis(10));
+        for node in 0..32u32 {
+            let entries = net.query(NodeId(node), KeyId(node % 4)).unwrap();
+            assert_eq!(entries.len(), 1, "after heal every query resolves");
+        }
+        assert_eq!(
+            net.fault_counters().dropped_partition,
+            partitioned,
+            "healed traffic must not count as partitioned"
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn fault_plane_is_inert_until_enabled() {
+        let net = network(OverlayKind::Can, 8);
+        net.replica_birth(KeyId(1), ReplicaId(0), LIFE);
+        net.quiesce();
+        net.query(net.nodes()[5], KeyId(1)).unwrap();
+        assert_eq!(net.fault_counters(), cup_faults::FaultCounters::default());
+        assert_eq!(net.dropped_messages(), 0);
         net.shutdown();
     }
 

@@ -18,10 +18,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use cup_core::justify::JustificationTracker;
+use cup_core::stats::NodeStats;
 use cup_core::{
-    Action, ClientId, CupNode, IndexEntry, Message, ReplicaEvent, Requester, UpdateKind,
+    Action, ClientId, CupNode, IndexEntry, Message, NodeConfig, ReplicaEvent, Requester, UpdateKind,
 };
 use cup_des::{KeyId, NodeId, SimTime};
+use cup_faults::{DropVerdict, FaultState};
 use cup_overlay::{AnyOverlay, Overlay};
 
 /// What a shard mailbox can receive.
@@ -51,6 +53,13 @@ pub(crate) enum Envelope {
         at: NodeId,
         /// Birth, refresh, or deletion.
         event: ReplicaEvent,
+    },
+    /// Fault plane: wipe `at`'s protocol state (a crash). The node comes
+    /// back cold; its counters are folded into the crash-retained
+    /// aggregate so network-wide statistics stay conserved.
+    CrashReset {
+        /// The crashing node (owned by this shard).
+        at: NodeId,
     },
     /// Stop the worker. Not tracked as in-flight work: shutdown is the
     /// one envelope [`Shared::wait_quiescent`] must not wait for.
@@ -88,6 +97,20 @@ pub(crate) struct Shared {
     pub(crate) justify: Mutex<JustificationTracker>,
     /// Whether the justification tracker records events.
     pub(crate) justify_on: AtomicBool,
+    /// The node configuration every node was built with (crash resets
+    /// rebuild cold nodes from it).
+    pub(crate) config: NodeConfig,
+    /// The fault plane, shared with the DES through [`cup_faults`]:
+    /// drops are decided here *before* a message enters a mailbox, so a
+    /// dropped message never becomes in-flight work and `wait_quiescent`
+    /// stays exact. Gated by `faults_on` so the fault-free path costs
+    /// one relaxed load per send, not a lock.
+    pub(crate) faults: Mutex<FaultState>,
+    /// Whether the fault plane vets sends.
+    pub(crate) faults_on: AtomicBool,
+    /// Counters retained from crashed nodes (the live mirror of the
+    /// DES arena's departed-stats aggregate).
+    pub(crate) crash_retained: Mutex<NodeStats>,
     /// In-flight envelopes: incremented before a mailbox send,
     /// decremented after the receiving worker fully dispatched the
     /// envelope, including its inline intra-shard cascade.
@@ -105,6 +128,7 @@ impl Shared {
         mailboxes: Vec<Sender<Envelope>>,
         population: usize,
         overlay: AnyOverlay,
+        config: NodeConfig,
     ) -> Self {
         let shards = mailboxes.len();
         Shared {
@@ -119,6 +143,10 @@ impl Shared {
             routing_failures: AtomicU64::new(0),
             justify: Mutex::new(JustificationTracker::new()),
             justify_on: AtomicBool::new(false),
+            config,
+            faults: Mutex::new(FaultState::new(0)),
+            faults_on: AtomicBool::new(false),
+            crash_retained: Mutex::new(NodeStats::default()),
             pending: AtomicU64::new(0),
             panicked: AtomicBool::new(false),
             idle_lock: Mutex::new(()),
@@ -219,6 +247,35 @@ impl Shared {
         self.justify_on.load(Ordering::Relaxed)
     }
 
+    /// Whether the fault plane vets sends.
+    pub(crate) fn faults_enabled(&self) -> bool {
+        self.faults_on.load(Ordering::Relaxed)
+    }
+
+    /// Sender-side fault verdict for one message (call exactly once per
+    /// send, before any enqueue — see [`cup_faults::FaultState::roll`]).
+    pub(crate) fn fault_roll(&self, from: NodeId, to: NodeId) -> DropVerdict {
+        self.faults
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .roll(from, to)
+    }
+
+    /// Returns `true` if the fault plane currently marks `node` crashed.
+    pub(crate) fn fault_is_crashed(&self, node: NodeId) -> bool {
+        self.faults_enabled()
+            && self
+                .faults
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_crashed(node)
+    }
+
+    /// Runs `f` on the locked fault plane (counter bumps).
+    pub(crate) fn with_faults(&self, f: impl FnOnce(&mut FaultState)) {
+        f(&mut self.faults.lock().unwrap_or_else(|e| e.into_inner()));
+    }
+
     /// Records a delivered maintenance update with the shared tracker.
     pub(crate) fn justify_update(&self, to: NodeId, key: KeyId, now: SimTime, closes: SimTime) {
         self.justify
@@ -316,8 +373,25 @@ impl Worker {
     fn dispatch(&mut self, env: Envelope) {
         match env {
             Envelope::Shutdown => unreachable!("worker_main filters Shutdown before dispatch"),
+            Envelope::CrashReset { at } => {
+                let idx = at.index() - self.base;
+                let cold = CupNode::new(at, self.shared.config);
+                let dead = std::mem::replace(&mut self.nodes[idx], cold);
+                self.shared
+                    .crash_retained
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .merge(&dead.stats);
+            }
             Envelope::Peer { to, from, msg } => self.handle_peer(to, from, msg),
             Envelope::Client { at, key, client } => {
+                // A crashed node accepts no connections: the query is
+                // swallowed exactly like the DES harness swallows it
+                // (the waiting client observes no answer).
+                if self.shared.fault_is_crashed(at) {
+                    self.shared.with_faults(FaultState::note_query_at_crashed);
+                    return;
+                }
                 let now = self.shared.now();
                 match self.shared.upstream_of(at, key) {
                     Ok(upstream) => {
@@ -345,6 +419,11 @@ impl Worker {
                 }
             }
             Envelope::Replica { at, event } => {
+                // A crashed authority hears nothing from its replicas.
+                if self.shared.fault_is_crashed(at) {
+                    self.shared.with_faults(FaultState::note_replica_at_crashed);
+                    return;
+                }
                 let now = self.shared.now();
                 let mut actions = std::mem::take(&mut self.actions);
                 self.node_mut(at)
@@ -361,6 +440,13 @@ impl Worker {
     /// Runs one peer message through its target node. A message whose
     /// routing lookup fails is dropped (counted in `routing_failures`).
     fn handle_peer(&mut self, to: NodeId, from: NodeId, msg: Message) {
+        // In flight when its receiver crashed (the sender's verdict
+        // predates the crash): a crashed node processes nothing.
+        if self.shared.fault_is_crashed(to) {
+            self.shared
+                .with_faults(|f| f.counters.dropped_to_crashed += 1);
+            return;
+        }
         let now = self.shared.now();
         let mut actions = std::mem::take(&mut self.actions);
         match msg {
@@ -401,6 +487,15 @@ impl Worker {
         for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => {
+                    // Decide-before-enqueue: a fault-plane drop never
+                    // enters a mailbox (the quiesce barrier stays exact)
+                    // and never counts as a hop — exactly like the DES,
+                    // which never schedules the delivery.
+                    if self.shared.faults_enabled()
+                        && self.shared.fault_roll(from, to) != DropVerdict::Deliver
+                    {
+                        continue;
+                    }
                     self.shared.hops.fetch_add(1, Ordering::Relaxed);
                     if self.owns(to) {
                         self.local.push_back((to, from, msg));

@@ -78,6 +78,24 @@ impl NodeArena {
         self.capacities.push(1.0);
     }
 
+    /// Wipes a live node's protocol state in place (a fault-plane
+    /// crash): the slot is re-initialized cold — empty cache, empty
+    /// directory, no interest record — while its counters are folded
+    /// into the departed aggregate so network-wide statistics stay
+    /// conserved across crashes. Returns `false` if the slot is not
+    /// alive.
+    pub fn reset(&mut self, id: NodeId, config: NodeConfig) -> bool {
+        let Some(slot) = self.nodes.get_mut(id.index()) else {
+            return false;
+        };
+        let Some(node) = slot else {
+            return false;
+        };
+        self.departed_stats.merge(&node.stats);
+        *slot = Some(CupNode::new(id, config));
+        true
+    }
+
     /// Removes a departed node, folding its counters into the departed
     /// aggregate. Returns the final state for hand-over processing.
     pub fn remove(&mut self, id: NodeId) -> Option<CupNode> {

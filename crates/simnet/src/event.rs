@@ -2,6 +2,7 @@
 
 use cup_core::Message;
 use cup_des::{KeyId, NodeId};
+use cup_faults::FaultEvent;
 use cup_workload::{churn::ChurnEvent, replica::ReplicaAction};
 
 /// Everything that can happen in a simulated CUP network.
@@ -42,4 +43,6 @@ pub enum Ev {
     },
     /// A node joins or leaves the overlay.
     Churn(ChurnEvent),
+    /// A scripted fault-plane change (loss, latency, crash, partition).
+    Fault(FaultEvent),
 }

@@ -3,6 +3,7 @@
 use cup_core::justify::JustificationTracker;
 use cup_core::{CutoffPolicy, NodeConfig, PropagationPolicy};
 use cup_des::{DetRng, Engine, LatencyModel, SimDuration};
+use cup_faults::{FaultPlan, FaultState};
 use cup_overlay::{AnyOverlay, OverlayKind};
 use cup_workload::{
     capacity::CapacityProfile, churn::ChurnSchedule, replica::ReplicaPlan,
@@ -104,6 +105,19 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
         net.justify = Some(JustificationTracker::new());
     }
 
+    // The fault plane: spec strings become a timed event script, and the
+    // plane's decision seed derives from the experiment's root RNG so
+    // fault runs live in the same reproducible universe as everything
+    // else.
+    let fault_plan = if scenario.fault_plan.is_empty() {
+        FaultPlan::none()
+    } else {
+        let plan = FaultPlan::parse_specs(&scenario.fault_plan)
+            .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+        net.faults = Some(FaultState::new(root.derive(6).next()));
+        plan
+    };
+
     // Query workload.
     let selector = match scenario.key_distribution {
         KeyDistribution::Uniform => KeySelector::uniform(scenario.keys),
@@ -150,6 +164,9 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
     for churn_event in config.churn.events() {
         engine.schedule(churn_event.at(), Ev::Churn(*churn_event));
     }
+    for fault_event in fault_plan.events() {
+        engine.schedule(fault_event.at, Ev::Fault(*fault_event));
+    }
 
     // Run through the query window plus the drain margin. The paper's
     // long post-query tail (simulation time 22 000 s vs 3 000 s of
@@ -166,8 +183,12 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
         .justify
         .as_ref()
         .map_or((0, 0), |j| (j.justified(), j.total()));
+    let mut metrics = net.metrics;
+    if let Some(f) = net.faults.as_ref() {
+        metrics.faults = f.counters;
+    }
     ExperimentResult {
-        net: net.metrics,
+        net: metrics,
         nodes: net.aggregate_stats(),
         justified_updates: justified,
         tracked_updates: tracked,
@@ -319,6 +340,76 @@ mod tests {
             always.justified_fraction()
         );
         assert!(adaptive.total_cost() <= always.total_cost());
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_and_lossy() {
+        let scenario = small_scenario(5.0).with_fault_plan(&[
+            "drop:0.1",
+            "crash:7@t=500..900",
+            "partition:2@t=600..700",
+        ]);
+        let config = ExperimentConfig::cup(scenario);
+        let a = run_experiment(&config);
+        let b = run_experiment(&config);
+        assert_eq!(a, b, "fault runs must be byte-identical across reruns");
+        assert!(a.net.faults.dropped_loss > 0, "10% loss must drop traffic");
+        assert!(
+            a.net.faults.dropped_partition > 0,
+            "the partition must cut traffic"
+        );
+        assert_eq!(a.net.faults.crashes, 1);
+        assert_eq!(a.net.faults.restarts, 1);
+        // The network still works: clients keep getting answers.
+        assert!(a.net.client_responses > 0);
+    }
+
+    #[test]
+    fn loss_cannot_inflate_the_justified_ratio() {
+        // A dropped propagation opens no justification window, so the
+        // tracked count shrinks with loss but the ratio stays a ratio of
+        // *delivered* updates — it must not read better than the total
+        // update volume supports.
+        let mut clean = ExperimentConfig::cup(small_scenario(5.0));
+        clean.track_justification = true;
+        let clean = run_experiment(&clean);
+        let mut lossy = ExperimentConfig::cup(small_scenario(5.0).with_fault_plan(&["drop:0.3"]));
+        lossy.track_justification = true;
+        let lossy = run_experiment(&lossy);
+        assert!(
+            lossy.tracked_updates < clean.tracked_updates,
+            "loss must shrink the delivered-update denominator ({} vs {})",
+            lossy.tracked_updates,
+            clean.tracked_updates
+        );
+        assert!(lossy.justified_updates <= lossy.tracked_updates);
+    }
+
+    #[test]
+    fn crashed_node_comes_back_cold() {
+        // Crash every node's state away mid-run and let them restart:
+        // the run completes, counts exactly the scripted crash, and the
+        // query stream keeps being served afterwards.
+        let scenario = small_scenario(5.0).with_fault_plan(&["crash:3@t=500..600"]);
+        let r = run_experiment(&ExperimentConfig::cup(scenario.clone()));
+        assert_eq!(r.net.faults.crashes, 1);
+        assert_eq!(r.net.faults.restarts, 1);
+        let clean = run_experiment(&ExperimentConfig::cup(Scenario {
+            fault_plan: Vec::new(),
+            ..scenario
+        }));
+        assert!(
+            r.net.client_responses <= clean.net.client_responses,
+            "a crash cannot create answers out of thin air"
+        );
+        assert!(r.net.client_responses > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn malformed_fault_plans_fail_loudly() {
+        let scenario = small_scenario(1.0).with_fault_plan(&["drop:2.0"]);
+        let _ = run_experiment(&ExperimentConfig::cup(scenario));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Network-level cost accounting (the paper's §3.3 cost model).
 
 use cup_core::stats::NodeStats;
+use cup_faults::FaultCounters;
 
 /// Hop counters accumulated while the simulation runs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -21,6 +22,15 @@ pub struct NetMetrics {
     pub client_responses: u64,
     /// Messages dropped because the destination had departed.
     pub dropped_messages: u64,
+    /// Fault-plane drop/crash counters (all zero without a fault plan).
+    pub faults: FaultCounters,
+    /// Client responses that served a globally dead replica (a deletion
+    /// the cache had not yet learned about — only tracked while a fault
+    /// plan is active, since loss is what makes deletes go missing).
+    pub stale_answers: u64,
+    /// Summed staleness age of those answers (µs since the deletion),
+    /// the numerator of the mean recovery-latency metric.
+    pub stale_age_micros: u64,
 }
 
 impl NetMetrics {
@@ -123,6 +133,42 @@ impl ExperimentResult {
         } else {
             self.justified_updates as f64 / self.tracked_updates as f64
         }
+    }
+
+    /// Client cache-hit rate (hits per posted client query).
+    pub fn hit_rate(&self) -> f64 {
+        if self.nodes.client_queries == 0 {
+            0.0
+        } else {
+            self.nodes.client_hits as f64 / self.nodes.client_queries as f64
+        }
+    }
+
+    /// Fraction of client responses that served a globally dead replica
+    /// (see [`NetMetrics::stale_answers`]).
+    pub fn stale_rate(&self) -> f64 {
+        if self.net.client_responses == 0 {
+            0.0
+        } else {
+            self.net.stale_answers as f64 / self.net.client_responses as f64
+        }
+    }
+
+    /// Mean staleness age of stale answers, in seconds — how long a lost
+    /// deletion lingered before the answer was served. Zero when no
+    /// answer was stale; the fault bench reports it as recovery latency.
+    pub fn recovery_latency_secs(&self) -> f64 {
+        if self.net.stale_answers == 0 {
+            0.0
+        } else {
+            self.net.stale_age_micros as f64 / self.net.stale_answers as f64 / 1e6
+        }
+    }
+
+    /// Messages the run dropped, for any reason: fault-plane drops plus
+    /// deliveries to churned-away nodes.
+    pub fn dropped_messages(&self) -> u64 {
+        self.net.faults.dropped() + self.net.dropped_messages
     }
 }
 

@@ -6,10 +6,13 @@
 //! protocol actions are drained through one reusable scratch buffer — the
 //! dispatch hot path performs no per-event allocation of its own.
 
+use std::collections::HashMap;
+
 use cup_core::{
     Action, ClientId, CupNode, Message, NodeConfig, ReplicaEvent, Requester, UpdateKind,
 };
-use cup_des::{DetRng, EventQueue, KeyId, LatencyModel, NodeId, SimDuration, SimTime};
+use cup_des::{DetRng, EventQueue, KeyId, LatencyModel, NodeId, ReplicaId, SimDuration, SimTime};
+use cup_faults::{DropVerdict, FaultAction, FaultState};
 use cup_overlay::{AnyOverlay, Overlay};
 use cup_workload::{
     churn::ChurnEvent,
@@ -43,6 +46,13 @@ pub struct Network {
     pub metrics: NetMetrics,
     /// Justified-update tracking (optional: costs CPU at high rates).
     pub justify: Option<JustificationTracker>,
+    /// The fault plane (optional: loss-free and crash-free without it).
+    /// Drops are decided here *before* an event is scheduled, mirroring
+    /// the live runtime's decide-before-enqueue rule.
+    pub faults: Option<FaultState>,
+    /// Ground truth for staleness: globally deleted replicas and when
+    /// they died (tracked only while a fault plan is active).
+    dead_replicas: HashMap<(KeyId, ReplicaId), SimTime>,
     /// The query workload (drained lazily via [`Ev::NextQuery`]).
     pub query_gen: Option<QueryGen>,
     /// Replica lifecycle plan.
@@ -75,6 +85,8 @@ impl Network {
             alive_list: ids,
             metrics: NetMetrics::default(),
             justify: None,
+            faults: None,
+            dead_replicas: HashMap::new(),
             query_gen: None,
             replica_plan: None,
             next_client: 0,
@@ -124,6 +136,13 @@ impl Network {
         self.nodes.aggregate_stats()
     }
 
+    /// Counters retained from departed or crash-wiped nodes only (the
+    /// conformance harness mirrors them against the live runtime's
+    /// crash-retained aggregate).
+    pub fn retained_stats(&self) -> cup_core::stats::NodeStats {
+        *self.nodes.departed_stats()
+    }
+
     /// Number of live nodes.
     pub fn live_nodes(&self) -> usize {
         self.alive_list.len()
@@ -141,6 +160,21 @@ impl Network {
                 self.on_set_capacity(queue, now, &nodes, capacity)
             }
             Ev::Churn(ev) => self.on_churn(queue, now, ev),
+            Ev::Fault(ev) => self.on_fault(now, ev.action),
+        }
+    }
+
+    /// Applies one scripted fault action. A crash additionally wipes the
+    /// node's protocol state (cold cache, empty directory) while its
+    /// counters are retained, matching the live runtime's crash reset.
+    fn on_fault(&mut self, _now: SimTime, action: FaultAction) {
+        let state = self.faults.get_or_insert_with(|| FaultState::new(0));
+        let changed = state.apply(action);
+        if let FaultAction::Crash { node } = action {
+            let id = NodeId(node as u32);
+            if changed && self.nodes.is_alive(id) {
+                self.nodes.reset(id, self.node_config);
+            }
         }
     }
 
@@ -176,6 +210,15 @@ impl Network {
             return;
         }
         let node = self.alive_list[node_index % self.alive_list.len()];
+        // A crashed node accepts no connections: the query is swallowed
+        // (the live runtime answers such clients empty for the same
+        // bookkeeping, without touching any node state).
+        if let Some(f) = self.faults.as_mut() {
+            if f.is_crashed(node) {
+                f.note_query_at_crashed();
+                return;
+            }
+        }
         let client = ClientId(self.next_client);
         self.next_client += 1;
         // Justification bookkeeping: this query covers every node on its
@@ -225,6 +268,18 @@ impl Network {
                 UpdateKind::Append => self.metrics.append_hops += 1,
             },
             Message::ClearBit { .. } => self.metrics.clear_bit_hops += 1,
+        }
+        // A message in flight when its receiver crashed: the send-time
+        // verdict predates the crash, so the transmission happened (the
+        // hop above is charged, exactly as the live runtime charges it
+        // at send) but a crashed node processes nothing. Scripted runs
+        // that quiesce before a crash never hit this; it guards
+        // overlapping traffic.
+        if let Some(f) = self.faults.as_mut() {
+            if f.is_crashed(to) {
+                f.counters.dropped_to_crashed += 1;
+                return;
+            }
         }
         let mut actions = std::mem::take(&mut self.scratch);
         match msg {
@@ -286,7 +341,23 @@ impl Network {
         {
             queue.schedule(next.at, Ev::Replica(next));
         }
+        // Ground truth for the staleness metric: the replica is globally
+        // dead from this instant, whether or not its deletion reaches
+        // (or survives at) the authority.
+        if self.faults.is_some() && action.kind == ReplicaActionKind::Death {
+            self.dead_replicas
+                .entry((action.key, action.replica))
+                .or_insert(now);
+        }
         let authority = self.authority_of(action.key);
+        // A crashed authority hears nothing from its replicas; the plan
+        // keeps running so later events land once it restarts.
+        if let Some(f) = self.faults.as_mut() {
+            if f.is_crashed(authority) {
+                f.note_replica_at_crashed();
+                return;
+            }
+        }
         let mut actions = std::mem::take(&mut self.scratch);
         self.node_mut(authority)
             .handle_replica_event_into(now, event, &mut actions);
@@ -417,7 +488,22 @@ impl Network {
         for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => {
-                    let delay = self.latency.sample(&mut self.rng);
+                    // Fault-plane drops are decided *here*, before the
+                    // delivery is scheduled — the same decide-before-
+                    // enqueue rule the live runtime follows, so a
+                    // dropped message never becomes in-flight work.
+                    if let Some(f) = self.faults.as_mut() {
+                        if f.roll(sender, to) != DropVerdict::Deliver {
+                            continue;
+                        }
+                    }
+                    let mut delay = self.latency.sample(&mut self.rng);
+                    if let Some(f) = self.faults.as_ref() {
+                        let factor = f.latency_factor();
+                        if factor != 1.0 {
+                            delay = SimDuration::from_secs_f64(delay.as_secs_f64() * factor);
+                        }
+                    }
                     queue.schedule(
                         now + delay,
                         Ev::Deliver {
@@ -427,8 +513,21 @@ impl Network {
                         },
                     );
                 }
-                Action::RespondClient { .. } => {
+                Action::RespondClient { ref entries, .. } => {
                     self.metrics.client_responses += 1;
+                    // Staleness: the answer names a replica the world
+                    // already deleted (the cache missed the delete —
+                    // under loss, the delete may never arrive).
+                    if !self.dead_replicas.is_empty() {
+                        let stale_since = entries
+                            .iter()
+                            .filter_map(|e| self.dead_replicas.get(&(e.key, e.replica)))
+                            .min();
+                        if let Some(&died) = stale_since {
+                            self.metrics.stale_answers += 1;
+                            self.metrics.stale_age_micros += now.saturating_since(died).as_micros();
+                        }
+                    }
                 }
             }
         }

@@ -434,6 +434,130 @@ pub fn capacity_sweep_with(
         .collect()
 }
 
+/// One point of the fault-plane grid behind `BENCH_faults.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultGridPoint {
+    /// Stable policy name (`CutoffPolicy::name`): `second-chance` is
+    /// CUP, `always` is the all-out-push reference.
+    pub policy: String,
+    /// Per-message link-loss probability.
+    pub loss: f64,
+    /// Nodes crashed (and later restarted) during the query window.
+    pub crashes: u32,
+    /// Total cost in hops.
+    pub total_cost: u64,
+    /// Miss cost in hops.
+    pub miss_cost: u64,
+    /// Client cache-hit rate.
+    pub hit_rate: f64,
+    /// Fraction of client answers serving a globally dead replica.
+    pub stale_rate: f64,
+    /// §3.1 justified maintenance updates.
+    pub justified: u64,
+    /// Maintenance updates tracked (justification denominator).
+    pub tracked: u64,
+    /// Messages the fault plane dropped.
+    pub dropped: u64,
+    /// Mean staleness age of stale answers (seconds) — how long lost
+    /// deletions lingered.
+    pub recovery_latency_secs: f64,
+}
+
+impl FaultGridPoint {
+    /// Fraction of tracked updates that were justified.
+    pub fn justified_ratio(&self) -> f64 {
+        ratio(self.justified, self.tracked)
+    }
+
+    /// Cache hits bought per hop of total cost — the figure of merit the
+    /// fault suite pins CUP strictly above all-out push on.
+    pub fn hits_per_kilocost(&self) -> f64 {
+        if self.total_cost == 0 {
+            0.0
+        } else {
+            self.hit_rate * 1_000.0 / self.total_cost as f64
+        }
+    }
+}
+
+/// Synthesizes the fault spec strings for one grid point: whole-run loss
+/// at `loss`, plus `crashes` *distinct* nodes crashing a third of the
+/// way into the query window and restarting cold at two thirds
+/// (`crashes` is capped at the population).
+pub fn fault_point_specs(base: &Scenario, loss: f64, crashes: u32) -> Vec<String> {
+    let mut specs = Vec::new();
+    if loss > 0.0 {
+        specs.push(format!("drop:{loss}"));
+    }
+    let start = base.query_start.as_micros() / 1_000_000;
+    let window = base.query_window().as_micros() / 1_000_000;
+    let down = start + window / 3;
+    // A sub-3-second window would collapse to an empty crash interval;
+    // keep restart strictly after crash.
+    let up = (start + 2 * window / 3).max(down + 1);
+    // Deterministic victims, evenly spread and guaranteed distinct: an
+    // even stride never wraps within the first `crashes` picks.
+    let crashes = (crashes as usize).min(base.nodes);
+    let stride = (base.nodes / crashes.max(1)).max(1);
+    for i in 0..crashes {
+        let node = i * stride;
+        specs.push(format!("crash:{node}@t={down}..{up}"));
+    }
+    specs
+}
+
+/// The loss × crash-count fault grid: every point runs CUP
+/// (second-chance) and the all-out-push reference (`always`) under the
+/// same fault plan, with justification tracked. Rows come back in
+/// loss-major, crash-minor order with the two policies adjacent
+/// (CUP first).
+pub fn fault_grid(base: &Scenario, losses: &[f64], crash_counts: &[u32]) -> Vec<FaultGridPoint> {
+    fault_grid_with(base, losses, crash_counts, default_workers())
+}
+
+/// [`fault_grid`] with an explicit sweep worker count.
+pub fn fault_grid_with(
+    base: &Scenario,
+    losses: &[f64],
+    crash_counts: &[u32],
+    workers: usize,
+) -> Vec<FaultGridPoint> {
+    let policies = [CutoffPolicy::second_chance(), CutoffPolicy::Always];
+    let mut grid: Vec<(f64, u32, CutoffPolicy)> = Vec::new();
+    for &loss in losses {
+        for &crashes in crash_counts {
+            for &p in &policies {
+                grid.push((loss, crashes, p));
+            }
+        }
+    }
+    parallel_map(&grid, workers, |&(loss, crashes, policy)| {
+        let scenario = Scenario {
+            fault_plan: fault_point_specs(base, loss, crashes),
+            ..base.clone()
+        };
+        let config = ExperimentConfig {
+            node_config: NodeConfig::cup_with_policy(policy),
+            track_justification: true,
+            ..ExperimentConfig::cup(scenario)
+        };
+        let r = run_experiment(&config);
+        FaultGridPoint {
+            policy: policy.name(),
+            loss,
+            crashes,
+            total_cost: r.total_cost(),
+            miss_cost: r.miss_cost(),
+            hit_rate: r.hit_rate(),
+            stale_rate: r.stale_rate(),
+            justified: r.justified_updates,
+            tracked: r.tracked_updates,
+            dropped: r.net.faults.dropped(),
+            recovery_latency_secs: r.recovery_latency_secs(),
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -539,6 +663,38 @@ mod tests {
             capacity_sweep_with(&base, &[0.0, 1.0], 4),
             "capacity sweep"
         );
+    }
+
+    #[test]
+    fn fault_grid_covers_the_cross_product_and_is_worker_invariant() {
+        let losses = [0.0, 0.1];
+        let crashes = [0, 2];
+        let grid = fault_grid_with(&tiny(), &losses, &crashes, 2);
+        assert_eq!(grid.len(), losses.len() * crashes.len() * 2);
+        for pair in grid.chunks_exact(2) {
+            assert_eq!(pair[0].policy, "second-chance");
+            assert_eq!(pair[1].policy, "always");
+            assert_eq!(
+                (pair[0].loss, pair[0].crashes),
+                (pair[1].loss, pair[1].crashes)
+            );
+        }
+        // The loss-free, crash-free corner drops nothing; lossy points do.
+        let clean = &grid[0];
+        assert_eq!((clean.loss, clean.crashes), (0.0, 0));
+        assert_eq!(clean.dropped, 0);
+        let lossy = grid.iter().find(|p| p.loss > 0.0).unwrap();
+        assert!(lossy.dropped > 0, "5%+ loss must drop messages");
+        // Byte-identical across sweep worker counts.
+        assert_eq!(grid, fault_grid_with(&tiny(), &losses, &crashes, 1));
+    }
+
+    #[test]
+    fn fault_point_specs_build_parseable_plans() {
+        let specs = fault_point_specs(&tiny(), 0.05, 3);
+        assert_eq!(specs.len(), 4);
+        cup_faults::FaultPlan::parse_specs(&specs).unwrap();
+        assert!(fault_point_specs(&tiny(), 0.0, 0).is_empty());
     }
 
     #[test]

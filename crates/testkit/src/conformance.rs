@@ -21,6 +21,7 @@
 //! covers the economics, not just the caching behaviour.
 
 use cup::des::LatencyModel;
+use cup::faults::FaultEvent;
 use cup::prelude::*;
 use cup::protocol::justify::JustificationTracker;
 use cup::protocol::stats::NodeStats;
@@ -71,6 +72,14 @@ pub struct ConformanceSpec {
     /// Worker threads for the live side (explicit, so sharding is
     /// exercised even on single-core CI runners).
     pub workers: usize,
+    /// Runs the spec's standard fault script (see
+    /// [`ConformanceSpec::fault_events`]) through both runtimes'
+    /// `cup-faults` planes. Queries then may legitimately go unanswered,
+    /// so the live side claims answers with detached queries instead of
+    /// asserting payloads.
+    pub fault_script: bool,
+    /// Seed both runtimes' fault planes share.
+    pub fault_seed: u64,
 }
 
 impl ConformanceSpec {
@@ -87,6 +96,8 @@ impl ConformanceSpec {
             script_seed: 99,
             step_secs: 10,
             workers: 3,
+            fault_script: false,
+            fault_seed: 0,
         }
     }
 
@@ -105,7 +116,62 @@ impl ConformanceSpec {
             // hop each way a cascade still drains well inside 30 s.
             step_secs: 30,
             workers: 4,
+            fault_script: false,
+            fault_seed: 0,
         }
+    }
+
+    /// The small scenario with the standard fault script armed: a lossy
+    /// phase, a crash/restart cycle, and a 2-way partition, all inside
+    /// phase A (refresh rounds, the deletion, and phase B then run
+    /// fault-free on whatever state the faults left behind).
+    ///
+    /// The node configuration gets an effectively infinite PFU timeout:
+    /// the retry timer compares against the runtime's own clock (sim
+    /// seconds vs wall microseconds), so it is the one recovery knob
+    /// that cannot behave identically across runtimes — parking it keeps
+    /// the comparison exact. The DES-only fault suites exercise it.
+    pub fn faulty(kind: OverlayKind) -> Self {
+        let mut config = NodeConfig::cup_default();
+        config.pfu_timeout = SimDuration::from_secs(u64::MAX / 2_000_000);
+        ConformanceSpec {
+            fault_script: true,
+            fault_seed: 0xFA_17,
+            config,
+            ..ConformanceSpec::small(kind)
+        }
+    }
+
+    /// The standard fault script, as `(phase_a_position, action)` pairs:
+    /// each action applies immediately before the phase-A query with
+    /// that index (both runtimes interleave them at the same points).
+    pub fn fault_events(&self) -> Vec<(usize, FaultAction)> {
+        if !self.fault_script {
+            return Vec::new();
+        }
+        // A crash victim that is no key's authority, so the scripted
+        // replica traffic keeps its meaning while the victim is down.
+        let mut topo_rng = DetRng::seed_from(self.topology_seed);
+        let overlay = AnyOverlay::build(self.kind, self.nodes, &mut topo_rng).unwrap();
+        let authorities: Vec<NodeId> = (0..self.keys)
+            .map(|k| overlay.authority(KeyId(k)))
+            .collect();
+        let victim = (0..self.nodes)
+            .find(|&i| !authorities.contains(&NodeId(i as u32)))
+            .expect("a non-authority node exists");
+        let n = self.phase_a_queries;
+        assert!(
+            n >= 20,
+            "the standard fault script needs ≥ 20 phase-A steps"
+        );
+        vec![
+            (2, FaultAction::SetLoss { rate: 0.25 }),
+            (8, FaultAction::SetLoss { rate: 0.0 }),
+            (10, FaultAction::Crash { node: victim }),
+            (14, FaultAction::Restart { node: victim }),
+            (16, FaultAction::Partition { groups: 2 }),
+            (n - 1, FaultAction::Heal),
+        ]
     }
 
     /// The same script under a different node configuration (policy
@@ -158,7 +224,8 @@ impl ConformanceSpec {
 /// What one runtime run produced, in comparable form.
 #[derive(Debug, PartialEq)]
 pub struct Outcome {
-    /// Aggregated per-node protocol counters.
+    /// Aggregated per-node protocol counters (including counters
+    /// retained from crashed nodes).
     pub stats: NodeStats,
     /// Per key: sorted node ids holding a fresh cached entry at quiesce.
     pub cached_by: Vec<Vec<NodeId>>,
@@ -167,8 +234,19 @@ pub struct Outcome {
     /// Maintenance updates tracked (the justification denominator).
     pub tracked: u64,
     /// Peer messages delivered (total hops — the live counter and the
-    /// DES's summed hop metrics measure the same thing).
+    /// DES's summed hop metrics measure the same thing; messages vetoed
+    /// by the fault plane at send time count in neither, and a message
+    /// already in flight when its receiver crashes counts in both).
     pub hops: u64,
+    /// Messages dropped by failed overlay routing lookups (always zero
+    /// on a well-formed static overlay; the DES panics instead, so its
+    /// side reports zero by construction).
+    pub routing_failures: u64,
+    /// Messages dropped for any reason — the fault plane plus, on the
+    /// DES side, deliveries to churned-away nodes.
+    pub dropped_messages: u64,
+    /// The fault plane's full drop/crash breakdown.
+    pub faults: cup::faults::FaultCounters,
 }
 
 impl Outcome {
@@ -182,14 +260,31 @@ impl Outcome {
     }
 }
 
+/// The network-level counters one runtime reports into its [`Outcome`]
+/// (everything not derived from per-node state).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunCounters {
+    /// §3.1 justified maintenance updates.
+    pub justified: u64,
+    /// Maintenance updates tracked.
+    pub tracked: u64,
+    /// Peer messages delivered.
+    pub hops: u64,
+    /// Failed-routing drops.
+    pub routing_failures: u64,
+    /// Total dropped messages.
+    pub dropped_messages: u64,
+    /// Fault-plane breakdown.
+    pub faults: cup::faults::FaultCounters,
+}
+
 /// Collects the comparable outcome from final per-node states plus the
 /// runtime's network-level counters.
 pub fn outcome_of<'a>(
     nodes: impl Iterator<Item = &'a CupNode>,
     keys: u32,
     probe_time: SimTime,
-    (justified, tracked): (u64, u64),
-    hops: u64,
+    counters: RunCounters,
 ) -> Outcome {
     let mut stats = NodeStats::default();
     let mut cached_by: Vec<Vec<NodeId>> = (0..keys).map(|_| Vec::new()).collect();
@@ -210,9 +305,12 @@ pub fn outcome_of<'a>(
     Outcome {
         stats,
         cached_by,
-        justified,
-        tracked,
-        hops,
+        justified: counters.justified,
+        tracked: counters.tracked,
+        hops: counters.hops,
+        routing_failures: counters.routing_failures,
+        dropped_messages: counters.dropped_messages,
+        faults: counters.faults,
     }
 }
 
@@ -232,6 +330,9 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
         DetRng::seed_from(7),
     );
     net.justify = Some(JustificationTracker::new());
+    if spec.fault_script {
+        net.faults = Some(FaultState::new(spec.fault_seed));
+    }
     // A plan is required for `Ev::Replica` dispatch; only its lifetime
     // and next-event logic are used (we schedule births ourselves so the
     // two runtimes share an explicit, ordered script).
@@ -263,6 +364,13 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
     let (phase_a, phase_b) = spec.query_script();
     let mut t = SimTime::from_secs(100);
     let step = SimDuration::from_secs(spec.step_secs);
+    // Fault actions fire mid-gap before their phase-A position: the
+    // previous cascade has drained, the positioned query has not fired —
+    // the same interleaving the live side realizes with quiesce barriers.
+    for (position, action) in spec.fault_events() {
+        let fire = SimTime::from_secs(100 + position as u64 * spec.step_secs - spec.step_secs / 2);
+        engine.schedule(fire, Ev::Fault(FaultEvent { at: fire, action }));
+    }
     for &(node_index, key) in &phase_a {
         engine.schedule(
             t,
@@ -317,19 +425,28 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
     let probe = engine.now();
     let net = engine.into_state();
     let responses = net.metrics.client_responses;
-    let justification = net
+    let (justified, tracked) = net
         .justify
         .as_ref()
         .map_or((0, 0), |j| (j.justified(), j.total()));
-    let hops = net.metrics.total_cost();
+    let faults = net.faults.as_ref().map(|f| f.counters).unwrap_or_default();
+    let counters = RunCounters {
+        justified,
+        tracked,
+        hops: net.metrics.total_cost(),
+        routing_failures: 0,
+        dropped_messages: net.metrics.dropped_messages + faults.dropped(),
+        faults,
+    };
     let ids: Vec<NodeId> = (0..spec.nodes as u32).map(NodeId).collect();
-    let outcome = outcome_of(
+    let mut outcome = outcome_of(
         ids.iter().filter_map(|&id| net.node(id)),
         spec.keys,
         probe,
-        justification,
-        hops,
+        counters,
     );
+    // Counters wiped by crashes live in the arena's departed aggregate.
+    outcome.stats.merge(&net.retained_stats());
     (outcome, responses)
 }
 
@@ -351,14 +468,40 @@ pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
     )
     .unwrap();
     net.track_justification(true);
+    if spec.fault_script {
+        net.enable_faults(spec.fault_seed);
+    }
     for k in 0..spec.keys {
         net.replica_birth(KeyId(k), ReplicaId(k), LIFETIME);
     }
     net.quiesce();
 
     let (phase_a, phase_b) = spec.query_script();
+    let fault_events = spec.fault_events();
     let mut responses = 0u64;
-    for &(node_index, key) in &phase_a {
+    for (i, &(node_index, key)) in phase_a.iter().enumerate() {
+        // Apply this step's fault actions at the quiesced barrier —
+        // exactly where the DES schedules them (mid-gap, previous
+        // cascade drained).
+        for &(position, action) in &fault_events {
+            if position == i {
+                net.inject_fault(action);
+                net.quiesce();
+            }
+        }
+        if spec.fault_script {
+            // Under faults an answer may legitimately never come; after
+            // a quiesce, "nothing yet" is "nothing ever".
+            let pending = net
+                .query_detached(net.nodes()[node_index], KeyId(key))
+                .unwrap();
+            net.quiesce();
+            if let Some(entries) = pending.try_take() {
+                assert!(entries.len() <= 1);
+                responses += 1;
+            }
+            continue;
+        }
         let entries = net.query(net.nodes()[node_index], KeyId(key)).unwrap();
         assert_eq!(
             entries.len(),
@@ -380,6 +523,19 @@ pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
     net.replica_deletion(KeyId(DELETED_KEY), ReplicaId(DELETED_KEY));
     net.quiesce();
     for &(node_index, key) in &phase_b {
+        if spec.fault_script {
+            // Phase B runs fault-free, but phase-A losses may have left
+            // stuck Pending-First-Update flags that swallow queries in
+            // both runtimes — claim answers without payload assertions.
+            let pending = net
+                .query_detached(net.nodes()[node_index], KeyId(key))
+                .unwrap();
+            net.quiesce();
+            if pending.try_take().is_some() {
+                responses += 1;
+            }
+            continue;
+        }
         let entries = net.query(net.nodes()[node_index], KeyId(key)).unwrap();
         if key == DELETED_KEY {
             assert!(
@@ -393,13 +549,23 @@ pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
         net.quiesce();
     }
     assert_eq!(net.routing_failures(), 0, "static routing must not fail");
-    let justification = net.justification();
-    let hops = net.hops();
+    let (justified, tracked) = net.justification();
+    let faults = net.fault_counters();
+    let counters = RunCounters {
+        justified,
+        tracked,
+        hops: net.hops(),
+        routing_failures: net.routing_failures(),
+        dropped_messages: faults.dropped(),
+        faults,
+    };
+    let crash_retained = net.crash_retained_stats();
     let final_nodes = net.shutdown();
     // The live clock is microseconds since start; all entries carry the
     // huge scripted lifetime, so any probe instant inside the run works.
     let probe = SimTime::from_secs(1);
-    let outcome = outcome_of(final_nodes.iter(), spec.keys, probe, justification, hops);
+    let mut outcome = outcome_of(final_nodes.iter(), spec.keys, probe, counters);
+    outcome.stats.merge(&crash_retained);
     (outcome, responses)
 }
 
@@ -421,6 +587,41 @@ mod tests {
             assert!(node < spec.nodes);
             assert!(key < spec.keys);
         }
+    }
+
+    #[test]
+    fn fault_script_is_deterministic_and_avoids_authorities() {
+        for kind in OverlayKind::ALL {
+            let spec = ConformanceSpec::faulty(kind);
+            let events = spec.fault_events();
+            assert_eq!(events, spec.fault_events(), "same spec, same script");
+            assert_eq!(events.len(), 6);
+            assert!(
+                events.windows(2).all(|w| w[0].0 <= w[1].0),
+                "positions ordered"
+            );
+            assert!(events.iter().all(|&(p, _)| p < spec.phase_a_queries));
+            let victim = events
+                .iter()
+                .find_map(|&(_, a)| match a {
+                    FaultAction::Crash { node } => Some(node),
+                    _ => None,
+                })
+                .expect("the script crashes someone");
+            let mut rng = DetRng::seed_from(spec.topology_seed);
+            let overlay = AnyOverlay::build(kind, spec.nodes, &mut rng).unwrap();
+            for k in 0..spec.keys {
+                assert_ne!(
+                    overlay.authority(KeyId(k)),
+                    NodeId(victim as u32),
+                    "{kind}: the crash victim must not own a scripted key"
+                );
+            }
+        }
+        // Non-fault specs script nothing.
+        assert!(ConformanceSpec::small(OverlayKind::Can)
+            .fault_events()
+            .is_empty());
     }
 
     #[test]

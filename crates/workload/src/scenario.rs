@@ -56,6 +56,13 @@ pub struct Scenario {
     /// of a protocol dependency while letting workloads describe
     /// mixed-policy populations.
     pub policy_classes: Vec<String>,
+    /// Fault-plane script, as fault spec *strings*
+    /// (`cup_faults::FaultPlan::parse_specs`): `drop:0.05`,
+    /// `drop:0.2@t=100..400`, `spike:3@t=50..80`, `crash:17@t=50..90`,
+    /// `partition:2@t=30..60`. Empty (the default) runs loss-free and
+    /// crash-free. Strings keep this crate free of a fault-plane
+    /// dependency, exactly like [`Scenario::policy_classes`].
+    pub fault_plan: Vec<String>,
     /// Master random seed.
     pub seed: u64,
 }
@@ -76,6 +83,7 @@ impl Default for Scenario {
             burst_size: 1,
             burst_spread: SimDuration::from_secs(2),
             policy_classes: Vec::new(),
+            fault_plan: Vec::new(),
             seed: 0xC0FFEE,
         }
     }
@@ -129,6 +137,13 @@ impl Scenario {
         self
     }
 
+    /// Attaches a fault-plane script (fault spec *strings*; see
+    /// [`Scenario::fault_plan`]).
+    pub fn with_fault_plan(mut self, specs: &[&str]) -> Self {
+        self.fault_plan = specs.iter().map(|s| (*s).to_string()).collect();
+        self
+    }
+
     /// Length of the query window.
     pub fn query_window(&self) -> SimDuration {
         self.query_end.saturating_since(self.query_start)
@@ -171,6 +186,9 @@ impl Scenario {
         }
         if self.policy_classes.iter().any(|s| s.trim().is_empty()) {
             return Err("policy class names must be non-empty".into());
+        }
+        if self.fault_plan.iter().any(|s| s.trim().is_empty()) {
+            return Err("fault plan specs must be non-empty".into());
         }
         Ok(())
     }
@@ -249,6 +267,16 @@ mod tests {
         assert_eq!(s.policy_classes, vec!["second-chance", "always"]);
         assert_ne!(s, Scenario::default());
         let bad = Scenario::default().with_policy_classes(&["  "]);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plans_ride_along() {
+        let s = Scenario::default().with_fault_plan(&["drop:0.05", "crash:3@t=50..90"]);
+        s.validate().unwrap();
+        assert_eq!(s.fault_plan, vec!["drop:0.05", "crash:3@t=50..90"]);
+        assert_ne!(s, Scenario::default());
+        let bad = Scenario::default().with_fault_plan(&[" "]);
         assert!(bad.validate().is_err());
     }
 

@@ -97,6 +97,19 @@ fn assert_sim_live_agree(spec: ConformanceSpec) {
     );
     assert_eq!(sim.hops, live.hops, "{label}: total hop counts diverged");
 
+    // The failure plane agrees: neither runtime hides drops or routing
+    // failures from the comparison (both are zero without a fault
+    // script; under one, the full breakdown must match).
+    assert_eq!(
+        sim.routing_failures, live.routing_failures,
+        "{label}: routing-failure counts diverged"
+    );
+    assert_eq!(
+        sim.dropped_messages, live.dropped_messages,
+        "{label}: dropped-message counts diverged"
+    );
+    assert_eq!(sim.faults, live.faults, "{label}: fault counters diverged");
+
     // No stale state at quiesce: the deleted key is gone everywhere.
     assert!(
         sim.cached_by[DELETED_KEY as usize].is_empty(),
@@ -136,4 +149,64 @@ fn sim_and_live_agree_on_can_at_2k_nodes() {
 #[test]
 fn sim_and_live_agree_on_chord_at_2k_nodes() {
     assert_sim_live_agree(ConformanceSpec::large(OverlayKind::Chord));
+}
+
+/// Sim-vs-live agreement under the standard fault script: a 25%-loss
+/// phase, a crash/restart cycle, and a 2-way partition, all driven by
+/// the same `cup-faults` plane with the same seed. Agreement must cover
+/// not just the protocol counters but the fault plane itself — identical
+/// drop decisions on every link, identical crash bookkeeping — and the
+/// script must actually bite (messages dropped in every category).
+fn assert_sim_live_agree_under_faults(kind: OverlayKind) {
+    let spec = ConformanceSpec::faulty(kind);
+    let (sim, sim_responses) = run_sim(&spec);
+    let (live, live_responses) = run_live(&spec);
+    let label = format!("{kind} faulty");
+
+    // The script must be non-trivial: loss, crash, and partition all
+    // fired and all dropped something.
+    assert!(sim.faults.dropped_loss > 0, "{label}: loss never bit");
+    assert!(
+        sim.faults.dropped_partition > 0,
+        "{label}: partition never bit"
+    );
+    assert_eq!(sim.faults.crashes, 1, "{label}");
+    assert_eq!(sim.faults.restarts, 1, "{label}");
+    assert!(sim.dropped_messages > 0, "{label}");
+
+    // Byte-identical outcomes, including every fault counter.
+    assert_eq!(
+        sim_responses, live_responses,
+        "{label}: answered-query counts"
+    );
+    assert_eq!(sim.faults, live.faults, "{label}: fault counters diverged");
+    assert_eq!(
+        sim.dropped_messages, live.dropped_messages,
+        "{label}: dropped-message totals diverged"
+    );
+    assert_eq!(sim.stats, live.stats, "{label}: protocol counters diverged");
+    assert_eq!(
+        sim.cached_by, live.cached_by,
+        "{label}: caching sets diverged"
+    );
+    assert_eq!(sim.hops, live.hops, "{label}: hop counts diverged");
+    assert_eq!(
+        (sim.justified, sim.tracked),
+        (live.justified, live.tracked),
+        "{label}: justification diverged"
+    );
+    assert_eq!(
+        sim.routing_failures, live.routing_failures,
+        "{label}: routing failures diverged"
+    );
+}
+
+#[test]
+fn sim_and_live_agree_under_faults_on_can() {
+    assert_sim_live_agree_under_faults(OverlayKind::Can);
+}
+
+#[test]
+fn sim_and_live_agree_under_faults_on_chord() {
+    assert_sim_live_agree_under_faults(OverlayKind::Chord);
 }
