@@ -42,6 +42,7 @@
 
 pub mod action;
 pub mod capacity;
+pub mod clock;
 pub mod config;
 pub mod directory;
 pub mod entry;
@@ -56,6 +57,7 @@ pub mod stats;
 pub mod surface;
 
 pub use action::Action;
+pub use clock::Clock;
 pub use config::{Mode, NodeConfig};
 pub use entry::IndexEntry;
 pub use justify::JustificationTracker;

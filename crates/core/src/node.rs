@@ -1331,6 +1331,80 @@ mod tests {
     }
 
     #[test]
+    fn cold_start_miss_at_late_time_is_not_a_pfu_retry() {
+        // Epoch-0 guard: `pfu_since` defaults to t = 0, so a node that
+        // never issued a PFU would look "stale since forever" if the
+        // timeout check ran unconditionally. The `pending_first_update`
+        // gate must keep a first-ever miss — at any clock reading — a
+        // plain upstream push, never a spurious retry.
+        let mut node = cup_node(1);
+        let actions = node.handle_query(
+            SimTime::from_secs(1_000_000),
+            KeyId(1),
+            Requester::Client(ClientId(1)),
+            Some(NodeId(9)),
+        );
+        assert_eq!(actions.len(), 1, "the miss pushes one query upstream");
+        assert_eq!(node.stats.pfu_retries, 0, "no retry without a prior PFU");
+        assert_eq!(node.stats.coalesced_queries, 0);
+    }
+
+    #[test]
+    fn queries_at_time_zero_coalesce_instead_of_timing_out() {
+        // The other cold-start edge: both queries land at t = 0, so
+        // elapsed-since-PFU saturates to zero — which must read as
+        // "in flight", not "timed out at t = 0".
+        let mut node = cup_node(1);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Client(ClientId(1)),
+            Some(NodeId(9)),
+        );
+        let actions = node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Client(ClientId(2)),
+            Some(NodeId(9)),
+        );
+        assert!(actions.is_empty(), "the second query coalesces");
+        assert_eq!(node.stats.coalesced_queries, 1);
+        assert_eq!(node.stats.pfu_retries, 0);
+    }
+
+    #[test]
+    fn pfu_exactly_at_the_timeout_boundary_still_coalesces() {
+        // The comparison is strictly greater-than: elapsed == timeout is
+        // "still in flight" in both runtimes (the conformance scripts
+        // step logical time in exact multiples, so the boundary case is
+        // reachable, not theoretical).
+        let timeout = NodeConfig::cup_default().pfu_timeout;
+        let mut node = cup_node(1);
+        node.handle_query(
+            SimTime::ZERO,
+            KeyId(1),
+            Requester::Client(ClientId(1)),
+            Some(NodeId(9)),
+        );
+        let at_boundary = node.handle_query(
+            SimTime::ZERO + timeout,
+            KeyId(1),
+            Requester::Client(ClientId(2)),
+            Some(NodeId(9)),
+        );
+        assert!(at_boundary.is_empty(), "elapsed == timeout coalesces");
+        assert_eq!(node.stats.pfu_retries, 0);
+        let past_boundary = node.handle_query(
+            SimTime::ZERO + timeout + SimDuration::from_micros(1),
+            KeyId(1),
+            Requester::Client(ClientId(3)),
+            Some(NodeId(9)),
+        );
+        assert_eq!(past_boundary.len(), 1, "one microsecond past retries");
+        assert_eq!(node.stats.pfu_retries, 1);
+    }
+
+    #[test]
     fn neighbor_departure_remaps_interest() {
         let mut node = cup_node(1);
         node.handle_query(

@@ -8,8 +8,20 @@
 //! shard's [`cup_core::CupNode`]s and a mailbox: intra-shard messages
 //! are handled inline through a local FIFO, cross-shard messages go
 //! through the target shard's mailbox, and the overlay substrate (CAN or
-//! Chord) is a constructor parameter. The clock is the wall clock mapped
-//! onto [`cup_des::SimTime`] microseconds.
+//! Chord) is a constructor parameter.
+//!
+//! **Two clock modes** ([`cup_core::clock::Clock`]): the default
+//! constructors map the wall clock onto [`cup_des::SimTime`]
+//! microseconds (real time for real deployments and throughput
+//! benchmarks), while [`LiveNetwork::start_virtual`] runs on a
+//! **virtual clock** — deterministic logical time that moves only when
+//! the driver steps it via [`LiveNetwork::advance`] /
+//! [`LiveNetwork::run_until`], always at a quiesce barrier, so all
+//! workers observe byte-identical timestamps regardless of scheduling.
+//! On the virtual clock every time-compared protocol behavior — the
+//! `pfu_timeout` retry timer, freshness horizons, `@t=`-windowed fault
+//! scripts replayed with [`LiveNetwork::run_plan_until`] — matches the
+//! DES exactly; the conformance harness asserts it byte for byte.
 //!
 //! [`LiveNetwork::quiesce`] is the runtime's barrier: it blocks until
 //! every mailbox is drained and no worker is mid-dispatch, the live

@@ -6,10 +6,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use cup_core::clock::Clock;
 use cup_core::stats::NodeStats;
 use cup_core::{ClientId, CupNode, IndexEntry, NodeConfig, ReplicaEvent};
-use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration};
-use cup_faults::{FaultAction, FaultCounters, FaultState};
+use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration, SimTime};
+use cup_faults::{FaultAction, FaultCounters, FaultEvent, FaultPlan, FaultState};
 use cup_overlay::{AnyOverlay, Overlay, OverlayError, OverlayKind};
 
 use crate::shard::{worker_main, Envelope, Shared};
@@ -68,7 +69,8 @@ impl LiveNetwork {
     ///
     /// `workers` is clamped to `1..=n` and then honored exactly: each
     /// worker owns one contiguous shard of nodes (shard sizes differ by
-    /// at most one) and one mailbox.
+    /// at most one) and one mailbox. Runs on the wall-mapped clock; use
+    /// [`LiveNetwork::start_virtual`] for deterministic logical time.
     ///
     /// # Errors
     ///
@@ -78,6 +80,51 @@ impl LiveNetwork {
         n: usize,
         config: NodeConfig,
         workers: usize,
+        rng: &mut DetRng,
+    ) -> Result<Self, RuntimeError> {
+        Self::start_with_clock(kind, n, config, workers, Clock::wall(), rng)
+    }
+
+    /// Like [`LiveNetwork::start_with_workers`] on a virtual clock
+    /// frozen at `SimTime::ZERO`: "now" is deterministic logical time
+    /// that moves only through [`LiveNetwork::advance`] /
+    /// [`LiveNetwork::run_until`], so every worker observes
+    /// byte-identical timestamps regardless of scheduling and all
+    /// time-compared protocol behavior (`pfu_timeout` retries,
+    /// `@t=`-windowed fault scripts) matches the DES exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Overlay`] if the overlay cannot be built.
+    pub fn start_virtual(
+        kind: OverlayKind,
+        n: usize,
+        config: NodeConfig,
+        workers: usize,
+        rng: &mut DetRng,
+    ) -> Result<Self, RuntimeError> {
+        Self::start_with_clock(
+            kind,
+            n,
+            config,
+            workers,
+            Clock::virtual_at(SimTime::ZERO),
+            rng,
+        )
+    }
+
+    /// Like [`LiveNetwork::start_with_workers`] with an explicit
+    /// [`Clock`] (wall-mapped or virtual, possibly starting mid-epoch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Overlay`] if the overlay cannot be built.
+    pub fn start_with_clock(
+        kind: OverlayKind,
+        n: usize,
+        config: NodeConfig,
+        workers: usize,
+        clock: Clock,
         rng: &mut DetRng,
     ) -> Result<Self, RuntimeError> {
         let overlay = AnyOverlay::build(kind, n, rng).map_err(RuntimeError::Overlay)?;
@@ -99,7 +146,13 @@ impl LiveNetwork {
             mailboxes.push(tx);
             receivers.push(rx);
         }
-        let shared = Arc::new(Shared::new(mailboxes, node_ids.len(), overlay, config));
+        let shared = Arc::new(Shared::new(
+            mailboxes,
+            node_ids.len(),
+            overlay,
+            config,
+            clock,
+        ));
         let mut handles = Vec::with_capacity(workers);
         for (shard, rx) in receivers.into_iter().enumerate() {
             let base = Shared::shard_base(node_ids.len(), workers, shard);
@@ -266,6 +319,69 @@ impl LiveNetwork {
         self.shared.wait_quiescent();
     }
 
+    /// The network's current time: wall-mapped microseconds since start,
+    /// or the virtual clock's logical time.
+    pub fn now(&self) -> SimTime {
+        self.shared.clock.now()
+    }
+
+    /// `true` if the network runs on a virtual clock.
+    pub fn is_virtual_clock(&self) -> bool {
+        self.shared.clock.is_virtual()
+    }
+
+    /// Quiesces, then steps the virtual clock to `deadline` — the live
+    /// mirror of a DES "run until": all in-flight traffic completes at
+    /// the *current* logical time before time jumps, so every worker
+    /// observes the same instant for every message. `deadline == now`
+    /// re-synchronizes without moving time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wall-mapped clock or if `deadline` is in the past.
+    pub fn run_until(&self, deadline: SimTime) -> SimTime {
+        self.quiesce();
+        self.shared.clock.advance_to(deadline)
+    }
+
+    /// Quiesces, then steps the virtual clock forward by `by`. The
+    /// deterministic replacement for "sleep and hope": where a
+    /// wall-clock test would wait out a protocol timer, a virtual-clock
+    /// test advances past it exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wall-mapped clock.
+    pub fn advance(&self, by: SimDuration) -> SimTime {
+        assert!(
+            self.is_virtual_clock(),
+            "advance on a wall-mapped clock: only virtual time can be steered"
+        );
+        let deadline = self.now() + by;
+        self.run_until(deadline)
+    }
+
+    /// Replays the timed fault script up to and including `deadline`,
+    /// then leaves the clock at `deadline`: each due event is applied at
+    /// exactly its scripted logical instant (quiesce, jump to
+    /// `event.at`, inject, quiesce), which is the same interleaving the
+    /// DES realizes by scheduling `Ev::Fault` events — so `@t=`-windowed
+    /// specs execute byte-identically on both runtimes. `cursor` tracks
+    /// replay progress across calls; start it at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wall-mapped clock or if the next due event is in the
+    /// logical past (the cursor is behind the clock).
+    pub fn run_plan_until(&self, plan: &FaultPlan, cursor: &mut usize, deadline: SimTime) {
+        for &FaultEvent { at, action } in plan.due(cursor, deadline) {
+            self.run_until(at);
+            self.inject_fault(action);
+            self.quiesce();
+        }
+        self.run_until(deadline);
+    }
+
     /// Announces a replica serving `key` to the key's authority node.
     pub fn replica_birth(&self, key: KeyId, replica: ReplicaId, lifetime: SimDuration) {
         self.send_replica(ReplicaEvent::Birth {
@@ -385,6 +501,14 @@ impl PendingQuery<'_> {
     /// [`LiveNetwork::quiesce`], `None` is definitive: the query (or its
     /// response) was dropped and no answer will ever come.
     pub fn try_take(self) -> Option<Vec<IndexEntry>> {
+        self.poll()
+    }
+
+    /// Like [`PendingQuery::try_take`] without consuming the handle: the
+    /// client stays registered, so an answer resurrected later — e.g. a
+    /// PFU retry's first-time update reaching a node with this client
+    /// still waiting — can still be claimed by a later poll.
+    pub fn poll(&self) -> Option<Vec<IndexEntry>> {
         self.rx.try_recv().ok()
     }
 }
@@ -708,17 +832,21 @@ mod tests {
     fn partition_cuts_cross_group_traffic_until_heal() {
         // A response dropped at the partition boundary leaves the
         // posting node's Pending-First-Update flag set; recovery is the
-        // PFU timeout retrying on the next miss. A short timeout lets the
-        // post-heal queries exercise that path instead of coalescing
-        // against the lost in-flight fetch for the default 30 s.
-        let mut config = NodeConfig::cup_default();
-        config.pfu_timeout = SimDuration::from_millis(1);
+        // PFU timeout retrying on the next miss. On the virtual clock
+        // the paper-default 30 s timeout is stepped over *exactly* —
+        // no short timeout, no wall-clock wait, no race on slow CI.
         let mut rng = DetRng::seed_from(11);
-        let net =
-            LiveNetwork::start_with_workers(OverlayKind::Chord, 32, config, 4, &mut rng).unwrap();
+        let net = LiveNetwork::start_virtual(
+            OverlayKind::Chord,
+            32,
+            NodeConfig::cup_default(),
+            4,
+            &mut rng,
+        )
+        .unwrap();
         net.enable_faults(11);
         for k in 0..4 {
-            net.replica_birth(KeyId(k), ReplicaId(k), LIFE);
+            net.replica_birth(KeyId(k), ReplicaId(k), SimDuration::from_secs(3600));
         }
         net.quiesce();
         net.inject_fault(FaultAction::Partition { groups: 2 });
@@ -731,9 +859,9 @@ mod tests {
         assert!(partitioned > 0, "a 2-way split must cut some query paths");
         net.inject_fault(FaultAction::Heal);
         net.quiesce();
-        // Let the (wall-clock) PFU timeout elapse so retries fire instead
+        // Step logical time past the PFU timeout so retries fire instead
         // of coalescing against fetches the partition swallowed.
-        std::thread::sleep(Duration::from_millis(10));
+        net.advance(NodeConfig::cup_default().pfu_timeout + SimDuration::from_secs(1));
         for node in 0..32u32 {
             let entries = net.query(NodeId(node), KeyId(node % 4)).unwrap();
             assert_eq!(entries.len(), 1, "after heal every query resolves");
@@ -743,7 +871,116 @@ mod tests {
             partitioned,
             "healed traffic must not count as partitioned"
         );
+        let nodes = net.shutdown();
+        let retries: u64 = nodes.iter().map(|n| n.stats.pfu_retries).sum();
+        assert!(
+            retries > 0,
+            "stepping past the timeout must convert stuck PFU flags into retries"
+        );
+    }
+
+    #[test]
+    fn virtual_clock_steps_only_at_barriers() {
+        let mut rng = DetRng::seed_from(7);
+        let net = LiveNetwork::start_virtual(
+            OverlayKind::Can,
+            16,
+            NodeConfig::cup_default(),
+            4,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(net.is_virtual_clock());
+        assert_eq!(net.now(), SimTime::ZERO);
+        net.replica_birth(KeyId(1), ReplicaId(0), SimDuration::from_secs(60));
+        net.quiesce();
+        assert_eq!(net.now(), SimTime::ZERO, "traffic does not move time");
+        assert_eq!(net.run_until(SimTime::from_secs(5)), SimTime::from_secs(5));
+        assert_eq!(
+            net.advance(SimDuration::from_secs(3)),
+            SimTime::from_secs(8)
+        );
+        // Handlers observe the logical instant: the entry cached by this
+        // query expires exactly one lifetime after the birth at t = 0.
+        let entries = net.query(net.nodes()[3], KeyId(1)).unwrap();
+        assert_eq!(entries[0].expires_at(), SimTime::from_secs(60));
         net.shutdown();
+    }
+
+    #[test]
+    fn virtual_clock_expires_entries_deterministically() {
+        // Freshness on the virtual clock is exact: one step to just
+        // before the lifetime edge still hits, one past it misses.
+        let mut rng = DetRng::seed_from(13);
+        let net = LiveNetwork::start_virtual(
+            OverlayKind::Can,
+            16,
+            NodeConfig::cup_default(),
+            2,
+            &mut rng,
+        )
+        .unwrap();
+        net.replica_birth(KeyId(1), ReplicaId(0), SimDuration::from_secs(60));
+        net.quiesce();
+        // A non-authority node: the authority answers from its directory
+        // and classifies no cache miss, which is not what this pins.
+        let authority = net.shared.overlay.authority(KeyId(1));
+        let node = net
+            .nodes()
+            .iter()
+            .copied()
+            .find(|&n| n != authority)
+            .unwrap();
+        assert_eq!(net.query(node, KeyId(1)).unwrap().len(), 1);
+        net.run_until(SimTime::from_secs(59));
+        assert_eq!(net.query(node, KeyId(1)).unwrap().len(), 1, "still fresh");
+        net.run_until(SimTime::from_secs(61));
+        // Expired at the cache *and* at the authority directory: the
+        // refetch comes back empty.
+        assert!(net.query(node, KeyId(1)).unwrap().is_empty());
+        let nodes = net.shutdown();
+        let freshness_misses: u64 = nodes.iter().map(|n| n.stats.freshness_misses).sum();
+        assert!(freshness_misses > 0, "the second query was an expiry miss");
+    }
+
+    #[test]
+    fn run_plan_until_replays_windows_at_their_instants() {
+        let mut rng = DetRng::seed_from(21);
+        let net = LiveNetwork::start_virtual(
+            OverlayKind::Can,
+            16,
+            NodeConfig::cup_default(),
+            4,
+            &mut rng,
+        )
+        .unwrap();
+        net.enable_faults(3);
+        net.replica_birth(KeyId(1), ReplicaId(0), SimDuration::from_secs(3600));
+        net.quiesce();
+        let plan = FaultPlan::parse_specs(&["drop:1.0@t=10..20"]).unwrap();
+        let mut cursor = 0;
+        // Before the window: queries resolve.
+        net.run_plan_until(&plan, &mut cursor, SimTime::from_secs(5));
+        assert_eq!(net.query(net.nodes()[9], KeyId(1)).unwrap().len(), 1);
+        // Inside the window: total loss, the query dies on its first hop.
+        net.run_plan_until(&plan, &mut cursor, SimTime::from_secs(15));
+        assert_eq!(net.now(), SimTime::from_secs(15));
+        let dropped_before = net.fault_counters().dropped_loss;
+        let pending = net.query_detached(net.nodes()[10], KeyId(1)).unwrap();
+        net.quiesce();
+        drop(pending.try_take());
+        assert!(net.fault_counters().dropped_loss > dropped_before);
+        // Past the window: the closing edge replayed, traffic flows.
+        net.run_plan_until(&plan, &mut cursor, SimTime::from_secs(30));
+        assert_eq!(net.query(net.nodes()[11], KeyId(1)).unwrap().len(), 1);
+        net.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "wall-mapped")]
+    fn advance_panics_on_the_wall_clock() {
+        let net = network(OverlayKind::Can, 8);
+        net.advance(SimDuration::from_secs(1));
     }
 
     #[test]

@@ -15,8 +15,8 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
 
+use cup_core::clock::Clock;
 use cup_core::justify::JustificationTracker;
 use cup_core::stats::NodeStats;
 use cup_core::{
@@ -83,8 +83,10 @@ pub(crate) struct Shared {
     pub(crate) overlay: AnyOverlay,
     /// Client response channels, keyed by the id carried in the query.
     pub(crate) clients: Mutex<HashMap<ClientId, Sender<Vec<IndexEntry>>>>,
-    /// Wall-clock epoch mapped onto [`SimTime`] microseconds.
-    start: Instant,
+    /// Where "now" comes from: wall-mapped for real deployments,
+    /// virtual (stepped at quiesce barriers) for deterministic runs —
+    /// see [`cup_core::clock`].
+    pub(crate) clock: Clock,
     /// Total peer messages delivered (the live equivalent of hop counts).
     pub(crate) hops: AtomicU64,
     /// Peer messages that crossed a shard boundary (subset of `hops`).
@@ -129,6 +131,7 @@ impl Shared {
         population: usize,
         overlay: AnyOverlay,
         config: NodeConfig,
+        clock: Clock,
     ) -> Self {
         let shards = mailboxes.len();
         Shared {
@@ -137,7 +140,7 @@ impl Shared {
             shards,
             overlay,
             clients: Mutex::new(HashMap::new()),
-            start: Instant::now(),
+            clock,
             hops: AtomicU64::new(0),
             cross_shard: AtomicU64::new(0),
             routing_failures: AtomicU64::new(0),
@@ -154,9 +157,9 @@ impl Shared {
         }
     }
 
-    /// The live clock: microseconds since the network started.
+    /// The live clock's current time (wall-mapped or virtual).
     pub(crate) fn now(&self) -> SimTime {
-        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+        self.clock.now()
     }
 
     /// The shard owning `node`: the balanced contiguous partition of

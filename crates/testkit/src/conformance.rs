@@ -14,6 +14,14 @@
 //! orders the two runtimes see are equivalent and the comparison is
 //! exact, not statistical.
 //!
+//! The live side runs on a **virtual clock** stepped through exactly the
+//! DES schedule's instants, and the DES runs at zero per-hop latency, so
+//! every handler in both runtimes observes identical timestamps. That
+//! puts *time-compared* behavior inside the byte-identical comparison:
+//! the paper-default 30 s `pfu_timeout` runs un-parked (retry counters
+//! must agree), and `@t=`-windowed fault scripts execute their window
+//! edges at the same logical instant in both runtimes.
+//!
 //! Both runtimes run §3.1 justified-update accounting through the shared
 //! [`cup::protocol::justify::JustificationTracker`], and the script's
 //! refresh rounds (between phase A and the deletion) generate the
@@ -78,6 +86,13 @@ pub struct ConformanceSpec {
     /// so the live side claims answers with detached queries instead of
     /// asserting payloads.
     pub fault_script: bool,
+    /// Runs the spec's *timed-window* fault script (see
+    /// [`ConformanceSpec::fault_plan`]): `drop:`/`spike:`/`crash:`
+    /// windows at absolute logical times, executed by the DES as
+    /// scheduled events and by the live runtime as a virtual-clock plan
+    /// replay — the same instants in both. Implies the detached-query
+    /// discipline of `fault_script`.
+    pub timed_faults: bool,
     /// Seed both runtimes' fault planes share.
     pub fault_seed: u64,
 }
@@ -97,6 +112,7 @@ impl ConformanceSpec {
             step_secs: 10,
             workers: 3,
             fault_script: false,
+            timed_faults: false,
             fault_seed: 0,
         }
     }
@@ -117,6 +133,7 @@ impl ConformanceSpec {
             step_secs: 30,
             workers: 4,
             fault_script: false,
+            timed_faults: false,
             fault_seed: 0,
         }
     }
@@ -126,20 +143,51 @@ impl ConformanceSpec {
     /// phase A (refresh rounds, the deletion, and phase B then run
     /// fault-free on whatever state the faults left behind).
     ///
-    /// The node configuration gets an effectively infinite PFU timeout:
-    /// the retry timer compares against the runtime's own clock (sim
-    /// seconds vs wall microseconds), so it is the one recovery knob
-    /// that cannot behave identically across runtimes — parking it keeps
-    /// the comparison exact. The DES-only fault suites exercise it.
+    /// Runs the paper-default 30 s `pfu_timeout`: on the virtual clock
+    /// both runtimes compare the same logical elapsed times, so the
+    /// retry counter is part of the byte-identical comparison (phase-A
+    /// losses strand Pending-First-Update flags; later queries past the
+    /// timeout retry instead of coalescing forever).
     pub fn faulty(kind: OverlayKind) -> Self {
-        let mut config = NodeConfig::cup_default();
-        config.pfu_timeout = SimDuration::from_secs(u64::MAX / 2_000_000);
         ConformanceSpec {
             fault_script: true,
             fault_seed: 0xFA_17,
-            config,
             ..ConformanceSpec::small(kind)
         }
+    }
+
+    /// The small scenario with the timed-window fault script armed: a
+    /// loss window, a latency-spike window (pure fault-epoch noise at
+    /// the conformance latency — see [`run_sim`]), and a crash/restart
+    /// window, all at absolute logical times inside phase A. See
+    /// [`ConformanceSpec::fault_plan`].
+    pub fn timed(kind: OverlayKind) -> Self {
+        ConformanceSpec {
+            timed_faults: true,
+            fault_seed: 0x71_3D,
+            ..ConformanceSpec::small(kind)
+        }
+    }
+
+    /// Whether any fault surface (positional or timed) is armed.
+    pub fn any_faults(&self) -> bool {
+        self.fault_script || self.timed_faults
+    }
+
+    /// A crash victim that is no key's authority, so the scripted
+    /// replica traffic keeps its meaning while the victim is down.
+    /// Authorities are collected into a set first: the scan is
+    /// O(nodes + keys), not O(nodes × keys), which matters at the
+    /// 2048-node conformance tier.
+    fn crash_victim(&self) -> usize {
+        let mut topo_rng = DetRng::seed_from(self.topology_seed);
+        let overlay = AnyOverlay::build(self.kind, self.nodes, &mut topo_rng).unwrap();
+        let authorities: std::collections::HashSet<NodeId> = (0..self.keys)
+            .map(|k| overlay.authority(KeyId(k)))
+            .collect();
+        (0..self.nodes)
+            .find(|&i| !authorities.contains(&NodeId(i as u32)))
+            .expect("a non-authority node exists")
     }
 
     /// The standard fault script, as `(phase_a_position, action)` pairs:
@@ -149,16 +197,7 @@ impl ConformanceSpec {
         if !self.fault_script {
             return Vec::new();
         }
-        // A crash victim that is no key's authority, so the scripted
-        // replica traffic keeps its meaning while the victim is down.
-        let mut topo_rng = DetRng::seed_from(self.topology_seed);
-        let overlay = AnyOverlay::build(self.kind, self.nodes, &mut topo_rng).unwrap();
-        let authorities: Vec<NodeId> = (0..self.keys)
-            .map(|k| overlay.authority(KeyId(k)))
-            .collect();
-        let victim = (0..self.nodes)
-            .find(|&i| !authorities.contains(&NodeId(i as u32)))
-            .expect("a non-authority node exists");
+        let victim = self.crash_victim();
         let n = self.phase_a_queries;
         assert!(
             n >= 20,
@@ -172,6 +211,32 @@ impl ConformanceSpec {
             (16, FaultAction::Partition { groups: 2 }),
             (n - 1, FaultAction::Heal),
         ]
+    }
+
+    /// The timed-window fault script as a [`FaultPlan`] built from the
+    /// standard spec strings (`drop:…@t=`, `spike:…@t=`, `crash:…@t=A..B`).
+    /// Window edges land mid-gap between scripted queries — the network
+    /// is drained there in both runtimes, so each edge applies to the
+    /// same quiescent state at the same logical instant. Empty unless
+    /// `timed_faults` is set.
+    pub fn fault_plan(&self) -> FaultPlan {
+        if !self.timed_faults {
+            return FaultPlan::none();
+        }
+        let victim = self.crash_victim();
+        let s = self.step_secs;
+        // Mid-gap instant before phase-A query `pos`.
+        let mid = |pos: u64| 100 + pos * s - s / 2;
+        assert!(
+            self.phase_a_queries >= 16,
+            "the timed fault script needs ≥ 16 phase-A steps"
+        );
+        FaultPlan::parse_specs(&[
+            format!("drop:0.35@t={}..{}", mid(2), mid(8)),
+            format!("spike:3@t={}..{}", mid(4), mid(10)),
+            format!("crash:{victim}@t={}..{}", mid(11), mid(15)),
+        ])
+        .expect("the built-in timed specs parse")
     }
 
     /// The same script under a different node configuration (policy
@@ -323,14 +388,22 @@ pub fn outcome_of<'a>(
 pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
     let mut topo_rng = DetRng::seed_from(spec.topology_seed);
     let overlay = AnyOverlay::build(spec.kind, spec.nodes, &mut topo_rng).unwrap();
+    // Zero per-hop latency: every handler in a cascade then observes
+    // exactly the cascade's scheduled time — the same instants the live
+    // side realizes by stepping its virtual clock at quiesce barriers.
+    // That makes *time-compared* behavior (the 30 s `pfu_timeout`,
+    // freshness horizons) part of the byte-identical comparison instead
+    // of diverging by per-hop latency offsets the live runtime cannot
+    // reproduce. (A latency spike window is then pure fault-epoch noise
+    // — factor × 0 = 0 — identically in both runtimes.)
     let mut net = Network::new(
         overlay,
         spec.config,
-        LatencyModel::default_wan(),
+        LatencyModel::Fixed(SimDuration::ZERO),
         DetRng::seed_from(7),
     );
     net.justify = Some(JustificationTracker::new());
-    if spec.fault_script {
+    if spec.any_faults() {
         net.faults = Some(FaultState::new(spec.fault_seed));
     }
     // A plan is required for `Ev::Replica` dispatch; only its lifetime
@@ -370,6 +443,11 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
     for (position, action) in spec.fault_events() {
         let fire = SimTime::from_secs(100 + position as u64 * spec.step_secs - spec.step_secs / 2);
         engine.schedule(fire, Ev::Fault(FaultEvent { at: fire, action }));
+    }
+    // The timed-window script schedules by absolute logical time; the
+    // live side replays the identical plan against its virtual clock.
+    for ev in spec.fault_plan().events() {
+        engine.schedule(ev.at, Ev::Fault(*ev));
     }
     for &(node_index, key) in &phase_a {
         engine.schedule(
@@ -450,8 +528,15 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
     (outcome, responses)
 }
 
-/// Runs the same script through the worker-pool live runtime,
-/// synchronizing on `quiesce()` between script events (no sleeps).
+/// Runs the same script through the worker-pool live runtime on a
+/// **virtual clock**, synchronizing on `quiesce()` between script
+/// events (no sleeps) and stepping logical time through exactly the
+/// instants the DES schedule uses — births at `t = 1 + k`, phase-A
+/// query `i` at `t = 100 + i·step`, fault events mid-gap or at their
+/// scripted windows, and so on. Every handler in both runtimes then
+/// observes identical timestamps, so time-compared behavior (the 30 s
+/// `pfu_timeout`, windowed fault edges) is part of the byte-identical
+/// comparison.
 ///
 /// # Panics
 ///
@@ -459,7 +544,7 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
 /// script demands, or any message hit a routing failure.
 pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
     let mut topo_rng = DetRng::seed_from(spec.topology_seed);
-    let net = LiveNetwork::start_with_workers(
+    let net = LiveNetwork::start_virtual(
         spec.kind,
         spec.nodes,
         spec.config,
@@ -468,86 +553,122 @@ pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
     )
     .unwrap();
     net.track_justification(true);
-    if spec.fault_script {
+    if spec.any_faults() {
         net.enable_faults(spec.fault_seed);
     }
+    let plan = spec.fault_plan();
+    let mut plan_cursor = 0usize;
     for k in 0..spec.keys {
+        net.run_until(SimTime::from_secs(1 + u64::from(k)));
         net.replica_birth(KeyId(k), ReplicaId(k), LIFETIME);
+        net.quiesce();
     }
-    net.quiesce();
 
     let (phase_a, phase_b) = spec.query_script();
     let fault_events = spec.fault_events();
+    let step = spec.step_secs;
+    // The script clock, mirroring `run_sim`'s `t` in whole seconds.
+    let mut t = 100u64;
     let mut responses = 0u64;
+    // Queries whose answer a fault swallowed *so far*: a later PFU
+    // retry at the same node can still resurrect them (the first-time
+    // update answers every waiting client), and the DES counts that
+    // late delivery — so the receivers stay registered until the run
+    // ends and late answers are claimed at the final barrier.
+    let mut stranded = Vec::new();
     for (i, &(node_index, key)) in phase_a.iter().enumerate() {
-        // Apply this step's fault actions at the quiesced barrier —
-        // exactly where the DES schedules them (mid-gap, previous
-        // cascade drained).
+        // Apply this step's positional fault actions at their mid-gap
+        // instant — exactly when the DES schedules them (previous
+        // cascade drained, positioned query not yet fired).
         for &(position, action) in &fault_events {
             if position == i {
+                net.run_until(SimTime::from_secs(100 + position as u64 * step - step / 2));
                 net.inject_fault(action);
                 net.quiesce();
             }
         }
-        if spec.fault_script {
+        // Replay any due timed windows, then land on the query instant.
+        net.run_plan_until(&plan, &mut plan_cursor, SimTime::from_secs(t));
+        if spec.any_faults() {
             // Under faults an answer may legitimately never come; after
             // a quiesce, "nothing yet" is "nothing ever".
             let pending = net
                 .query_detached(net.nodes()[node_index], KeyId(key))
                 .unwrap();
             net.quiesce();
-            if let Some(entries) = pending.try_take() {
-                assert!(entries.len() <= 1);
-                responses += 1;
+            match pending.poll() {
+                Some(entries) => {
+                    assert!(entries.len() <= 1);
+                    responses += 1;
+                }
+                None => stranded.push(pending),
             }
-            continue;
-        }
-        let entries = net.query(net.nodes()[node_index], KeyId(key)).unwrap();
-        assert_eq!(
-            entries.len(),
-            1,
-            "live query for k{key} must find its replica"
-        );
-        assert_eq!(entries[0].replica, ReplicaId(key));
-        responses += 1;
-        net.quiesce();
-    }
-    // Refresh rounds for the surviving keys, serialized exactly like the
-    // DES schedule (one quiesce per refresh = one step gap).
-    for _round in 0..spec.refresh_rounds {
-        for k in spec.surviving_keys() {
-            net.replica_refresh(KeyId(k), ReplicaId(k), LIFETIME);
+        } else {
+            let entries = net.query(net.nodes()[node_index], KeyId(key)).unwrap();
+            assert_eq!(
+                entries.len(),
+                1,
+                "live query for k{key} must find its replica"
+            );
+            assert_eq!(entries[0].replica, ReplicaId(key));
+            responses += 1;
             net.quiesce();
         }
+        t += step;
     }
+    // Refresh rounds for the surviving keys, serialized exactly like the
+    // DES schedule (one refresh per step instant).
+    for _round in 0..spec.refresh_rounds {
+        for k in spec.surviving_keys() {
+            net.run_plan_until(&plan, &mut plan_cursor, SimTime::from_secs(t));
+            net.replica_refresh(KeyId(k), ReplicaId(k), LIFETIME);
+            net.quiesce();
+            t += step;
+        }
+    }
+    net.run_plan_until(&plan, &mut plan_cursor, SimTime::from_secs(t));
     net.replica_deletion(KeyId(DELETED_KEY), ReplicaId(DELETED_KEY));
     net.quiesce();
+    t += step;
     for &(node_index, key) in &phase_b {
-        if spec.fault_script {
+        net.run_plan_until(&plan, &mut plan_cursor, SimTime::from_secs(t));
+        if spec.any_faults() {
             // Phase B runs fault-free, but phase-A losses may have left
-            // stuck Pending-First-Update flags that swallow queries in
-            // both runtimes — claim answers without payload assertions.
+            // stuck Pending-First-Update flags; past the 30 s timeout
+            // those retry upstream (counted identically in both
+            // runtimes), yet a query can still go unanswered — claim
+            // answers without payload assertions.
             let pending = net
                 .query_detached(net.nodes()[node_index], KeyId(key))
                 .unwrap();
             net.quiesce();
-            if pending.try_take().is_some() {
-                responses += 1;
+            match pending.poll() {
+                Some(_) => responses += 1,
+                None => stranded.push(pending),
             }
-            continue;
-        }
-        let entries = net.query(net.nodes()[node_index], KeyId(key)).unwrap();
-        if key == DELETED_KEY {
-            assert!(
-                entries.is_empty(),
-                "deleted key must yield an empty live answer"
-            );
         } else {
-            assert_eq!(entries.len(), 1);
+            let entries = net.query(net.nodes()[node_index], KeyId(key)).unwrap();
+            if key == DELETED_KEY {
+                assert!(
+                    entries.is_empty(),
+                    "deleted key must yield an empty live answer"
+                );
+            } else {
+                assert_eq!(entries.len(), 1);
+            }
+            responses += 1;
+            net.quiesce();
         }
-        responses += 1;
-        net.quiesce();
+        t += step;
     }
+    // The settle gap before the probe, mirroring the DES's final
+    // `run_until(t + 100 s)` — and flushing any still-pending timed
+    // window edges so both planes end in the same state.
+    net.run_plan_until(&plan, &mut plan_cursor, SimTime::from_secs(t + 100));
+    // Claim answers that arrived after their query's own step — the DES
+    // counts a client response whenever the cascade delivers it.
+    responses += stranded.iter().filter(|p| p.poll().is_some()).count() as u64;
+    drop(stranded);
     assert_eq!(net.routing_failures(), 0, "static routing must not fail");
     let (justified, tracked) = net.justification();
     let faults = net.fault_counters();
@@ -560,10 +681,11 @@ pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
         faults,
     };
     let crash_retained = net.crash_retained_stats();
+    // The probe instant is the virtual clock's final reading — the very
+    // same instant `run_sim` probes (`engine.now()` after its final
+    // `run_until`), so freshness horizons agree bit for bit.
+    let probe = net.now();
     let final_nodes = net.shutdown();
-    // The live clock is microseconds since start; all entries carry the
-    // huge scripted lifetime, so any probe instant inside the run works.
-    let probe = SimTime::from_secs(1);
     let mut outcome = outcome_of(final_nodes.iter(), spec.keys, probe, counters);
     outcome.stats.merge(&crash_retained);
     (outcome, responses)
@@ -622,6 +744,67 @@ mod tests {
         assert!(ConformanceSpec::small(OverlayKind::Can)
             .fault_events()
             .is_empty());
+    }
+
+    #[test]
+    fn timed_fault_plan_is_deterministic_and_lands_mid_gap() {
+        for kind in OverlayKind::ALL {
+            let spec = ConformanceSpec::timed(kind);
+            assert!(spec.any_faults() && !spec.fault_script);
+            let plan = spec.fault_plan();
+            assert_eq!(plan, spec.fault_plan(), "same spec, same plan");
+            assert_eq!(plan.events().len(), 6, "three windows, two edges each");
+            let phase_a_end = 100 + spec.phase_a_queries as u64 * spec.step_secs;
+            for ev in plan.events() {
+                let secs = ev.at.as_micros() / 1_000_000;
+                assert!(
+                    (100..phase_a_end).contains(&secs),
+                    "windows sit inside phase A"
+                );
+                assert_ne!(
+                    (secs - 100) % spec.step_secs,
+                    0,
+                    "{kind}: edge at t={secs}s collides with a scripted query"
+                );
+            }
+            // The crash victim owns no scripted key.
+            let victim = plan
+                .events()
+                .iter()
+                .find_map(|e| match e.action {
+                    FaultAction::Crash { node } => Some(node),
+                    _ => None,
+                })
+                .expect("the timed script crashes someone");
+            let mut rng = DetRng::seed_from(spec.topology_seed);
+            let overlay = AnyOverlay::build(kind, spec.nodes, &mut rng).unwrap();
+            for k in 0..spec.keys {
+                assert_ne!(overlay.authority(KeyId(k)), NodeId(victim as u32), "{kind}");
+            }
+        }
+        // Non-timed specs plan nothing.
+        assert!(ConformanceSpec::small(OverlayKind::Can)
+            .fault_plan()
+            .is_empty());
+        assert!(ConformanceSpec::faulty(OverlayKind::Can)
+            .fault_plan()
+            .is_empty());
+    }
+
+    #[test]
+    fn faulty_spec_runs_the_paper_default_pfu_timeout() {
+        // The PR-5 sentinel (an effectively infinite timeout parking the
+        // retry path) is gone: the fault conformance scripts run the
+        // same 30 s timeout as every other scenario.
+        for kind in OverlayKind::ALL {
+            for spec in [ConformanceSpec::faulty(kind), ConformanceSpec::timed(kind)] {
+                assert_eq!(
+                    spec.config.pfu_timeout,
+                    NodeConfig::cup_default().pfu_timeout,
+                    "{kind}: fault specs must not park the PFU timeout"
+                );
+            }
+        }
     }
 
     #[test]

@@ -157,56 +157,111 @@ fn sim_and_live_agree_on_chord_at_2k_nodes() {
 /// not just the protocol counters but the fault plane itself — identical
 /// drop decisions on every link, identical crash bookkeeping — and the
 /// script must actually bite (messages dropped in every category).
-fn assert_sim_live_agree_under_faults(kind: OverlayKind) {
-    let spec = ConformanceSpec::faulty(kind);
-    let (sim, sim_responses) = run_sim(&spec);
-    let (live, live_responses) = run_live(&spec);
-    let label = format!("{kind} faulty");
+fn assert_sim_live_agree_under_faults(base: ConformanceSpec, label: &str) {
+    let (sim, sim_responses) = run_sim(&base);
+    // The DES is worker-blind; the live side must match it from the
+    // serial pool and from a sharded one.
+    for workers in [1, 4] {
+        let spec = ConformanceSpec { workers, ..base };
+        let label = format!("{label} @ {workers} workers");
+        let (live, live_responses) = run_live(&spec);
 
-    // The script must be non-trivial: loss, crash, and partition all
-    // fired and all dropped something.
-    assert!(sim.faults.dropped_loss > 0, "{label}: loss never bit");
+        // Byte-identical outcomes, including every fault counter.
+        assert_eq!(
+            sim_responses, live_responses,
+            "{label}: answered-query counts"
+        );
+        assert_eq!(sim.faults, live.faults, "{label}: fault counters diverged");
+        assert_eq!(
+            sim.dropped_messages, live.dropped_messages,
+            "{label}: dropped-message totals diverged"
+        );
+        assert_eq!(sim.stats, live.stats, "{label}: protocol counters diverged");
+        assert_eq!(
+            sim.cached_by, live.cached_by,
+            "{label}: caching sets diverged"
+        );
+        assert_eq!(sim.hops, live.hops, "{label}: hop counts diverged");
+        assert_eq!(
+            (sim.justified, sim.tracked),
+            (live.justified, live.tracked),
+            "{label}: justification diverged"
+        );
+        assert_eq!(
+            sim.routing_failures, live.routing_failures,
+            "{label}: routing failures diverged"
+        );
+        // The recovery counters are inside `stats`, but they are the
+        // point of the virtual clock — name them in the comparison.
+        assert_eq!(
+            sim.stats.pfu_retries, live.stats.pfu_retries,
+            "{label}: PFU-retry counts diverged"
+        );
+        assert_eq!(
+            (sim.faults.crashes, sim.faults.restarts),
+            (live.faults.crashes, live.faults.restarts),
+            "{label}: crash-recovery counters diverged"
+        );
+    }
+    // The timeout must be live, not parked: with the paper-default 30 s
+    // `pfu_timeout`, losses strand Pending-First-Update flags and later
+    // queries past the timeout retry upstream.
     assert!(
-        sim.faults.dropped_partition > 0,
-        "{label}: partition never bit"
-    );
-    assert_eq!(sim.faults.crashes, 1, "{label}");
-    assert_eq!(sim.faults.restarts, 1, "{label}");
-    assert!(sim.dropped_messages > 0, "{label}");
-
-    // Byte-identical outcomes, including every fault counter.
-    assert_eq!(
-        sim_responses, live_responses,
-        "{label}: answered-query counts"
-    );
-    assert_eq!(sim.faults, live.faults, "{label}: fault counters diverged");
-    assert_eq!(
-        sim.dropped_messages, live.dropped_messages,
-        "{label}: dropped-message totals diverged"
-    );
-    assert_eq!(sim.stats, live.stats, "{label}: protocol counters diverged");
-    assert_eq!(
-        sim.cached_by, live.cached_by,
-        "{label}: caching sets diverged"
-    );
-    assert_eq!(sim.hops, live.hops, "{label}: hop counts diverged");
-    assert_eq!(
-        (sim.justified, sim.tracked),
-        (live.justified, live.tracked),
-        "{label}: justification diverged"
-    );
-    assert_eq!(
-        sim.routing_failures, live.routing_failures,
-        "{label}: routing failures diverged"
+        sim.stats.pfu_retries > 0,
+        "{label}: the 30 s PFU timeout never fired a retry"
     );
 }
 
 #[test]
 fn sim_and_live_agree_under_faults_on_can() {
-    assert_sim_live_agree_under_faults(OverlayKind::Can);
+    let spec = ConformanceSpec::faulty(OverlayKind::Can);
+    // The script must be non-trivial: loss, crash, and partition all
+    // fired and all dropped something.
+    let (sim, _) = run_sim(&spec);
+    assert!(sim.faults.dropped_loss > 0, "loss never bit");
+    assert!(sim.faults.dropped_partition > 0, "partition never bit");
+    assert_eq!(sim.faults.crashes, 1);
+    assert_eq!(sim.faults.restarts, 1);
+    assert!(sim.dropped_messages > 0);
+    assert_sim_live_agree_under_faults(spec, "can faulty");
 }
 
 #[test]
 fn sim_and_live_agree_under_faults_on_chord() {
-    assert_sim_live_agree_under_faults(OverlayKind::Chord);
+    let spec = ConformanceSpec::faulty(OverlayKind::Chord);
+    let (sim, _) = run_sim(&spec);
+    assert!(sim.faults.dropped_loss > 0, "loss never bit");
+    assert!(sim.faults.dropped_partition > 0, "partition never bit");
+    assert_eq!(sim.faults.crashes, 1);
+    assert_eq!(sim.faults.restarts, 1);
+    assert_sim_live_agree_under_faults(spec, "chord faulty");
+}
+
+/// Sim-vs-live agreement under the *timed-window* fault script: a loss
+/// window, a latency-spike window, and a crash/restart window at
+/// absolute logical times (`drop:…@t=`, `spike:…@t=`, `crash:…@t=A..B`).
+/// The DES executes the windows as scheduled events; the live runtime
+/// replays the identical `FaultPlan` against its virtual clock — every
+/// window edge lands at the same logical instant in both.
+fn assert_sim_live_agree_on_timed_windows(kind: OverlayKind) {
+    let spec = ConformanceSpec::timed(kind);
+    let label = format!("{kind} timed");
+    let (sim, _) = run_sim(&spec);
+    // Every window must bite: loss dropped messages, the crash cycle
+    // completed, and the stranded-PFU recovery path actually ran.
+    assert!(sim.faults.dropped_loss > 0, "{label}: loss never bit");
+    assert_eq!(sim.faults.crashes, 1, "{label}");
+    assert_eq!(sim.faults.restarts, 1, "{label}");
+    assert!(sim.dropped_messages > 0, "{label}");
+    assert_sim_live_agree_under_faults(spec, &label);
+}
+
+#[test]
+fn sim_and_live_agree_on_timed_windows_on_can() {
+    assert_sim_live_agree_on_timed_windows(OverlayKind::Can);
+}
+
+#[test]
+fn sim_and_live_agree_on_timed_windows_on_chord() {
+    assert_sim_live_agree_on_timed_windows(OverlayKind::Chord);
 }

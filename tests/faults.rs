@@ -81,6 +81,35 @@ fn live_fault_outcomes_are_identical_across_worker_counts() {
 }
 
 #[test]
+fn timed_window_live_outcomes_are_identical_across_worker_counts() {
+    // The timed-window script (`drop:…@t=`, `spike:…@t=`, `crash:…@t=A..B`)
+    // replayed against the virtual clock: the sharded pool must reach
+    // the very same final state as the serial pool, including the
+    // PFU-retry counts the 30 s timeout now produces live.
+    for kind in OverlayKind::ALL {
+        let spec_serial = ConformanceSpec {
+            workers: 1,
+            ..ConformanceSpec::timed(kind)
+        };
+        let spec_pool = ConformanceSpec {
+            workers: 4,
+            ..ConformanceSpec::timed(kind)
+        };
+        let (serial, serial_responses) = run_live(&spec_serial);
+        let (pool, pool_responses) = run_live(&spec_pool);
+        assert_eq!(serial_responses, pool_responses, "{kind}");
+        assert_eq!(serial, pool, "{kind}: worker count leaked into the outcome");
+        assert!(serial.faults.dropped() > 0, "{kind}: the windows must bite");
+        assert_eq!(serial.faults.crashes, 1, "{kind}: the crash window fired");
+        assert_eq!(serial.faults.restarts, 1, "{kind}: the restart edge fired");
+        assert!(
+            serial.stats.pfu_retries > 0,
+            "{kind}: the un-parked PFU timeout must fire retries live"
+        );
+    }
+}
+
+#[test]
 fn cup_beats_all_out_push_on_hit_rate_per_cost_at_5_percent_loss() {
     // The pinned economic claim on an unreliable network: at 5% link
     // loss, second-chance CUP buys strictly more cache hits per hop of

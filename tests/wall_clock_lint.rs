@@ -1,0 +1,84 @@
+//! Wall-time lint: protocol logic must not read the wall clock.
+//!
+//! The live runtime's determinism story rests on one invariant: "now"
+//! comes from `cup_core::clock::Clock` and nowhere else, so a virtual-
+//! clock run is bit-reproducible and conformant with the DES. This test
+//! (and the matching grep gate in CI) scans the protocol crates —
+//! `cup-core` and `cup-runtime` — for wall-time constructs and fails if
+//! any appear outside the single designated wall-clock module,
+//! `crates/core/src/clock.rs`. Bench crates and the shims are exempt:
+//! measuring wall time is their job.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Source trees the ban covers.
+const SCANNED: &[&str] = &["crates/core/src", "crates/runtime/src"];
+
+/// The one file allowed to touch the wall clock.
+const DESIGNATED: &str = "clock.rs";
+
+/// Banned constructs. `Instant::now(` covers every way of reading the
+/// wall clock through `std::time::Instant`; sleeping and `SystemTime`
+/// are banned outright (a sleeping worker is a timing-dependent test
+/// waiting to flake; protocol state never needs calendar time).
+const BANNED: &[&str] = &["Instant::now(", "thread::sleep", "SystemTime"];
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("scanned source dir exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn wall_time_never_leaks_into_protocol_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for tree in SCANNED {
+        let mut sources = Vec::new();
+        rust_sources(&root.join(tree), &mut sources);
+        assert!(!sources.is_empty(), "{tree} has sources to scan");
+        for path in sources {
+            if path.file_name().is_some_and(|f| f == DESIGNATED) {
+                continue;
+            }
+            scanned += 1;
+            let text = fs::read_to_string(&path).expect("source file reads");
+            for (i, line) in text.lines().enumerate() {
+                for token in BANNED {
+                    if line.contains(token) {
+                        violations.push(format!(
+                            "{}:{}: `{}` — use cup_core::clock::Clock instead",
+                            path.strip_prefix(root).unwrap_or(&path).display(),
+                            i + 1,
+                            token
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(scanned > 10, "the scan must actually cover the crates");
+    assert!(
+        violations.is_empty(),
+        "wall-time constructs outside the designated clock module:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn the_designated_module_still_exists() {
+    // If clock.rs is ever renamed, the exemption above must move with
+    // it rather than silently exempting nothing.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    assert!(
+        root.join("crates/core/src").join(DESIGNATED).is_file(),
+        "crates/core/src/{DESIGNATED} is the designated wall-clock module"
+    );
+}
