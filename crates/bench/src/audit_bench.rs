@@ -1,0 +1,203 @@
+//! The Byzantine-attack × audit benchmark behind `BENCH_audit.json`.
+//!
+//! Runs the attacker-count × audit-on/off grid (stale-serve attackers
+//! against CUP with and without the rate-limited sampled cache audit)
+//! twice — serially and across the sweep worker pool — and reports
+//! per-point attack/defense economics: poisoned answers and their rate,
+//! audit rounds, repairs, the audit's own hop bill, and the
+//! detection-latency proxy. The rows must be byte-identical between the
+//! two passes: the audit's sampling draws are counter-mode
+//! deterministic, so the artifact certifies that the defense does not
+//! depend on the pool size.
+
+use std::time::{Duration, Instant};
+
+use cup_simnet::par::default_workers;
+use cup_simnet::sweeps::{audit_grid_with, AuditGridPoint};
+use cup_workload::Scenario;
+
+/// One serial-vs-parallel run of the audit grid.
+#[derive(Debug, Clone)]
+pub struct AuditBenchReport {
+    /// The grid rows (parallel run; asserted identical to the serial
+    /// run's).
+    pub points: Vec<AuditGridPoint>,
+    /// Wall-clock of the serial (1-worker) sweep.
+    pub wall_serial: Duration,
+    /// Wall-clock of the parallel sweep.
+    pub wall_parallel: Duration,
+    /// Worker threads the parallel sweep used.
+    pub workers: usize,
+    /// Whether the two passes produced byte-identical rows (always true;
+    /// recorded so the artifact proves the check ran).
+    pub rows_identical: bool,
+}
+
+impl AuditBenchReport {
+    /// Grid points per second for a wall-clock reading.
+    fn points_per_sec(&self, wall: Duration) -> f64 {
+        let secs = wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.points.len() as f64 / secs
+        }
+    }
+
+    /// Points/sec of the serial pass.
+    pub fn serial_points_per_sec(&self) -> f64 {
+        self.points_per_sec(self.wall_serial)
+    }
+
+    /// Points/sec of the parallel pass.
+    pub fn parallel_points_per_sec(&self) -> f64 {
+        self.points_per_sec(self.wall_parallel)
+    }
+
+    /// Serial wall / parallel wall.
+    pub fn speedup(&self) -> f64 {
+        let parallel = self.wall_parallel.as_secs_f64();
+        if parallel == 0.0 {
+            0.0
+        } else {
+            self.wall_serial.as_secs_f64() / parallel
+        }
+    }
+}
+
+/// Runs the grid serially and in parallel, timing both.
+///
+/// # Panics
+///
+/// Panics if the parallel rows differ from the serial rows — audit runs
+/// must be byte-identical whatever the sweep pool size.
+pub fn run_audit_bench(
+    base: &Scenario,
+    attacker_counts: &[u32],
+    interval_secs: u64,
+    workers: usize,
+) -> AuditBenchReport {
+    let start = Instant::now();
+    let serial = audit_grid_with(base, attacker_counts, interval_secs, 1);
+    let wall_serial = start.elapsed();
+
+    let start = Instant::now();
+    let parallel = audit_grid_with(base, attacker_counts, interval_secs, workers);
+    let wall_parallel = start.elapsed();
+
+    assert_eq!(
+        serial, parallel,
+        "audit-grid rows must be byte-identical across sweep worker counts"
+    );
+    let jobs = attacker_counts.len() * 2;
+    AuditBenchReport {
+        points: parallel,
+        wall_serial,
+        wall_parallel,
+        workers: workers.clamp(1, jobs.max(1)),
+        rows_identical: true,
+    }
+}
+
+/// Convenience wrapper using the machine's sweep worker pool.
+pub fn run_audit_bench_default(
+    base: &Scenario,
+    attacker_counts: &[u32],
+    interval_secs: u64,
+) -> AuditBenchReport {
+    run_audit_bench(base, attacker_counts, interval_secs, default_workers())
+}
+
+/// Renders the report as the `BENCH_audit.json` document (hand-rolled
+/// JSON; the workspace builds offline, without serde).
+pub fn render_json(
+    report: &AuditBenchReport,
+    base: &Scenario,
+    interval_secs: u64,
+    seed: u64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"cup-audit byzantine attackers x audit sweep\",\n");
+    out.push_str(&format!("  \"nodes\": {},\n", base.nodes));
+    out.push_str(&format!("  \"keys\": {},\n", base.keys));
+    out.push_str(&format!(
+        "  \"replicas_per_key\": {},\n",
+        base.replicas_per_key
+    ));
+    out.push_str(&format!("  \"audit_interval_secs\": {interval_secs},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"workers\": {},\n", report.workers));
+    out.push_str(&format!(
+        "  \"serial_wall_ms\": {:.3},\n",
+        report.wall_serial.as_secs_f64() * 1e3
+    ));
+    out.push_str(&format!(
+        "  \"parallel_wall_ms\": {:.3},\n",
+        report.wall_parallel.as_secs_f64() * 1e3
+    ));
+    out.push_str(&format!(
+        "  \"parallel_points_per_sec\": {:.3},\n",
+        report.parallel_points_per_sec()
+    ));
+    out.push_str(&format!("  \"speedup\": {:.3},\n", report.speedup()));
+    out.push_str(&format!(
+        "  \"rows_identical\": {},\n",
+        report.rows_identical
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, p) in report.points.iter().enumerate() {
+        let comma = if i + 1 < report.points.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"attackers\": {}, \"audited\": {}, \"total_cost\": {}, \
+             \"audit_hops\": {}, \"poisoned\": {}, \"poisoned_rate\": {:.4}, \
+             \"audits\": {}, \"repairs\": {}, \"hit_rate\": {:.4}, \
+             \"detection_latency_secs\": {:.3}}}{comma}\n",
+            p.attackers,
+            p.audited,
+            p.total_cost,
+            p.audit_hops,
+            p.poisoned,
+            p.poisoned_rate,
+            p.audits,
+            p.repairs,
+            p.hit_rate,
+            p.detection_latency_secs,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cup_des::{SimDuration, SimTime};
+
+    fn tiny() -> Scenario {
+        Scenario {
+            nodes: 32,
+            keys: 3,
+            query_rate: 5.0,
+            query_start: SimTime::from_secs(300),
+            query_end: SimTime::from_secs(800),
+            sim_end: SimTime::from_secs(1_200),
+            replica_mean_life: Some(SimDuration::from_secs(400)),
+            seed: 9,
+            ..Scenario::default()
+        }
+    }
+
+    #[test]
+    fn bench_runs_and_renders() {
+        let report = run_audit_bench(&tiny(), &[0, 2], 60, 2);
+        assert_eq!(report.points.len(), 4);
+        assert!(report.rows_identical);
+        assert!(report.parallel_points_per_sec() > 0.0);
+        let json = render_json(&report, &tiny(), 60, 9);
+        assert!(json.contains("\"audited\": true"));
+        assert!(json.contains("\"audited\": false"));
+        assert!(json.contains("\"audit_interval_secs\": 60"));
+        assert!(json.contains("\"rows_identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

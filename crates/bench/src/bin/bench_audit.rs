@@ -1,0 +1,153 @@
+//! Emits `BENCH_audit.json`: the Byzantine attacker-count × audit
+//! sweep — stale-serve attackers against CUP with and without the
+//! rate-limited sampled cache audit.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_audit [--scale bench|small|paper] [--attackers 0,2,8]
+//!             [--interval SECS] [--mean-life SECS] [--workers N]
+//!             [--seed 42] [--out BENCH_audit.json] [--budget-secs N]
+//! ```
+//!
+//! `--mean-life` gives replicas finite lives: the deletions that churn
+//! generates are what stale-serve attackers swallow, so without it the
+//! poisoned-answer columns are trivially zero. `--interval` is the
+//! audit's per-key-per-node rate limit — the knob trading detection
+//! latency against the audit's own hop bill.
+//!
+//! The grid runs twice (serial, then across the sweep pool) and the
+//! binary asserts the rows are byte-identical — the audit's sampling
+//! draws must not depend on the worker count. With `--budget-secs`, the
+//! process exits non-zero if either pass exceeds the wall-clock budget.
+
+use cup_bench::audit_bench::{render_json, run_audit_bench};
+use cup_bench::cli::{parse_or_exit, value_of};
+use cup_bench::Scale;
+use cup_des::SimDuration;
+use cup_simnet::par::default_workers;
+use cup_workload::Scenario;
+
+fn main() {
+    let mut scale = Scale::Small;
+    let mut attackers: Vec<u32> = vec![0, 2, 8];
+    let mut interval: u64 = 30;
+    let mut mean_life: Option<u64> = Some(500);
+    let mut workers = default_workers();
+    let mut seed: u64 = 42;
+    let mut out_path = String::from("BENCH_audit.json");
+    let mut budget_secs: Option<u64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = value_of(&mut it, "--scale");
+                scale = Scale::parse(&value).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{value}' (use bench|small|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--attackers" => {
+                attackers = value_of(&mut it, "--attackers")
+                    .split(',')
+                    .map(|s| parse_or_exit(s, "--attackers"))
+                    .collect();
+            }
+            "--interval" => {
+                interval = parse_or_exit(&value_of(&mut it, "--interval"), "--interval");
+            }
+            "--mean-life" => {
+                mean_life = Some(parse_or_exit(
+                    &value_of(&mut it, "--mean-life"),
+                    "--mean-life",
+                ));
+            }
+            "--workers" => workers = parse_or_exit(&value_of(&mut it, "--workers"), "--workers"),
+            "--seed" => seed = parse_or_exit(&value_of(&mut it, "--seed"), "--seed"),
+            "--out" => out_path = value_of(&mut it, "--out"),
+            "--budget-secs" => {
+                budget_secs = Some(parse_or_exit(
+                    &value_of(&mut it, "--budget-secs"),
+                    "--budget-secs",
+                ));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_audit [--scale bench|small|paper] [--attackers A,A,..] \
+                     [--interval SECS] [--mean-life SECS] [--workers N] [--seed N] \
+                     [--out PATH] [--budget-secs N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    if interval == 0 {
+        eprintln!("--interval must be positive");
+        std::process::exit(2);
+    }
+
+    let base = Scenario {
+        seed,
+        replica_mean_life: mean_life.map(SimDuration::from_secs),
+        ..scale.base_scenario()
+    };
+    let report = run_audit_bench(&base, &attackers, interval, workers);
+
+    for p in &report.points {
+        println!(
+            "attackers {:>3}  audit {:>5}  poisoned {:>6} ({:.4})  repairs {:>5}  \
+             audits {:>6}  audit_hops {:>8}  hit {:.3}  detect {:>6.1}s  cost {:>9}",
+            p.attackers,
+            if p.audited { "on" } else { "off" },
+            p.poisoned,
+            p.poisoned_rate,
+            p.repairs,
+            p.audits,
+            p.audit_hops,
+            p.hit_rate,
+            p.detection_latency_secs,
+            p.total_cost,
+        );
+    }
+    println!(
+        "{} points  serial {:.2} s  parallel {:.2} s ({:.2} points/s, {:.2}x on {} workers)",
+        report.points.len(),
+        report.wall_serial.as_secs_f64(),
+        report.wall_parallel.as_secs_f64(),
+        report.parallel_points_per_sec(),
+        report.speedup(),
+        report.workers,
+    );
+
+    let json = render_json(&report, &base, interval, seed);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+
+    if let Some(budget) = budget_secs {
+        let mut failed = false;
+        for (name, wall) in [
+            ("serial", report.wall_serial),
+            ("parallel", report.wall_parallel),
+        ] {
+            if wall.as_secs() >= budget {
+                eprintln!(
+                    "BUDGET EXCEEDED: {name} sweep took {:.2} s (budget {budget} s)",
+                    wall.as_secs_f64()
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -8,6 +8,7 @@
 use cup_des::{SimDuration, SimTime};
 use cup_workload::Scenario;
 
+pub mod audit_bench;
 pub mod cli;
 pub mod des_bench;
 pub mod fault_bench;

@@ -19,6 +19,58 @@ pub enum Mode {
     StandardCaching,
 }
 
+/// The rate-limited sampled cache audit (the LOCKSS defense).
+///
+/// CUP's economics assume peers relay honestly; a Byzantine peer that
+/// swallows deletions keeps serving retired entries forever, and nothing
+/// in the base protocol ever corrects it. The defense is the LOCKSS
+/// design (Maniatis et al., by the same Roussopoulos): each caching node
+/// periodically polls a small *random sample* of the population about a
+/// key it serves, compares knowledge, and repairs its cache when enough
+/// pollees contradict it. Sampling must be population-wide — polling
+/// only one's own update tree fails, because a poisoned subtree agrees
+/// with itself.
+///
+/// Audits are traffic-driven (a node only audits keys it actually
+/// serves hits from) and rate-limited: at most one audit per key per
+/// node per `interval` of the virtual clock, which bounds the audit
+/// overhead regardless of query rate. Peer selection is a counter-mode
+/// hash of `(seed, node, key, round, draw)`, so the DES and any
+/// M-worker live run poll identical peers in identical rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Minimum virtual-clock time between two audits of the same key at
+    /// the same node (the rate limit).
+    pub interval: SimDuration,
+    /// How many peers are polled per audit round.
+    pub sample: u32,
+    /// How many pollees must contradict a served replica before the
+    /// auditor evicts it and adopts their entries.
+    pub quorum: u32,
+    /// Population size to sample peers from (dense node indices
+    /// `0..population`); the node has no overlay view, so the embedding
+    /// passes it in.
+    pub population: u32,
+    /// Seed of the peer-selection hash.
+    pub seed: u64,
+}
+
+impl AuditConfig {
+    /// A small-sample audit suitable for the test scenarios: poll 8
+    /// peers at most once per key per `interval`, repair on a single
+    /// contradiction (tombstones are firsthand knowledge, so one honest
+    /// dissenter suffices; raise `quorum` to tolerate lying dissenters).
+    pub fn sampled(interval: SimDuration, population: u32, seed: u64) -> Self {
+        AuditConfig {
+            interval,
+            sample: 8,
+            quorum: 1,
+            population,
+            seed,
+        }
+    }
+}
+
 /// Configuration of one CUP node.
 #[derive(Debug, Clone, Copy)]
 pub struct NodeConfig {
@@ -51,6 +103,9 @@ pub struct NodeConfig {
     /// batching with that threshold ("a function of the lifetime of a
     /// replica"); `None` disables it.
     pub refresh_batch_window: Option<SimDuration>,
+    /// The rate-limited sampled cache audit; `None` (the default)
+    /// disables auditing entirely — no probes, no extra state.
+    pub audit: Option<AuditConfig>,
 }
 
 impl NodeConfig {
@@ -64,6 +119,15 @@ impl NodeConfig {
             pfu_timeout: SimDuration::from_secs(30),
             refresh_keep_one_in: 1,
             refresh_batch_window: None,
+            audit: None,
+        }
+    }
+
+    /// This configuration with the sampled cache audit enabled.
+    pub fn with_audit(self, audit: AuditConfig) -> Self {
+        NodeConfig {
+            audit: Some(audit),
+            ..self
         }
     }
 
@@ -115,6 +179,22 @@ mod tests {
         );
         assert_eq!(c.reset_mode, ResetMode::ReplicaIndependent);
         assert!(!c.capacity_limited);
+        assert_eq!(c.audit, None, "auditing is strictly opt-in");
+    }
+
+    #[test]
+    fn audit_knob_rides_along() {
+        let audit = AuditConfig::sampled(SimDuration::from_secs(60), 64, 9);
+        let c = NodeConfig::cup_with_policy(CutoffPolicy::Always).with_audit(audit);
+        assert_eq!(c.audit, Some(audit));
+        assert_eq!(audit.sample, 8);
+        assert_eq!(audit.quorum, 1);
+        // Struct-update constructors preserve it.
+        let d = NodeConfig {
+            capacity_limited: true,
+            ..c
+        };
+        assert_eq!(d.audit, Some(audit));
     }
 
     #[test]

@@ -5,13 +5,18 @@
 //! neighbors, the popularity measure, and any local clients whose
 //! connections are held open awaiting a fresh answer.
 
-use cup_des::SimTime;
+use cup_des::{ReplicaId, SimTime};
 
+use crate::audit::AuditTally;
 use crate::entry::IndexEntry;
 use crate::interest::InterestSet;
 use crate::message::{ClientId, Requester, Update, UpdateKind};
 use crate::policy::PolicyState;
 use crate::popularity::Popularity;
+
+/// How many delete tombstones a key keeps (oldest evicted first; a
+/// dropped tombstone's entry has long expired anyway).
+const RETIRED_CAP: usize = 8;
 
 /// All state a node keeps for one cached (non-local) key.
 #[derive(Debug, Clone, Default)]
@@ -36,6 +41,17 @@ pub struct KeyState {
     pub pending_requesters: Vec<Requester>,
     /// Distance from the authority as carried by the most recent update.
     pub last_depth: u32,
+    /// Delete tombstones: replicas this node has seen retired, newest
+    /// last. This is the firsthand negative knowledge the sampled cache
+    /// audit exchanges — a node that only *lacks* an entry cannot say
+    /// whether it never knew it or saw it die.
+    pub retired: Vec<ReplicaId>,
+    /// When this key was last audited here (the audit rate-limit anchor).
+    pub last_audit: SimTime,
+    /// Audit rounds started here for this key (the probe round nonce).
+    pub audit_round: u64,
+    /// The in-flight audit round's tally, if one is open.
+    pub audit: Option<AuditTally>,
 }
 
 impl KeyState {
@@ -87,9 +103,39 @@ impl KeyState {
             UpdateKind::Delete => {
                 self.entries.retain(|e| e.replica != update.replica);
                 self.popularity.untrack_if(update.replica);
+                self.mark_retired(update.replica);
             }
         }
         self.last_depth = update.depth;
+    }
+
+    /// Records that `replica` was seen retired (bounded, deduplicated).
+    pub fn mark_retired(&mut self, replica: ReplicaId) {
+        if self.retired.contains(&replica) {
+            return;
+        }
+        if self.retired.len() == RETIRED_CAP {
+            self.retired.remove(0);
+        }
+        self.retired.push(replica);
+    }
+
+    /// Applies an audit repair: evicts the condemned replicas (marking
+    /// them retired) and adopts the quorum's fresh entries for replicas
+    /// this node does not already serve — the "evict and refetch" step.
+    pub fn audit_repair(&mut self, evict: &[ReplicaId], adopt: &[IndexEntry]) {
+        for &replica in evict {
+            self.entries.retain(|e| e.replica != replica);
+            self.popularity.untrack_if(replica);
+            self.mark_retired(replica);
+        }
+        for entry in adopt {
+            if !self.retired.contains(&entry.replica)
+                && !self.entries.iter().any(|e| e.replica == entry.replica)
+            {
+                self.entries.push(*entry);
+            }
+        }
     }
 
     /// Inserts or replaces the entry for one replica.
@@ -204,6 +250,33 @@ mod tests {
         let evicted = st.evict_expired(SimTime::from_secs(200));
         assert_eq!(evicted, 1);
         assert_eq!(st.entries().len(), 1);
+    }
+
+    #[test]
+    fn deletes_leave_tombstones_and_repairs_evict_and_refetch() {
+        let mut st = KeyState::new();
+        st.apply(&update(
+            UpdateKind::FirstTime,
+            0,
+            vec![entry(0, 0, 100), entry(1, 0, 100)],
+        ));
+        st.apply(&update(UpdateKind::Delete, 0, vec![entry(0, 0, 100)]));
+        assert_eq!(st.retired, vec![ReplicaId(0)], "delete tombstones");
+        st.apply(&update(UpdateKind::Delete, 0, vec![entry(0, 0, 100)]));
+        assert_eq!(st.retired.len(), 1, "tombstones dedup");
+
+        // Repair: evict a served replica, adopt the quorum's entries —
+        // except ones we have tombstones for.
+        st.audit_repair(&[ReplicaId(1)], &[entry(0, 50, 100), entry(2, 50, 100)]);
+        assert_eq!(st.entries().len(), 1);
+        assert_eq!(st.entries()[0].replica, ReplicaId(2));
+        assert!(st.retired.contains(&ReplicaId(1)), "eviction tombstones");
+        // The cap bounds the list.
+        for r in 10..30 {
+            st.mark_retired(ReplicaId(r));
+        }
+        assert_eq!(st.retired.len(), 8);
+        assert!(st.retired.contains(&ReplicaId(29)), "newest kept");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! [`config::Mode::StandardCaching`] on the same node implementation.
 
 pub mod action;
+pub mod audit;
 pub mod capacity;
 pub mod clock;
 pub mod config;
@@ -57,8 +58,9 @@ pub mod stats;
 pub mod surface;
 
 pub use action::Action;
+pub use audit::{sample_targets, AuditTally};
 pub use clock::Clock;
-pub use config::{Mode, NodeConfig};
+pub use config::{AuditConfig, Mode, NodeConfig};
 pub use entry::IndexEntry;
 pub use justify::JustificationTracker;
 pub use message::{ClientId, Message, ReplicaEvent, Requester, Update, UpdateKind};

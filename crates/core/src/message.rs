@@ -114,6 +114,28 @@ pub enum Message {
         /// The key losing interest.
         key: KeyId,
     },
+    /// "What do you know about this key?" — one poll of the rate-limited
+    /// sampled cache audit (LOCKSS-style; see `config::AuditConfig`).
+    AuditProbe {
+        /// The key being audited.
+        key: KeyId,
+        /// The auditor's per-key round number; replies echo it so late
+        /// answers from a superseded round are ignored.
+        round: u64,
+    },
+    /// A poll answer: everything the polled node currently knows.
+    AuditReply {
+        /// The key being audited.
+        key: KeyId,
+        /// Echo of the probe's round number.
+        round: u64,
+        /// The fresh entries the polled node holds (cache and, at the
+        /// authority, directory knowledge).
+        entries: Vec<IndexEntry>,
+        /// Replicas the polled node has seen retired (delete tombstones):
+        /// the *negative* knowledge a poisoned auditor is missing.
+        retired: Vec<ReplicaId>,
+    },
 }
 
 impl Message {
@@ -123,6 +145,8 @@ impl Message {
             Message::Query { key } => *key,
             Message::Update(u) => u.key,
             Message::ClearBit { key } => *key,
+            Message::AuditProbe { key, .. } => *key,
+            Message::AuditReply { key, .. } => *key,
         }
     }
 }
@@ -226,6 +250,24 @@ mod tests {
     fn message_key_extraction() {
         assert_eq!(Message::Query { key: KeyId(9) }.key(), KeyId(9));
         assert_eq!(Message::ClearBit { key: KeyId(8) }.key(), KeyId(8));
+        assert_eq!(
+            Message::AuditProbe {
+                key: KeyId(7),
+                round: 3
+            }
+            .key(),
+            KeyId(7)
+        );
+        assert_eq!(
+            Message::AuditReply {
+                key: KeyId(6),
+                round: 3,
+                entries: Vec::new(),
+                retired: vec![ReplicaId(1)],
+            }
+            .key(),
+            KeyId(6)
+        );
         assert_eq!(
             Message::Update(update(UpdateKind::Delete, 0, 1)).key(),
             KeyId(1)

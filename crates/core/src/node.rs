@@ -10,9 +10,10 @@
 
 use std::collections::HashMap;
 
-use cup_des::{KeyId, NodeId, SimTime};
+use cup_des::{KeyId, NodeId, ReplicaId, SimTime};
 
 use crate::action::Action;
+use crate::audit::{sample_targets, AuditTally};
 use crate::capacity::OutgoingQueues;
 use crate::config::{Mode, NodeConfig};
 use crate::directory::{DirectoryChange, LocalDirectory};
@@ -158,6 +159,9 @@ impl CupNode {
             let entries = st.fresh_entries(now);
             let depth = st.last_depth;
             self.respond(from, key, entries, depth.saturating_add(1), now, out);
+            // Served from cache: the moment worth double-checking the
+            // cache's honesty (traffic-driven, rate-limited).
+            self.maybe_audit(now, key, out);
             return;
         }
 
@@ -289,7 +293,7 @@ impl CupNode {
         &mut self,
         now: SimTime,
         from: NodeId,
-        update: Update,
+        mut update: Update,
         out: &mut Vec<Action>,
     ) {
         self.stats.updates_received += 1;
@@ -297,6 +301,22 @@ impl CupNode {
         if update.is_expired(now) {
             self.stats.updates_expired_on_arrival += 1;
             return;
+        }
+        // Audit hygiene: with the sampled audit on, a replica this node
+        // has seen retired (delete tombstone) cannot be resurrected by
+        // any later update — otherwise a lying upstream re-poisons a
+        // repaired cache on the next miss. A maintenance update scrubbed
+        // empty dies here; a scrubbed first-time update still proceeds
+        // (it is a response — a negative one).
+        if self.config.audit.is_some() && !update.entries.is_empty() {
+            if let Some(st) = self.keys.get(&update.key) {
+                if !st.retired.is_empty() {
+                    update.entries.retain(|e| !st.retired.contains(&e.replica));
+                    if update.entries.is_empty() && update.kind != UpdateKind::FirstTime {
+                        return;
+                    }
+                }
+            }
         }
         let st = self.keys.entry(update.key).or_default();
 
@@ -491,6 +511,142 @@ impl CupNode {
         if !self.config.policies.would_keep(key, &st.policy_state, &ctx) {
             self.stats.clear_bits_sent += 1;
             out.push(Action::send(upstream, Message::ClearBit { key }));
+        }
+    }
+
+    /// Opens a rate-limited sampled audit round for `key` if one is due
+    /// (the LOCKSS defense; see [`crate::config::AuditConfig`]). Called
+    /// after a cache hit is served, so audits are traffic-driven — a node
+    /// only audits keys it actually answers from — and the per-key
+    /// `interval` bounds the overhead regardless of query rate.
+    fn maybe_audit(&mut self, now: SimTime, key: KeyId, out: &mut Vec<Action>) {
+        let Some(cfg) = self.config.audit else {
+            return;
+        };
+        let st = self.keys.get_mut(&key).expect("audited key has state");
+        if now.saturating_since(st.last_audit) < cfg.interval {
+            return;
+        }
+        st.last_audit = now;
+        st.audit_round += 1;
+        let round = st.audit_round;
+        let targets = sample_targets(&cfg, self.id, key, round);
+        if targets.is_empty() {
+            st.audit = None;
+            return;
+        }
+        st.audit = Some(AuditTally::new(round, targets.len() as u32));
+        self.stats.audits_started += 1;
+        for to in targets {
+            out.push(Action::send(to, Message::AuditProbe { key, round }));
+        }
+    }
+
+    /// Answers an audit probe from `from`: everything this node knows
+    /// about `key` — directory knowledge (authoritative), fresh cached
+    /// entries, and delete tombstones (the firsthand negative knowledge
+    /// a poisoned auditor is missing).
+    pub fn handle_audit_probe(
+        &mut self,
+        now: SimTime,
+        key: KeyId,
+        round: u64,
+        from: NodeId,
+    ) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.handle_audit_probe_into(now, key, round, from, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`CupNode::handle_audit_probe`].
+    pub fn handle_audit_probe_into(
+        &mut self,
+        now: SimTime,
+        key: KeyId,
+        round: u64,
+        from: NodeId,
+        out: &mut Vec<Action>,
+    ) {
+        self.stats.audit_probes_served += 1;
+        let mut entries = self.directory.fresh_entries(key, now);
+        let mut retired = Vec::new();
+        if let Some(st) = self.keys.get(&key) {
+            for e in st.fresh_entries(now) {
+                if !entries.iter().any(|d| d.replica == e.replica) {
+                    entries.push(e);
+                }
+            }
+            retired = st.retired.clone();
+        }
+        out.push(Action::send(
+            from,
+            Message::AuditReply {
+                key,
+                round,
+                entries,
+                retired,
+            },
+        ));
+    }
+
+    /// Tallies one audit reply for this node's open round. A reply
+    /// *dissents* against every replica this node still serves fresh but
+    /// the pollee has seen retired; when any replica's dissent reaches
+    /// `AuditConfig::quorum`, the node repairs its cache — evicts the
+    /// condemned replicas (tombstoning them) and adopts the dissenters'
+    /// fresh entries (the refetch). Replies that merely *lack* an entry
+    /// abstain, so polling nodes that never cached the key cannot evict
+    /// a healthy cache.
+    pub fn handle_audit_reply(
+        &mut self,
+        now: SimTime,
+        key: KeyId,
+        round: u64,
+        entries: &[IndexEntry],
+        retired: &[ReplicaId],
+    ) {
+        self.stats.audit_replies += 1;
+        let Some(cfg) = self.config.audit else {
+            return;
+        };
+        let Some(st) = self.keys.get_mut(&key) else {
+            return;
+        };
+        let my_fresh: Vec<ReplicaId> = st.fresh_entries(now).iter().map(|e| e.replica).collect();
+        let Some(tally) = st.audit.as_mut() else {
+            return;
+        };
+        if tally.round != round {
+            // A late reply from a superseded round.
+            return;
+        }
+        tally.received += 1;
+        let mut dissented = false;
+        for &replica in &my_fresh {
+            if retired.contains(&replica) {
+                tally.note_dissent(replica);
+                dissented = true;
+            }
+        }
+        if dissented {
+            let offered: Vec<IndexEntry> = entries
+                .iter()
+                .filter(|e| e.is_fresh(now))
+                .copied()
+                .collect();
+            tally.offer(&offered);
+        }
+        let condemned = tally.condemned(cfg.quorum);
+        if !condemned.is_empty() {
+            let adopt: Vec<IndexEntry> = tally.payload().to_vec();
+            st.audit = None;
+            st.audit_repair(&condemned, &adopt);
+            self.stats.audit_repairs += 1;
+            return;
+        }
+        if tally.received >= tally.expected {
+            // Round closed clean: the sample agrees with us (or abstains).
+            st.audit = None;
         }
     }
 

@@ -37,6 +37,15 @@ pub struct NodeStats {
     pub cutoffs: u64,
     /// Queries re-pushed after a pending-first-update timeout.
     pub pfu_retries: u64,
+    /// Sampled-audit rounds this node opened (rate-limited per key).
+    pub audits_started: u64,
+    /// Audit probes this node answered for other auditors.
+    pub audit_probes_served: u64,
+    /// Audit replies this node received for its own rounds.
+    pub audit_replies: u64,
+    /// Audit repairs applied: rounds where a dissent quorum made this
+    /// node evict condemned replicas and adopt the quorum's entries.
+    pub audit_repairs: u64,
 }
 
 impl NodeStats {
@@ -60,6 +69,10 @@ impl NodeStats {
         self.clear_bits_received += other.clear_bits_received;
         self.cutoffs += other.cutoffs;
         self.pfu_retries += other.pfu_retries;
+        self.audits_started += other.audits_started;
+        self.audit_probes_served += other.audit_probes_served;
+        self.audit_replies += other.audit_replies;
+        self.audit_repairs += other.audit_repairs;
     }
 }
 

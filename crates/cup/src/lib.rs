@@ -53,11 +53,12 @@ pub use cup_workload as workload;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use cup_core::{
-        Action, CupNode, CutoffPolicy, IndexEntry, JustificationTracker, Message, Mode, NodeConfig,
-        PolicyState, PropagationPolicy, ReplicaEvent, Requester, ResetMode, Update, UpdateKind,
+        Action, AuditConfig, CupNode, CutoffPolicy, IndexEntry, JustificationTracker, Message,
+        Mode, NodeConfig, PolicyState, PropagationPolicy, ReplicaEvent, Requester, ResetMode,
+        Update, UpdateKind,
     };
     pub use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration, SimTime};
-    pub use cup_faults::{FaultAction, FaultCounters, FaultPlan, FaultState};
+    pub use cup_faults::{Behavior, FaultAction, FaultCounters, FaultPlan, FaultState};
     pub use cup_overlay::{AnyOverlay, Overlay, OverlayKind};
     pub use cup_runtime::{LiveNetwork, PendingQuery, RuntimeError};
     pub use cup_simnet::{run_experiment, ExperimentConfig, ExperimentResult};

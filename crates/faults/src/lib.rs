@@ -23,7 +23,16 @@
 //!   traffic to it; a restart brings the cold node back;
 //! * **overlay partition / heal** — nodes are split into k groups by a
 //!   seeded hash, and every message crossing a group boundary is dropped
-//!   until the heal event.
+//!   until the heal event;
+//! * **behavior faults** — Byzantine peers that stay up and routable but
+//!   misbehave, via a per-node override table: `stale-serve` swallows
+//!   inbound deletions and audit repairs (the node keeps answering from
+//!   entries the rest of the network retired), `drop-updates` suppresses
+//!   outbound maintenance updates while still forwarding queries, and
+//!   `lie-refresh` rewrites forwarded deletions into fresh-looking
+//!   refreshes. The defense — a LOCKSS-style rate-limited sampled cache
+//!   audit — lives in `cup-core` (`AuditConfig`); this crate only
+//!   supplies the adversary.
 //!
 //! # Determinism
 //!
@@ -61,5 +70,7 @@
 pub mod plan;
 pub mod state;
 
-pub use plan::{FaultAction, FaultEvent, FaultKind, FaultPlan};
+pub use plan::{
+    Behavior, FaultAction, FaultEvent, FaultKind, FaultPlan, FaultSpec, SpecParam, SpecWindow,
+};
 pub use state::{DropVerdict, FaultCounters, FaultState};

@@ -3,9 +3,10 @@
 
 use std::collections::HashMap;
 
+use cup_core::{Message, UpdateKind};
 use cup_des::NodeId;
 
-use crate::plan::FaultAction;
+use crate::plan::{Behavior, FaultAction};
 
 /// What the fault plane says about one about-to-be-sent message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,12 +40,25 @@ pub struct FaultCounters {
     pub queries_at_crashed: u64,
     /// Replica lifecycle events lost at a crashed authority.
     pub replica_at_crashed: u64,
+    /// Outbound maintenance updates a `drop-updates` node suppressed
+    /// before they entered any queue.
+    pub byz_updates_dropped: u64,
+    /// Inbound deletions and audit repairs a `stale-serve` node swallowed
+    /// after delivery (the hop was paid; the node ignored the content).
+    pub byz_updates_swallowed: u64,
+    /// Deletions a `lie-refresh` node rewrote into refreshes on the way
+    /// out (delivered, but carrying a false version).
+    pub byz_refresh_lies: u64,
 }
 
 impl FaultCounters {
-    /// Total messages the fault plane dropped.
+    /// Total messages the fault plane dropped (suppressed sends count;
+    /// swallowed-after-delivery and rewritten messages do not).
     pub fn dropped(&self) -> u64 {
-        self.dropped_loss + self.dropped_partition + self.dropped_to_crashed
+        self.dropped_loss
+            + self.dropped_partition
+            + self.dropped_to_crashed
+            + self.byz_updates_dropped
     }
 }
 
@@ -75,8 +89,27 @@ pub struct FaultState {
     crashed_count: usize,
     partition: Option<Partition>,
     link_seq: HashMap<(u32, u32), u64>,
+    /// Per-node behavior override bitmasks (see the `*_BIT` consts).
+    behaviors: Vec<u8>,
+    /// How many behavior bits are set across all nodes (hot-path gate).
+    behavior_count: usize,
     /// What the plane has dropped and toggled so far.
     pub counters: FaultCounters,
+}
+
+/// Behavior bitmask: the node swallows inbound deletions/audit repairs.
+const STALE_SERVE_BIT: u8 = 1;
+/// Behavior bitmask: the node suppresses outbound maintenance updates.
+const DROP_UPDATES_BIT: u8 = 1 << 1;
+/// Behavior bitmask: the node rewrites outbound deletions into refreshes.
+const LIE_REFRESH_BIT: u8 = 1 << 2;
+
+fn behavior_bit(behavior: Behavior) -> u8 {
+    match behavior {
+        Behavior::StaleServe => STALE_SERVE_BIT,
+        Behavior::DropUpdates => DROP_UPDATES_BIT,
+        Behavior::LieRefresh => LIE_REFRESH_BIT,
+    }
 }
 
 /// SplitMix64 finalizer — the workspace's standard bit mixer.
@@ -105,6 +138,8 @@ impl FaultState {
             crashed_count: 0,
             partition: None,
             link_seq: HashMap::new(),
+            behaviors: Vec::new(),
+            behavior_count: 0,
             counters: FaultCounters::default(),
         }
     }
@@ -116,6 +151,7 @@ impl FaultState {
             || self.crashed_count > 0
             || self.partition.is_some()
             || self.latency_factor != 1.0
+            || self.behavior_count > 0
     }
 
     /// The current per-hop latency multiplier.
@@ -187,7 +223,94 @@ impl FaultState {
                 self.partition = None;
                 true
             }
+            FaultAction::SetBehavior { node, behavior } => {
+                if self.behaviors.len() <= node {
+                    self.behaviors.resize(node + 1, 0);
+                }
+                let bit = behavior_bit(behavior);
+                if self.behaviors[node] & bit != 0 {
+                    return false;
+                }
+                self.behaviors[node] |= bit;
+                self.behavior_count += 1;
+                true
+            }
+            FaultAction::ClearBehavior { node, behavior } => {
+                let bit = behavior_bit(behavior);
+                if self.behaviors.get(node).copied().unwrap_or(0) & bit == 0 {
+                    return false;
+                }
+                self.behaviors[node] &= !bit;
+                self.behavior_count -= 1;
+                true
+            }
         }
+    }
+
+    /// Returns `true` if `node` currently has `behavior` installed.
+    pub fn has_behavior(&self, node: NodeId, behavior: Behavior) -> bool {
+        self.behaviors.get(node.index()).copied().unwrap_or(0) & behavior_bit(behavior) != 0
+    }
+
+    /// Sender-side behavior gate, called once per peer send *before*
+    /// [`FaultState::roll`] (a suppressed message never advances the
+    /// per-link loss counter and never enters a queue, in either
+    /// runtime). May rewrite the message in place (`lie-refresh`).
+    ///
+    /// Returns `false` if the send must be suppressed.
+    pub fn behavior_send(&mut self, from: NodeId, msg: &mut Message) -> bool {
+        if self.behavior_count == 0 {
+            return true;
+        }
+        let mask = self.behaviors.get(from.index()).copied().unwrap_or(0);
+        if mask == 0 {
+            return true;
+        }
+        if let Message::Update(update) = msg {
+            // Drop-updates: maintenance traffic dies here; first-time
+            // answers (and queries, clear-bits, audits) still flow, so
+            // the node looks healthy while starving its subtree.
+            if mask & DROP_UPDATES_BIT != 0 && update.kind != UpdateKind::FirstTime {
+                self.counters.byz_updates_dropped += 1;
+                return false;
+            }
+            // Lie-refresh: a forwarded deletion becomes a refresh. The
+            // delete carries the entry being removed (with its original,
+            // still-running lifetime), so the kind flip alone resurrects
+            // the dead replica downstream.
+            if mask & LIE_REFRESH_BIT != 0 && update.kind == UpdateKind::Delete {
+                update.kind = UpdateKind::Refresh;
+                self.counters.byz_refresh_lies += 1;
+            }
+        }
+        true
+    }
+
+    /// Receiver-side behavior gate, called after delivery accounting
+    /// (the hop is paid) and the crashed-receiver check, *before* the
+    /// protocol handler runs.
+    ///
+    /// Returns `false` if the node swallows the message: a `stale-serve`
+    /// node ignores inbound deletions and audit repairs, so it keeps
+    /// serving entries the rest of the network has retired. It still
+    /// answers audit probes — with its poisoned entries.
+    pub fn behavior_recv(&mut self, to: NodeId, msg: &Message) -> bool {
+        if self.behavior_count == 0 {
+            return true;
+        }
+        let mask = self.behaviors.get(to.index()).copied().unwrap_or(0);
+        if mask & STALE_SERVE_BIT == 0 {
+            return true;
+        }
+        let swallowed = match msg {
+            Message::Update(update) => update.kind == UpdateKind::Delete,
+            Message::AuditReply { .. } => true,
+            _ => false,
+        };
+        if swallowed {
+            self.counters.byz_updates_swallowed += 1;
+        }
+        !swallowed
     }
 
     /// Decides the fate of one message about to be sent on `(from, to)`,
@@ -351,6 +474,155 @@ mod tests {
         st.apply(FaultAction::SetLoss { rate: 0.5 });
         let phase2: Vec<DropVerdict> = (0..64).map(|_| st.roll(n(0), n(1))).collect();
         assert_ne!(phase1, phase2);
+    }
+
+    #[test]
+    fn behavior_overrides_toggle_and_gate_active() {
+        let mut st = FaultState::new(4);
+        assert!(!st.active());
+        assert!(st.apply(FaultAction::SetBehavior {
+            node: 3,
+            behavior: Behavior::StaleServe,
+        }));
+        assert!(st.active(), "a behavior override arms the plane");
+        assert!(
+            !st.apply(FaultAction::SetBehavior {
+                node: 3,
+                behavior: Behavior::StaleServe,
+            }),
+            "idempotent"
+        );
+        assert!(st.has_behavior(n(3), Behavior::StaleServe));
+        assert!(!st.has_behavior(n(3), Behavior::LieRefresh));
+        // Independent bits on the same node.
+        assert!(st.apply(FaultAction::SetBehavior {
+            node: 3,
+            behavior: Behavior::DropUpdates,
+        }));
+        assert!(st.apply(FaultAction::ClearBehavior {
+            node: 3,
+            behavior: Behavior::StaleServe,
+        }));
+        assert!(!st.apply(FaultAction::ClearBehavior {
+            node: 3,
+            behavior: Behavior::StaleServe,
+        }));
+        assert!(st.has_behavior(n(3), Behavior::DropUpdates));
+        assert!(st.apply(FaultAction::ClearBehavior {
+            node: 3,
+            behavior: Behavior::DropUpdates,
+        }));
+        assert!(!st.active(), "all overrides lifted");
+        // Honest messages were never perturbed.
+        assert_eq!(st.counters.byz_updates_dropped, 0);
+        assert_eq!(st.counters.byz_refresh_lies, 0);
+    }
+
+    #[test]
+    fn behavior_send_suppresses_and_rewrites() {
+        use cup_core::{IndexEntry, Update};
+        use cup_des::{KeyId, ReplicaId, SimDuration, SimTime};
+
+        let key = KeyId(7);
+        let entry = IndexEntry::new(
+            key,
+            ReplicaId(2),
+            SimDuration::from_secs(100),
+            SimTime::ZERO,
+        );
+        let update = |kind: UpdateKind| {
+            Message::Update(Update {
+                key,
+                kind,
+                entries: vec![entry],
+                replica: ReplicaId(2),
+                depth: 1,
+                origin: SimTime::ZERO,
+                window_end: SimTime::MAX,
+            })
+        };
+
+        let mut st = FaultState::new(6);
+        st.apply(FaultAction::SetBehavior {
+            node: 1,
+            behavior: Behavior::DropUpdates,
+        });
+        st.apply(FaultAction::SetBehavior {
+            node: 2,
+            behavior: Behavior::LieRefresh,
+        });
+
+        // Drop-updates: maintenance suppressed, first-time and queries flow.
+        let mut msg = update(UpdateKind::Refresh);
+        assert!(!st.behavior_send(n(1), &mut msg));
+        let mut msg = update(UpdateKind::Delete);
+        assert!(!st.behavior_send(n(1), &mut msg));
+        let mut msg = update(UpdateKind::FirstTime);
+        assert!(st.behavior_send(n(1), &mut msg));
+        let mut msg = Message::Query { key };
+        assert!(st.behavior_send(n(1), &mut msg));
+        assert_eq!(st.counters.byz_updates_dropped, 2);
+        assert_eq!(st.counters.dropped(), 2, "suppressed sends count as drops");
+
+        // Lie-refresh: deletions flip kind in place, everything delivered.
+        let mut msg = update(UpdateKind::Delete);
+        assert!(st.behavior_send(n(2), &mut msg));
+        match &msg {
+            Message::Update(u) => assert_eq!(u.kind, UpdateKind::Refresh),
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut msg = update(UpdateKind::Append);
+        assert!(st.behavior_send(n(2), &mut msg));
+        match &msg {
+            Message::Update(u) => assert_eq!(u.kind, UpdateKind::Append),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(st.counters.byz_refresh_lies, 1);
+
+        // Honest senders are untouched.
+        let mut msg = update(UpdateKind::Delete);
+        assert!(st.behavior_send(n(0), &mut msg));
+        match &msg {
+            Message::Update(u) => assert_eq!(u.kind, UpdateKind::Delete),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn behavior_recv_swallows_deletes_and_repairs_at_stale_servers() {
+        use cup_core::Update;
+        use cup_des::{KeyId, ReplicaId, SimTime};
+
+        let key = KeyId(3);
+        let delete = Message::Update(Update {
+            key,
+            kind: UpdateKind::Delete,
+            entries: Vec::new(),
+            replica: ReplicaId(1),
+            depth: 1,
+            origin: SimTime::ZERO,
+            window_end: SimTime::MAX,
+        });
+        let reply = Message::AuditReply {
+            key,
+            round: 1,
+            entries: Vec::new(),
+            retired: vec![ReplicaId(1)],
+        };
+        let probe = Message::AuditProbe { key, round: 1 };
+
+        let mut st = FaultState::new(8);
+        st.apply(FaultAction::SetBehavior {
+            node: 5,
+            behavior: Behavior::StaleServe,
+        });
+        assert!(!st.behavior_recv(n(5), &delete), "deletion swallowed");
+        assert!(!st.behavior_recv(n(5), &reply), "audit repair swallowed");
+        assert!(st.behavior_recv(n(5), &probe), "still answers audit probes");
+        assert!(st.behavior_recv(n(5), &Message::Query { key }));
+        assert!(st.behavior_recv(n(4), &delete), "honest nodes unaffected");
+        assert_eq!(st.counters.byz_updates_swallowed, 2);
+        assert_eq!(st.counters.dropped(), 0, "the hop was already paid");
     }
 
     #[test]

@@ -252,6 +252,11 @@ impl LiveNetwork {
         self.shared
             .faults_on
             .store(state.active(), std::sync::atomic::Ordering::SeqCst);
+        // Latch staleness ground-truth recording for the rest of the run
+        // (the live mirror of the DES arming its `dead_replicas` map).
+        self.shared
+            .faults_armed
+            .store(true, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Applies one fault action to the live plane: loss rates and
@@ -293,6 +298,20 @@ impl LiveNetwork {
     /// Messages the fault plane dropped so far.
     pub fn dropped_messages(&self) -> u64 {
         self.fault_counters().dropped()
+    }
+
+    /// Client answers that served a globally dead replica (a deletion
+    /// the cache had not learned — lost, or swallowed by a Byzantine
+    /// node). Zero until [`LiveNetwork::enable_faults`] arms the plane.
+    /// Call after [`LiveNetwork::quiesce`] for a stable reading.
+    pub fn stale_answers(&self) -> u64 {
+        self.shared.stale_answers.load(Ordering::Relaxed)
+    }
+
+    /// Summed staleness age of those answers (µs since the deletion) —
+    /// the live mirror of the DES's `stale_age_micros`.
+    pub fn stale_age_micros(&self) -> u64 {
+        self.shared.stale_age_micros.load(Ordering::Relaxed)
     }
 
     /// Protocol counters retained from crashed nodes (the live mirror of

@@ -22,7 +22,7 @@ use cup_core::stats::NodeStats;
 use cup_core::{
     Action, ClientId, CupNode, IndexEntry, Message, NodeConfig, ReplicaEvent, Requester, UpdateKind,
 };
-use cup_des::{KeyId, NodeId, SimTime};
+use cup_des::{KeyId, NodeId, ReplicaId, SimTime};
 use cup_faults::{DropVerdict, FaultState};
 use cup_overlay::{AnyOverlay, Overlay};
 
@@ -110,6 +110,19 @@ pub(crate) struct Shared {
     pub(crate) faults: Mutex<FaultState>,
     /// Whether the fault plane vets sends.
     pub(crate) faults_on: AtomicBool,
+    /// Whether a fault plane was ever armed this run. Unlike `faults_on`
+    /// (which tracks *current* activity and heals back to false), this
+    /// latches: staleness ground truth keeps being recorded after the
+    /// fault window closes, exactly like the DES's `faults.is_some()`.
+    pub(crate) faults_armed: AtomicBool,
+    /// Ground truth for staleness: globally deleted replicas and when
+    /// they died (tracked only while a fault plane is armed — the live
+    /// mirror of the DES network's map).
+    pub(crate) dead_replicas: Mutex<HashMap<(KeyId, ReplicaId), SimTime>>,
+    /// Client answers that served a globally dead replica.
+    pub(crate) stale_answers: AtomicU64,
+    /// Summed staleness age of those answers (µs since the deletion).
+    pub(crate) stale_age_micros: AtomicU64,
     /// Counters retained from crashed nodes (the live mirror of the
     /// DES arena's departed-stats aggregate).
     pub(crate) crash_retained: Mutex<NodeStats>,
@@ -149,6 +162,10 @@ impl Shared {
             config,
             faults: Mutex::new(FaultState::new(0)),
             faults_on: AtomicBool::new(false),
+            faults_armed: AtomicBool::new(false),
+            dead_replicas: Mutex::new(HashMap::new()),
+            stale_answers: AtomicU64::new(0),
+            stale_age_micros: AtomicU64::new(0),
             crash_retained: Mutex::new(NodeStats::default()),
             pending: AtomicU64::new(0),
             panicked: AtomicBool::new(false),
@@ -262,6 +279,62 @@ impl Shared {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .roll(from, to)
+    }
+
+    /// Sender-side behavior-fault pass over one outgoing message (call
+    /// before [`Shared::fault_roll`], exactly like the DES applies
+    /// [`FaultState::behavior_send`] before its loss roll). Returns
+    /// `false` when the sender's behavior fault suppressed the message.
+    pub(crate) fn behavior_send(&self, from: NodeId, msg: &mut Message) -> bool {
+        self.faults
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .behavior_send(from, msg)
+    }
+
+    /// Receiver-side behavior-fault pass (after the hop was charged,
+    /// before the protocol handler — the DES interception point).
+    /// Returns `false` when the receiver's behavior fault swallowed it.
+    pub(crate) fn behavior_recv(&self, to: NodeId, msg: &Message) -> bool {
+        self.faults
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .behavior_recv(to, msg)
+    }
+
+    /// Whether staleness ground truth is being recorded (a fault plane
+    /// was armed at some point this run).
+    pub(crate) fn faults_armed(&self) -> bool {
+        self.faults_armed.load(Ordering::Relaxed)
+    }
+
+    /// Records a replica as globally dead from `now` (first death wins,
+    /// matching the DES's `or_insert`).
+    pub(crate) fn note_dead_replica(&self, key: KeyId, replica: ReplicaId, now: SimTime) {
+        self.dead_replicas
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry((key, replica))
+            .or_insert(now);
+    }
+
+    /// Staleness check on one client answer: if any served entry names a
+    /// globally dead replica, the answer is poisoned — count it and its
+    /// age, byte-for-byte like the DES's `RespondClient` accounting.
+    pub(crate) fn note_client_answer(&self, entries: &[IndexEntry], now: SimTime) {
+        let dead = self.dead_replicas.lock().unwrap_or_else(|e| e.into_inner());
+        if dead.is_empty() {
+            return;
+        }
+        let stale_since = entries
+            .iter()
+            .filter_map(|e| dead.get(&(e.key, e.replica)))
+            .min();
+        if let Some(&died) = stale_since {
+            self.stale_answers.fetch_add(1, Ordering::Relaxed);
+            self.stale_age_micros
+                .fetch_add(now.saturating_since(died).as_micros(), Ordering::Relaxed);
+        }
     }
 
     /// Returns `true` if the fault plane currently marks `node` crashed.
@@ -422,6 +495,16 @@ impl Worker {
                 }
             }
             Envelope::Replica { at, event } => {
+                // Ground truth for the staleness metric, recorded before
+                // the crashed-authority gate like the DES: the replica
+                // is globally dead from this instant whether or not its
+                // deletion reaches (or survives at) the authority.
+                if self.shared.faults_armed() {
+                    if let ReplicaEvent::Deletion { key, replica } = event {
+                        self.shared
+                            .note_dead_replica(key, replica, self.shared.now());
+                    }
+                }
                 // A crashed authority hears nothing from its replicas.
                 if self.shared.fault_is_crashed(at) {
                     self.shared.with_faults(FaultState::note_replica_at_crashed);
@@ -448,6 +531,12 @@ impl Worker {
         if self.shared.fault_is_crashed(to) {
             self.shared
                 .with_faults(|f| f.counters.dropped_to_crashed += 1);
+            return;
+        }
+        // Byzantine receivers: a stale-serve node swallows inbound
+        // deletions and audit repairs after the hop was paid (the hop
+        // was counted at the sender in `deliver`).
+        if self.shared.faults_enabled() && !self.shared.behavior_recv(to, &msg) {
             return;
         }
         let now = self.shared.now();
@@ -478,6 +567,19 @@ impl Worker {
                         .handle_clear_bit_into(now, key, from, upstream, &mut actions);
                 }
             }
+            Message::AuditProbe { key, round } => {
+                self.node_mut(to)
+                    .handle_audit_probe_into(now, key, round, from, &mut actions);
+            }
+            Message::AuditReply {
+                key,
+                round,
+                entries,
+                retired,
+            } => {
+                self.node_mut(to)
+                    .handle_audit_reply(now, key, round, &entries, &retired);
+            }
         }
         self.deliver(to, &mut actions);
         self.actions = actions;
@@ -489,15 +591,21 @@ impl Worker {
     fn deliver(&mut self, from: NodeId, actions: &mut Vec<Action>) {
         for action in actions.drain(..) {
             match action {
-                Action::Send { to, msg } => {
+                Action::Send { to, mut msg } => {
                     // Decide-before-enqueue: a fault-plane drop never
                     // enters a mailbox (the quiesce barrier stays exact)
                     // and never counts as a hop — exactly like the DES,
-                    // which never schedules the delivery.
-                    if self.shared.faults_enabled()
-                        && self.shared.fault_roll(from, to) != DropVerdict::Deliver
-                    {
-                        continue;
+                    // which never schedules the delivery. Behavior
+                    // faults run first: a suppressed (or rewritten) send
+                    // never advances the per-link loss counter, in
+                    // either runtime.
+                    if self.shared.faults_enabled() {
+                        if !self.shared.behavior_send(from, &mut msg) {
+                            continue;
+                        }
+                        if self.shared.fault_roll(from, to) != DropVerdict::Deliver {
+                            continue;
+                        }
                     }
                     self.shared.hops.fetch_add(1, Ordering::Relaxed);
                     if self.owns(to) {
@@ -511,6 +619,9 @@ impl Worker {
                 Action::RespondClient {
                     client, entries, ..
                 } => {
+                    if self.shared.faults_armed() {
+                        self.shared.note_client_answer(&entries, self.shared.now());
+                    }
                     self.shared.respond_client(client, entries);
                 }
             }

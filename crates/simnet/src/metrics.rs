@@ -31,6 +31,10 @@ pub struct NetMetrics {
     /// Summed staleness age of those answers (µs since the deletion),
     /// the numerator of the mean recovery-latency metric.
     pub stale_age_micros: u64,
+    /// Hops traveled by audit probes and replies. Kept out of the paper's
+    /// §3.3 `total_cost` so CUP-vs-baseline numbers stay comparable; the
+    /// audit bench reports it as the defense's own overhead.
+    pub audit_hops: u64,
 }
 
 impl NetMetrics {
@@ -170,6 +174,36 @@ impl ExperimentResult {
     pub fn dropped_messages(&self) -> u64 {
         self.net.faults.dropped() + self.net.dropped_messages
     }
+
+    /// Poisoned-answer rate: fraction of client responses that served a
+    /// globally dead replica. Under behavior faults this is the attack's
+    /// yield (the same counter `stale_rate` reads under crash faults —
+    /// named separately because the cause is malice, not loss).
+    pub fn poisoned_rate(&self) -> f64 {
+        self.stale_rate()
+    }
+
+    /// Audit overhead in hops (probes + replies). The defense is paying
+    /// for itself while this stays below the update savings CUP buys.
+    pub fn audit_overhead(&self) -> u64 {
+        self.net.audit_hops
+    }
+
+    /// Audit message overhead as a fraction of the paper's total cost —
+    /// the "is the defense cheaper than the disease" ratio.
+    pub fn audit_overhead_ratio(&self) -> f64 {
+        let total = self.total_cost();
+        if total == 0 {
+            0.0
+        } else {
+            self.net.audit_hops as f64 / total as f64
+        }
+    }
+
+    /// Audit repairs applied across all nodes (evict-and-refetch events).
+    pub fn audit_repairs(&self) -> u64 {
+        self.nodes.audit_repairs
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +225,23 @@ mod tests {
         assert_eq!(m.overhead(), 11);
         assert_eq!(m.total_cost(), 29);
         assert_eq!(m.maintenance_hops(), 8);
+    }
+
+    #[test]
+    fn audit_hops_ride_outside_the_paper_cost_model() {
+        let mut r = ExperimentResult::default();
+        r.net.query_hops = 40;
+        r.net.first_time_hops = 40;
+        r.net.refresh_hops = 20;
+        r.net.audit_hops = 10;
+        // §3.3 total cost is unchanged by auditing …
+        assert_eq!(r.total_cost(), 100);
+        // … and the defense's own bill is reported separately.
+        assert_eq!(r.audit_overhead(), 10);
+        assert!((r.audit_overhead_ratio() - 0.1).abs() < 1e-12);
+        r.net.client_responses = 200;
+        r.net.stale_answers = 3;
+        assert_eq!(r.poisoned_rate(), r.stale_rate());
     }
 
     #[test]

@@ -268,6 +268,7 @@ impl Network {
                 UpdateKind::Append => self.metrics.append_hops += 1,
             },
             Message::ClearBit { .. } => self.metrics.clear_bit_hops += 1,
+            Message::AuditProbe { .. } | Message::AuditReply { .. } => self.metrics.audit_hops += 1,
         }
         // A message in flight when its receiver crashed: the send-time
         // verdict predates the crash, so the transmission happened (the
@@ -278,6 +279,11 @@ impl Network {
         if let Some(f) = self.faults.as_mut() {
             if f.is_crashed(to) {
                 f.counters.dropped_to_crashed += 1;
+                return;
+            }
+            // Byzantine receivers: a stale-serve node swallows inbound
+            // deletions and audit repairs after the hop is paid.
+            if !f.behavior_recv(to, &msg) {
                 return;
             }
         }
@@ -306,6 +312,19 @@ impl Network {
                 let upstream = self.upstream_of(to, key);
                 self.node_mut(to)
                     .handle_clear_bit_into(now, key, from, upstream, &mut actions);
+            }
+            Message::AuditProbe { key, round } => {
+                self.node_mut(to)
+                    .handle_audit_probe_into(now, key, round, from, &mut actions);
+            }
+            Message::AuditReply {
+                key,
+                round,
+                entries,
+                retired,
+            } => {
+                self.node_mut(to)
+                    .handle_audit_reply(now, key, round, &entries, &retired);
             }
         }
         self.apply_actions(queue, now, to, &mut actions);
@@ -487,12 +506,18 @@ impl Network {
     ) {
         for action in actions.drain(..) {
             match action {
-                Action::Send { to, msg } => {
+                Action::Send { to, mut msg } => {
                     // Fault-plane drops are decided *here*, before the
                     // delivery is scheduled — the same decide-before-
                     // enqueue rule the live runtime follows, so a
                     // dropped message never becomes in-flight work.
+                    // Behavior faults run first: a suppressed (or
+                    // rewritten) send never advances the per-link loss
+                    // counter, in either runtime.
                     if let Some(f) = self.faults.as_mut() {
+                        if !f.behavior_send(sender, &mut msg) {
+                            continue;
+                        }
                         if f.roll(sender, to) != DropVerdict::Deliver {
                             continue;
                         }

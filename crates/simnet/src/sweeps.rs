@@ -13,7 +13,8 @@
 //! 1`). The `*_with` variants expose the worker count; the plain
 //! functions use the machine's available parallelism.
 
-use cup_core::{CutoffPolicy, NodeConfig, ResetMode};
+use cup_core::{AuditConfig, CutoffPolicy, NodeConfig, ResetMode};
+use cup_des::SimDuration;
 use cup_workload::{capacity::CapacityProfile, Scenario};
 
 use crate::experiment::{run_experiment, ExperimentConfig};
@@ -558,6 +559,111 @@ pub fn fault_grid_with(
     })
 }
 
+/// One point of the Byzantine-attack × audit grid behind
+/// `BENCH_audit.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditGridPoint {
+    /// Nodes running the stale-serve behavior fault.
+    pub attackers: u32,
+    /// Whether the sampled cache audit was enabled.
+    pub audited: bool,
+    /// Paper total cost in hops (§3.3 — excludes audit traffic).
+    pub total_cost: u64,
+    /// Hops spent on audit probes and replies (the defense's bill).
+    pub audit_hops: u64,
+    /// Client answers that served a globally dead replica.
+    pub poisoned: u64,
+    /// Poisoned answers per client response.
+    pub poisoned_rate: f64,
+    /// Audit rounds opened across all nodes.
+    pub audits: u64,
+    /// Evict-and-refetch repairs applied.
+    pub repairs: u64,
+    /// Client cache-hit rate.
+    pub hit_rate: f64,
+    /// Mean age of poisoned answers (seconds since the deletion) — the
+    /// detection-latency proxy: repairs shorten how long poison lingers.
+    pub detection_latency_secs: f64,
+}
+
+/// Salt folded into the scenario seed for the audit sampling stream, so
+/// audit target choices decorrelate from every other seeded subsystem.
+const AUDIT_SEED_SALT: u64 = 0xA0D1_7CA5_E5A1_7ED0;
+
+/// The audit configuration an experiment over `base` uses: population =
+/// the scenario's node count, seed derived from the scenario seed.
+pub fn audit_config_for(base: &Scenario, interval_secs: u64) -> AuditConfig {
+    AuditConfig::sampled(
+        SimDuration::from_secs(interval_secs),
+        base.nodes as u32,
+        base.seed ^ AUDIT_SEED_SALT,
+    )
+}
+
+/// Synthesizes the behavior-fault spec strings for one audit grid point:
+/// `attackers` *distinct* nodes serve stale for the whole run (the
+/// stride-spread victim choice [`fault_point_specs`] uses).
+pub fn audit_point_specs(base: &Scenario, attackers: u32) -> Vec<String> {
+    let attackers = (attackers as usize).min(base.nodes);
+    let stride = (base.nodes / attackers.max(1)).max(1);
+    (0..attackers)
+        .map(|i| format!("stale-serve:{}", i * stride))
+        .collect()
+}
+
+/// The attacker-count × audit-on/off grid: every point runs CUP
+/// (second-chance) under the same stale-serve attack, with and without
+/// the sampled audit. Rows come back attacker-major with the two audit
+/// arms adjacent (audit off first).
+pub fn audit_grid(
+    base: &Scenario,
+    attacker_counts: &[u32],
+    interval_secs: u64,
+) -> Vec<AuditGridPoint> {
+    audit_grid_with(base, attacker_counts, interval_secs, default_workers())
+}
+
+/// [`audit_grid`] with an explicit sweep worker count.
+pub fn audit_grid_with(
+    base: &Scenario,
+    attacker_counts: &[u32],
+    interval_secs: u64,
+    workers: usize,
+) -> Vec<AuditGridPoint> {
+    let mut grid: Vec<(u32, bool)> = Vec::new();
+    for &attackers in attacker_counts {
+        grid.push((attackers, false));
+        grid.push((attackers, true));
+    }
+    parallel_map(&grid, workers, |&(attackers, audited)| {
+        let scenario = Scenario {
+            fault_plan: audit_point_specs(base, attackers),
+            ..base.clone()
+        };
+        let mut node_config = NodeConfig::cup_default();
+        if audited {
+            node_config = node_config.with_audit(audit_config_for(base, interval_secs));
+        }
+        let config = ExperimentConfig {
+            node_config,
+            ..ExperimentConfig::cup(scenario)
+        };
+        let r = run_experiment(&config);
+        AuditGridPoint {
+            attackers,
+            audited,
+            total_cost: r.total_cost(),
+            audit_hops: r.audit_overhead(),
+            poisoned: r.net.stale_answers,
+            poisoned_rate: r.poisoned_rate(),
+            audits: r.nodes.audits_started,
+            repairs: r.audit_repairs(),
+            hit_rate: r.hit_rate(),
+            detection_latency_secs: r.recovery_latency_secs(),
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -695,6 +801,38 @@ mod tests {
         assert_eq!(specs.len(), 4);
         cup_faults::FaultPlan::parse_specs(&specs).unwrap();
         assert!(fault_point_specs(&tiny(), 0.0, 0).is_empty());
+    }
+
+    #[test]
+    fn audit_grid_covers_the_cross_product_and_is_worker_invariant() {
+        let attackers = [0, 4];
+        let grid = audit_grid_with(&tiny(), &attackers, 60, 2);
+        assert_eq!(grid.len(), attackers.len() * 2);
+        for pair in grid.chunks_exact(2) {
+            assert_eq!(pair[0].attackers, pair[1].attackers);
+            assert!(!pair[0].audited && pair[1].audited);
+            // The audit only spends hops when switched on.
+            assert_eq!(pair[0].audit_hops, 0);
+            assert_eq!(pair[0].audits, 0);
+            assert!(pair[1].audit_hops > 0, "audit-on arm must probe");
+            assert!(pair[1].audits > 0);
+        }
+        // Without an attacker nothing is poisoned and nothing repaired.
+        assert_eq!(grid[0].poisoned, 0);
+        assert_eq!(grid[1].repairs, 0);
+        // Byte-identical across sweep worker counts.
+        assert_eq!(grid, audit_grid_with(&tiny(), &attackers, 60, 1));
+    }
+
+    #[test]
+    fn audit_point_specs_build_parseable_plans() {
+        let specs = audit_point_specs(&tiny(), 4);
+        assert_eq!(specs.len(), 4);
+        cup_faults::FaultPlan::parse_specs(&specs).unwrap();
+        assert!(audit_point_specs(&tiny(), 0).is_empty());
+        // Victims stay distinct even when oversubscribed.
+        let crowded = audit_point_specs(&tiny(), 64);
+        assert_eq!(crowded.len(), 32);
     }
 
     #[test]

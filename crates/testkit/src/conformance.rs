@@ -93,8 +93,38 @@ pub struct ConformanceSpec {
     /// replay — the same instants in both. Implies the detached-query
     /// discipline of `fault_script`.
     pub timed_faults: bool,
+    /// Arms the spec's Byzantine cast (see
+    /// [`ConformanceSpec::byzantine_cast`]): a stale-serving node parked
+    /// upstream of an honest witness, an update-dropper, and a
+    /// refresh-liar, installed at `t = 0` through both fault planes —
+    /// with the sampled cache audit switched on in `config`, so the
+    /// poisoned-answer, audit, and repair counters are part of the
+    /// byte-identical comparison. Implies the detached-query discipline
+    /// of `fault_script`.
+    pub byzantine: bool,
     /// Seed both runtimes' fault planes share.
     pub fault_seed: u64,
+}
+
+/// The scripted Byzantine cast, computed from the overlay and the
+/// phase-A query script (see [`ConformanceSpec::byzantine_cast`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByzantineCast {
+    /// An honest node that cached the deleted key in phase A and whose
+    /// only upstream toward its authority is the stale server — the
+    /// deletion dies there, so this node serves poisoned answers in
+    /// phase B until its audit repairs it.
+    pub witness: usize,
+    /// The `stale-serve` attacker: swallows the deletion (and any audit
+    /// repairs aimed at itself) while serving its stale entry forever.
+    pub stale_server: usize,
+    /// The `drop-updates` attacker: an interior node of a surviving
+    /// key's interest tree that silently swallows the maintenance
+    /// updates it should forward.
+    pub update_dropper: usize,
+    /// The `lie-refresh` attacker: forwards the deletion as a refresh,
+    /// resurrecting the dead replica downstream.
+    pub refresh_liar: usize,
 }
 
 impl ConformanceSpec {
@@ -113,6 +143,7 @@ impl ConformanceSpec {
             workers: 3,
             fault_script: false,
             timed_faults: false,
+            byzantine: false,
             fault_seed: 0,
         }
     }
@@ -134,6 +165,7 @@ impl ConformanceSpec {
             workers: 4,
             fault_script: false,
             timed_faults: false,
+            byzantine: false,
             fault_seed: 0,
         }
     }
@@ -169,9 +201,35 @@ impl ConformanceSpec {
         }
     }
 
-    /// Whether any fault surface (positional or timed) is armed.
+    /// The small scenario with the Byzantine cast armed and the sampled
+    /// cache audit switched on: `stale-serve` parks a liar on the
+    /// deletion path upstream of an honest witness, `drop-updates` and
+    /// `lie-refresh` corrupt the maintenance plane, and every phase-B
+    /// probe of the deleted key lands on the witness — so the
+    /// poisoned-answer, audit, and repair counters all take non-trivial
+    /// values that must agree byte-for-byte across runtimes.
+    ///
+    /// The audit samples 8 of the population every 5 logical seconds per
+    /// key per node; phase-B probes arrive every `step_secs` (10 s), so
+    /// each probe at the witness opens a fresh audit round.
+    pub fn byzantine(kind: OverlayKind) -> Self {
+        let base = ConformanceSpec::small(kind);
+        ConformanceSpec {
+            byzantine: true,
+            fault_seed: 0xB1_2A,
+            config: base.config.with_audit(AuditConfig::sampled(
+                SimDuration::from_secs(5),
+                base.nodes as u32,
+                0xC0DE_A0D1,
+            )),
+            ..base
+        }
+    }
+
+    /// Whether any fault surface (positional, timed, or Byzantine) is
+    /// armed.
     pub fn any_faults(&self) -> bool {
-        self.fault_script || self.timed_faults
+        self.fault_script || self.timed_faults || self.byzantine
     }
 
     /// A crash victim that is no key's authority, so the scripted
@@ -188,6 +246,85 @@ impl ConformanceSpec {
         (0..self.nodes)
             .find(|&i| !authorities.contains(&NodeId(i as u32)))
             .expect("a non-authority node exists")
+    }
+
+    /// The scripted Byzantine cast, derived from the overlay and the
+    /// phase-A script so the attack provably bites: the witness is the
+    /// *first* phase-A querier of the deleted key (so its interest-tree
+    /// parent toward the authority is exactly its overlay next hop), and
+    /// the stale server is that parent — the deletion's only path to the
+    /// witness runs through the liar. The other two attackers sit on
+    /// maintenance paths: the update-dropper is a surviving-key querier's
+    /// parent (refresh forwards die there), the refresh-liar another
+    /// deleted-key querier's parent (a deletion reaching it leaves as a
+    /// refresh). All picks avoid every key authority so the scripted
+    /// replica traffic keeps its meaning. `None` unless `byzantine`.
+    pub fn byzantine_cast(&self) -> Option<ByzantineCast> {
+        if !self.byzantine {
+            return None;
+        }
+        let mut topo_rng = DetRng::seed_from(self.topology_seed);
+        let overlay = AnyOverlay::build(self.kind, self.nodes, &mut topo_rng).unwrap();
+        let authorities: std::collections::HashSet<usize> = (0..self.keys)
+            .map(|k| overlay.authority(KeyId(k)).0 as usize)
+            .collect();
+        // Re-draw phase A exactly as `query_script` does (phase A is
+        // never rewritten by the cast, so the streams agree).
+        let mut rng = DetRng::seed_from(self.script_seed);
+        let phase_a: Vec<ScriptedQuery> = (0..self.phase_a_queries)
+            .map(|_| {
+                (
+                    rng.choose_index(self.nodes),
+                    rng.next_below(u64::from(self.keys)) as u32,
+                )
+            })
+            .collect();
+        let hop_of = |n: usize, k: u32| -> Option<usize> {
+            overlay
+                .next_hop(NodeId(n as u32), KeyId(k))
+                .ok()
+                .flatten()
+                .map(|h| h.0 as usize)
+        };
+        let (witness, stale_server) = phase_a
+            .iter()
+            .filter(|&&(n, k)| k == DELETED_KEY && !authorities.contains(&n))
+            .find_map(|&(n, _)| {
+                let v = hop_of(n, DELETED_KEY)?;
+                (!authorities.contains(&v)).then_some((n, v))
+            })
+            .expect("a deleted-key querier with a non-authority parent exists");
+        let taken = |picked: &[usize], c: usize| picked.contains(&c) || authorities.contains(&c);
+        let update_dropper = phase_a
+            .iter()
+            .filter(|&&(_, k)| k != DELETED_KEY)
+            .find_map(|&(n, k)| {
+                let w = hop_of(n, k)?;
+                (!taken(&[witness, stale_server], w)).then_some(w)
+            })
+            .expect("a surviving-key querier with a free parent exists");
+        let picked = [witness, stale_server, update_dropper];
+        let refresh_liar = phase_a
+            .iter()
+            .filter(|&&(n, k)| k == DELETED_KEY && n != witness)
+            .find_map(|&(n, _)| {
+                let x = hop_of(n, DELETED_KEY)?;
+                (!taken(&picked, x)).then_some(x)
+            })
+            // No second suitable parent: any free non-authority works
+            // (the lie then simply never triggers — identically in both
+            // runtimes).
+            .unwrap_or_else(|| {
+                (0..self.nodes)
+                    .find(|&c| !taken(&picked, c))
+                    .expect("a free non-authority node exists")
+            });
+        Some(ByzantineCast {
+            witness,
+            stale_server,
+            update_dropper,
+            refresh_liar,
+        })
     }
 
     /// The standard fault script, as `(phase_a_position, action)` pairs:
@@ -213,30 +350,39 @@ impl ConformanceSpec {
         ]
     }
 
-    /// The timed-window fault script as a [`FaultPlan`] built from the
-    /// standard spec strings (`drop:…@t=`, `spike:…@t=`, `crash:…@t=A..B`).
-    /// Window edges land mid-gap between scripted queries — the network
-    /// is drained there in both runtimes, so each edge applies to the
-    /// same quiescent state at the same logical instant. Empty unless
-    /// `timed_faults` is set.
+    /// The scheduled fault script as a [`FaultPlan`] built from the
+    /// standard spec strings. With `timed_faults`: `drop:`/`spike:`/
+    /// `crash:` windows whose edges land mid-gap between scripted
+    /// queries — the network is drained there in both runtimes, so each
+    /// edge applies to the same quiescent state at the same logical
+    /// instant. With `byzantine`: unwindowed `stale-serve:`/
+    /// `drop-updates:`/`lie-refresh:` specs installing the cast's
+    /// behaviors permanently from `t = 0`. Empty unless one of the two
+    /// is set.
     pub fn fault_plan(&self) -> FaultPlan {
-        if !self.timed_faults {
+        let mut specs: Vec<String> = Vec::new();
+        if self.timed_faults {
+            let victim = self.crash_victim();
+            let s = self.step_secs;
+            // Mid-gap instant before phase-A query `pos`.
+            let mid = |pos: u64| 100 + pos * s - s / 2;
+            assert!(
+                self.phase_a_queries >= 16,
+                "the timed fault script needs ≥ 16 phase-A steps"
+            );
+            specs.push(format!("drop:0.35@t={}..{}", mid(2), mid(8)));
+            specs.push(format!("spike:3@t={}..{}", mid(4), mid(10)));
+            specs.push(format!("crash:{victim}@t={}..{}", mid(11), mid(15)));
+        }
+        if let Some(cast) = self.byzantine_cast() {
+            specs.push(format!("stale-serve:{}", cast.stale_server));
+            specs.push(format!("drop-updates:{}", cast.update_dropper));
+            specs.push(format!("lie-refresh:{}", cast.refresh_liar));
+        }
+        if specs.is_empty() {
             return FaultPlan::none();
         }
-        let victim = self.crash_victim();
-        let s = self.step_secs;
-        // Mid-gap instant before phase-A query `pos`.
-        let mid = |pos: u64| 100 + pos * s - s / 2;
-        assert!(
-            self.phase_a_queries >= 16,
-            "the timed fault script needs ≥ 16 phase-A steps"
-        );
-        FaultPlan::parse_specs(&[
-            format!("drop:0.35@t={}..{}", mid(2), mid(8)),
-            format!("spike:3@t={}..{}", mid(4), mid(10)),
-            format!("crash:{victim}@t={}..{}", mid(11), mid(15)),
-        ])
-        .expect("the built-in timed specs parse")
+        FaultPlan::parse_specs(&specs).expect("the built-in specs parse")
     }
 
     /// The same script under a different node configuration (policy
@@ -259,7 +405,12 @@ impl ConformanceSpec {
 
     /// The scripted workload: `(node_index, key)` per query, two phases.
     /// Phase B probes the deleted key from three nodes, then each
-    /// surviving key once more.
+    /// surviving key once more. Under `byzantine`, the deleted-key
+    /// probes are re-aimed at the cast's witness (the rng stream is
+    /// drawn identically first, so phase A and the surviving-key probes
+    /// are untouched): every probe then crosses poisoned state, and each
+    /// one — arriving a `step` past the 5 s audit interval — opens a
+    /// fresh audit round at the witness.
     pub fn query_script(&self) -> (Vec<ScriptedQuery>, Vec<ScriptedQuery>) {
         let mut rng = DetRng::seed_from(self.script_seed);
         let mut phase_a = Vec::new();
@@ -275,6 +426,11 @@ impl ConformanceSpec {
         }
         for k in (0..self.keys).filter(|&k| k != DELETED_KEY) {
             phase_b.push((rng.choose_index(self.nodes), k));
+        }
+        if let Some(cast) = self.byzantine_cast() {
+            for q in phase_b.iter_mut().filter(|q| q.1 == DELETED_KEY) {
+                q.0 = cast.witness;
+            }
         }
         (phase_a, phase_b)
     }
@@ -310,6 +466,12 @@ pub struct Outcome {
     /// Messages dropped for any reason — the fault plane plus, on the
     /// DES side, deliveries to churned-away nodes.
     pub dropped_messages: u64,
+    /// Client answers that served a replica the script had already
+    /// deleted (ground truth recorded at the deletion instant; only
+    /// populated while a fault plane is armed).
+    pub poisoned_answers: u64,
+    /// Summed logical age (µs past deletion) of those poisoned answers.
+    pub poisoned_age_micros: u64,
     /// The fault plane's full drop/crash breakdown.
     pub faults: cup::faults::FaultCounters,
 }
@@ -339,6 +501,10 @@ pub struct RunCounters {
     pub routing_failures: u64,
     /// Total dropped messages.
     pub dropped_messages: u64,
+    /// Poisoned client answers (stale ground truth).
+    pub poisoned_answers: u64,
+    /// Summed poisoned-answer age in µs.
+    pub poisoned_age_micros: u64,
     /// Fault-plane breakdown.
     pub faults: cup::faults::FaultCounters,
 }
@@ -375,6 +541,8 @@ pub fn outcome_of<'a>(
         hops: counters.hops,
         routing_failures: counters.routing_failures,
         dropped_messages: counters.dropped_messages,
+        poisoned_answers: counters.poisoned_answers,
+        poisoned_age_micros: counters.poisoned_age_micros,
         faults: counters.faults,
     }
 }
@@ -511,9 +679,14 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
     let counters = RunCounters {
         justified,
         tracked,
-        hops: net.metrics.total_cost(),
+        // Audit traffic rides outside the paper's §3.3 cost model, but
+        // the live side's hop counter sees every delivered message — add
+        // it back so the totals compare like for like.
+        hops: net.metrics.total_cost() + net.metrics.audit_hops,
         routing_failures: 0,
         dropped_messages: net.metrics.dropped_messages + faults.dropped(),
+        poisoned_answers: net.metrics.stale_answers,
+        poisoned_age_micros: net.metrics.stale_age_micros,
         faults,
     };
     let ids: Vec<NodeId> = (0..spec.nodes as u32).map(NodeId).collect();
@@ -558,6 +731,10 @@ pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
     }
     let plan = spec.fault_plan();
     let mut plan_cursor = 0usize;
+    // Unwindowed behavior specs install at t = 0 — replay them before
+    // the clock first advances (a no-op for the windowed scripts, whose
+    // earliest edge sits mid-phase-A).
+    net.run_plan_until(&plan, &mut plan_cursor, SimTime::ZERO);
     for k in 0..spec.keys {
         net.run_until(SimTime::from_secs(1 + u64::from(k)));
         net.replica_birth(KeyId(k), ReplicaId(k), LIFETIME);
@@ -678,6 +855,8 @@ pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
         hops: net.hops(),
         routing_failures: net.routing_failures(),
         dropped_messages: faults.dropped(),
+        poisoned_answers: net.stale_answers(),
+        poisoned_age_micros: net.stale_age_micros(),
         faults,
     };
     let crash_retained = net.crash_retained_stats();
@@ -789,6 +968,68 @@ mod tests {
         assert!(ConformanceSpec::faulty(OverlayKind::Can)
             .fault_plan()
             .is_empty());
+    }
+
+    #[test]
+    fn byzantine_cast_is_deterministic_and_well_placed() {
+        for kind in OverlayKind::ALL {
+            let spec = ConformanceSpec::byzantine(kind);
+            assert!(spec.any_faults() && !spec.fault_script && !spec.timed_faults);
+            assert!(
+                spec.config.audit.is_some(),
+                "{kind}: the Byzantine spec runs with the audit armed"
+            );
+            let cast = spec.byzantine_cast().expect("the cast forms");
+            assert_eq!(Some(cast), spec.byzantine_cast(), "same spec, same cast");
+            let members = [
+                cast.witness,
+                cast.stale_server,
+                cast.update_dropper,
+                cast.refresh_liar,
+            ];
+            for (i, a) in members.iter().enumerate() {
+                for b in &members[i + 1..] {
+                    assert_ne!(a, b, "{kind}: cast members are distinct");
+                }
+            }
+            let mut rng = DetRng::seed_from(spec.topology_seed);
+            let overlay = AnyOverlay::build(kind, spec.nodes, &mut rng).unwrap();
+            for k in 0..spec.keys {
+                for m in members {
+                    assert_ne!(
+                        overlay.authority(KeyId(k)),
+                        NodeId(m as u32),
+                        "{kind}: no cast member owns a scripted key"
+                    );
+                }
+            }
+            // The deletion's only path to the witness runs through the
+            // stale server: it is the witness's interest-tree parent.
+            assert_eq!(
+                overlay
+                    .next_hop(NodeId(cast.witness as u32), KeyId(DELETED_KEY))
+                    .unwrap(),
+                Some(NodeId(cast.stale_server as u32)),
+                "{kind}: the stale server sits on the witness's only upstream"
+            );
+            // Three unwindowed behavior specs, all installing at t = 0.
+            let plan = spec.fault_plan();
+            assert_eq!(plan, spec.fault_plan(), "same spec, same plan");
+            assert_eq!(plan.events().len(), 3);
+            for ev in plan.events() {
+                assert_eq!(ev.at, SimTime::ZERO, "{kind}: behaviors install at t=0");
+            }
+            // The witness queried the deleted key in phase A (it holds
+            // poisoned state) and absorbs every phase-B probe of it.
+            let (phase_a, phase_b) = spec.query_script();
+            assert!(phase_a.contains(&(cast.witness, DELETED_KEY)));
+            assert!(phase_b
+                .iter()
+                .filter(|&&(_, k)| k == DELETED_KEY)
+                .all(|&(n, _)| n == cast.witness));
+            // Non-Byzantine specs carry no cast and no behavior specs.
+            assert!(ConformanceSpec::small(kind).byzantine_cast().is_none());
+        }
     }
 
     #[test]

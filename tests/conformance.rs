@@ -265,3 +265,125 @@ fn sim_and_live_agree_on_timed_windows_on_can() {
 fn sim_and_live_agree_on_timed_windows_on_chord() {
     assert_sim_live_agree_on_timed_windows(OverlayKind::Chord);
 }
+
+/// Sim-vs-live agreement under the Byzantine cast: a stale-serving node
+/// parked on the deletion path upstream of an honest witness, an
+/// update-dropper, and a refresh-liar — with the rate-limited sampled
+/// cache audit switched on. Both runtimes must agree byte-for-byte on
+/// the *attack* (poisoned client answers and their summed staleness age,
+/// the behavior-fault counters) and on the *defense* (audit rounds
+/// started, probes served, replies processed, repairs executed) — at 1
+/// worker and across a 4-way shard split, where audit replies can arrive
+/// in different orders.
+fn assert_sim_live_agree_under_byzantine(kind: OverlayKind) {
+    let spec = ConformanceSpec::byzantine(kind);
+    let (sim, sim_responses) = run_sim(&spec);
+
+    // The attack bit: the witness answered clients from poisoned state
+    // (the stale server swallowed the deletion before it could arrive),
+    // and the maintenance plane was corrupted.
+    assert!(
+        sim.poisoned_answers > 0,
+        "{kind} byzantine: no poisoned answer was ever served"
+    );
+    assert!(
+        sim.poisoned_age_micros > 0,
+        "{kind} byzantine: poisoned answers must age past the deletion"
+    );
+    assert!(
+        sim.faults.byz_updates_swallowed > 0,
+        "{kind} byzantine: the stale server never swallowed the deletion"
+    );
+    assert!(
+        sim.faults.byz_updates_dropped > 0,
+        "{kind} byzantine: the update-dropper never bit a refresh forward"
+    );
+
+    // The defense bit: serving poisoned traffic triggered audit rounds,
+    // honest co-replica holders dissented, and the witness repaired.
+    assert!(
+        sim.stats.audits_started > 0,
+        "{kind} byzantine: no audit round ever started"
+    );
+    assert!(
+        sim.stats.audit_probes_served > 0,
+        "{kind} byzantine: no sampled node served a probe"
+    );
+    assert!(
+        sim.stats.audit_replies > 0,
+        "{kind} byzantine: no audit reply came back"
+    );
+    assert!(
+        sim.stats.audit_repairs > 0,
+        "{kind} byzantine: the audit never repaired the poisoned cache"
+    );
+
+    // The DES is worker-blind; the live side must match it from the
+    // serial pool and from a sharded one (audit replies then interleave
+    // differently — the repair outcome must not care).
+    for workers in [1, 4] {
+        let live_spec = ConformanceSpec { workers, ..spec };
+        let label = format!("{kind} byzantine @ {workers} workers");
+        let (live, live_responses) = run_live(&live_spec);
+
+        assert_eq!(
+            sim_responses, live_responses,
+            "{label}: answered-query counts"
+        );
+        assert_eq!(
+            (sim.poisoned_answers, sim.poisoned_age_micros),
+            (live.poisoned_answers, live.poisoned_age_micros),
+            "{label}: poisoned-answer accounting diverged"
+        );
+        assert_eq!(sim.faults, live.faults, "{label}: fault counters diverged");
+        assert_eq!(sim.stats, live.stats, "{label}: protocol counters diverged");
+        assert_eq!(
+            sim.cached_by, live.cached_by,
+            "{label}: caching sets diverged"
+        );
+        assert_eq!(sim.hops, live.hops, "{label}: hop counts diverged");
+        assert_eq!(
+            (sim.justified, sim.tracked),
+            (live.justified, live.tracked),
+            "{label}: justification diverged"
+        );
+        assert_eq!(
+            sim.routing_failures, live.routing_failures,
+            "{label}: routing failures diverged"
+        );
+        assert_eq!(
+            sim.dropped_messages, live.dropped_messages,
+            "{label}: dropped-message totals diverged"
+        );
+        // Name the adversarial counters individually: they are inside
+        // `stats`/`faults`, but they are the point of this plane.
+        assert_eq!(
+            (sim.stats.audits_started, sim.stats.audit_repairs),
+            (live.stats.audits_started, live.stats.audit_repairs),
+            "{label}: audit round/repair counters diverged"
+        );
+        assert_eq!(
+            (
+                sim.faults.byz_updates_swallowed,
+                sim.faults.byz_updates_dropped,
+                sim.faults.byz_refresh_lies
+            ),
+            (
+                live.faults.byz_updates_swallowed,
+                live.faults.byz_updates_dropped,
+                live.faults.byz_refresh_lies
+            ),
+            "{label}: behavior-fault counters diverged"
+        );
+    }
+}
+
+#[test]
+fn sim_and_live_agree_under_byzantine_on_can() {
+    assert_sim_live_agree_under_byzantine(OverlayKind::Can);
+}
+
+#[test]
+fn sim_and_live_agree_under_byzantine_on_chord() {
+    assert_sim_live_agree_under_byzantine(OverlayKind::Chord);
+}

@@ -14,7 +14,9 @@
 //!   strictly more cache hits per hop spent than all-out push.
 
 use cup::prelude::*;
-use cup::simnet::sweeps::{fault_grid_with, fault_point_specs};
+use cup::simnet::sweeps::{
+    audit_config_for, audit_grid_with, audit_point_specs, fault_grid_with, fault_point_specs,
+};
 use cup_testkit::conformance::{run_live, ConformanceSpec};
 use cup_testkit::{assert_deterministic, medium, tiny};
 
@@ -55,6 +57,58 @@ fn fault_sweep_is_identical_across_sweep_worker_counts() {
     assert_eq!(
         serial, parallel,
         "sweep rows must not depend on the pool size"
+    );
+}
+
+/// A Byzantine stale-serve attack over the tiny preset with replica
+/// churn, so the audit has deletions to detect.
+fn audited_attacked_config(seed: u64) -> ExperimentConfig {
+    let base = Scenario {
+        replica_mean_life: Some(SimDuration::from_secs(600)),
+        ..tiny(5.0, seed)
+    };
+    let audit = audit_config_for(&base, 30);
+    let scenario = Scenario {
+        fault_plan: audit_point_specs(&base, 4),
+        ..base
+    };
+    ExperimentConfig {
+        node_config: NodeConfig::cup_default().with_audit(audit),
+        ..ExperimentConfig::cup(scenario)
+    }
+}
+
+#[test]
+fn audit_runs_are_deterministic_across_reruns() {
+    // The audit's sampling draws (counter-mode over node, key, round)
+    // and its repair decisions are part of the byte-identical result —
+    // rerunning the same seed replays the same probes, replies, and
+    // evictions.
+    let result = assert_deterministic(&audited_attacked_config(3));
+    assert!(result.nodes.audits_started > 0, "the audit must run");
+    assert!(result.nodes.audit_replies > 0);
+    assert!(result.audit_overhead() > 0);
+    assert!(
+        result.net.faults.byz_updates_swallowed > 0,
+        "the attack must bite"
+    );
+    // Different seeds sample different targets and land different
+    // workloads.
+    let other = run_experiment(&audited_attacked_config(4));
+    assert_ne!(result, other);
+}
+
+#[test]
+fn audit_sweep_is_identical_across_sweep_worker_counts() {
+    let base = Scenario {
+        replica_mean_life: Some(SimDuration::from_secs(600)),
+        ..tiny(5.0, 11)
+    };
+    let serial = audit_grid_with(&base, &[0, 4], 30, 1);
+    let parallel = audit_grid_with(&base, &[0, 4], 30, 4);
+    assert_eq!(
+        serial, parallel,
+        "audit sweep rows must not depend on the pool size"
     );
 }
 
