@@ -13,6 +13,10 @@
 //! exceeds the wall-clock budget — the CI live-smoke job's pass/fail
 //! line.
 
+// Throughput timing is this binary's purpose: exempt from clippy.toml's
+// disallowed-methods wall like the rest of cup-bench.
+#![allow(clippy::disallowed_methods)]
+
 use cup_bench::cli::{parse_or_exit, value_of};
 use cup_bench::live_bench::{render_json, run_point};
 use cup_overlay::OverlayKind;

@@ -5,6 +5,11 @@
 //! regenerates the tables and figures at configurable scale, up to the
 //! paper's 2¹⁰-node / 3 000 s configuration.
 
+// cup-bench's whole job is measuring wall time, so it is exempt from
+// clippy.toml's disallowed-methods wall (cup-lint's wall-clock rule
+// never scoped it either).
+#![allow(clippy::disallowed_methods)]
+
 use cup_des::{SimDuration, SimTime};
 use cup_workload::Scenario;
 

@@ -6,7 +6,7 @@
 //! and deletion messages to the authority, which maintains the directory
 //! and propagates the corresponding updates to interested neighbors.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cup_des::{KeyId, SimTime};
 
@@ -28,9 +28,14 @@ pub enum DirectoryChange {
 }
 
 /// An authority node's slice of the global index.
+///
+/// Keyed by a `BTreeMap` so `expire()` and `drain_keys()` emit entries
+/// in key order: their output order drives delete propagation and
+/// ownership hand-over, which must be identical across the DES and any
+/// M-worker live run.
 #[derive(Debug, Clone, Default)]
 pub struct LocalDirectory {
-    entries: HashMap<KeyId, Vec<IndexEntry>>,
+    entries: BTreeMap<KeyId, Vec<IndexEntry>>,
 }
 
 impl LocalDirectory {

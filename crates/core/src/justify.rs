@@ -15,7 +15,7 @@
 //! investment-return metric from the same code — the accounting is part
 //! of the protocol's decision plane, not a simulation-only analysis.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cup_des::{KeyId, NodeId, SimTime};
 
@@ -36,9 +36,14 @@ impl Window {
 }
 
 /// Tracks justification windows for maintenance updates.
+///
+/// Windows live in a `BTreeMap` so `prune_settled` and any future
+/// whole-tracker walk visit slots in `(node, key)` order — both
+/// runtimes share this tracker, and its traversal order must never be
+/// a per-instance hash accident.
 #[derive(Debug, Default)]
 pub struct JustificationTracker {
-    windows: HashMap<(NodeId, KeyId), Vec<Window>>,
+    windows: BTreeMap<(NodeId, KeyId), Vec<Window>>,
     justified: u64,
     total: u64,
 }

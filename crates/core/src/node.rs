@@ -820,6 +820,7 @@ impl CupNode {
     /// `successor` (the node that took over its zone) or dropped, and any
     /// queued updates for it are discarded.
     pub fn on_neighbor_departed(&mut self, departed: NodeId, successor: Option<NodeId>) {
+        // cup-lint: allow(unordered-iteration, "independent per-key remap; no output or message is emitted, so visit order cannot leak")
         for st in self.keys.values_mut() {
             st.interest.remap(departed, successor);
         }
@@ -841,6 +842,7 @@ impl CupNode {
     /// Housekeeping: evicts expired cached entries to bound memory.
     pub fn evict_expired(&mut self, now: SimTime) -> usize {
         let mut evicted = 0;
+        // cup-lint: allow(unordered-iteration, "per-key eviction summed into one count; addition is commutative, so order cannot leak")
         for st in self.keys.values_mut() {
             evicted += st.evict_expired(now);
         }

@@ -1,0 +1,330 @@
+//! Rule engine: file loading, pragma resolution, findings, `LINT.json`.
+//!
+//! The engine prepares every source file once (raw text, masked code
+//! view, masked-with-tests-blanked view, pragmas), hands the whole
+//! [`Workspace`] to each [`Rule`], then resolves the raw findings against
+//! the pragmas: a finding whose rule has a matching
+//! `// cup-lint: allow(rule, "reason")` on its own line or the line above
+//! is *allowed* (kept in the report, with the reason); everything else is
+//! *denied* and fails the run. A pragma without a reason is itself a
+//! denied finding — suppressions must say why.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Pragma};
+
+/// A source file prepared for linting.
+pub struct PreparedFile {
+    /// Workspace-relative path with `/` separators (stable across OSes,
+    /// and what scopes and reports are keyed on).
+    pub path: String,
+    /// Original text, exactly as on disk.
+    pub text: String,
+    /// Code-only view: comments and literals blanked (same length/lines).
+    pub masked: String,
+    /// Code-only view with `#[cfg(test)]` bodies additionally blanked.
+    pub masked_no_tests: String,
+    /// Inline allow-pragmas, in line order.
+    pub pragmas: Vec<Pragma>,
+}
+
+impl PreparedFile {
+    pub fn new(path: impl Into<String>, text: impl Into<String>) -> Self {
+        let path = path.into();
+        let text = text.into();
+        let masked = lexer::mask(&text);
+        let masked_no_tests = lexer::mask_cfg_test(&masked);
+        let pragmas = lexer::pragmas(&text);
+        PreparedFile {
+            path,
+            text,
+            masked,
+            masked_no_tests,
+            pragmas,
+        }
+    }
+}
+
+/// The set of files a lint run sees.
+pub struct Workspace {
+    pub files: Vec<PreparedFile>,
+}
+
+impl Workspace {
+    /// Loads every `.rs` file under the given roots (workspace-relative
+    /// directories), recursively.
+    pub fn load(root: &Path, trees: &[&str]) -> Workspace {
+        let mut files = Vec::new();
+        for tree in trees {
+            let dir = root.join(tree);
+            let mut paths = Vec::new();
+            collect_rs(&dir, &mut paths);
+            paths.sort();
+            for p in paths {
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(&p)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let text =
+                    fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()));
+                files.push(PreparedFile::new(rel, text));
+            }
+        }
+        Workspace { files }
+    }
+
+    /// Builds a workspace from in-memory sources (fixture tests).
+    pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: sources
+                .iter()
+                .map(|(p, t)| PreparedFile::new(*p, *t))
+                .collect(),
+        }
+    }
+
+    pub fn file(&self, path: &str) -> Option<&PreparedFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// One rule violation (or suppressed violation) at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+    /// `Some(reason)` when an allow-pragma covers this finding.
+    pub allowed: Option<String>,
+}
+
+impl Finding {
+    pub fn new(rule: &'static str, path: &str, line: usize, message: impl Into<String>) -> Self {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: message.into(),
+            allowed: None,
+        }
+    }
+}
+
+/// A lint rule. Rules see the whole workspace so cross-file rules
+/// (conformance-parity) and single-file token rules share one interface.
+pub trait Rule {
+    fn name(&self) -> &'static str;
+    /// One-line description for reports and docs.
+    fn description(&self) -> &'static str;
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+}
+
+/// The result of a full engine run.
+pub struct Report {
+    pub files_scanned: usize,
+    pub rules: Vec<(&'static str, &'static str)>,
+    /// Every finding, allowed and denied, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Findings not covered by an allow-pragma: these fail the run.
+    pub fn denied(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allowed.is_none())
+    }
+
+    /// Findings suppressed by a pragma (with its stated reason).
+    pub fn allowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allowed.is_some())
+    }
+
+    /// Serializes the report as `LINT.json` (hand-rolled: this crate is
+    /// std-only by design).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(
+            s,
+            "  \"denied\": {},",
+            self.findings.iter().filter(|f| f.allowed.is_none()).count()
+        );
+        let _ = writeln!(
+            s,
+            "  \"allowed\": {},",
+            self.findings.iter().filter(|f| f.allowed.is_some()).count()
+        );
+        s.push_str("  \"rules\": [\n");
+        for (i, (name, desc)) in self.rules.iter().enumerate() {
+            let comma = if i + 1 < self.rules.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"name\": {}, \"description\": {}}}{comma}",
+                json_str(name),
+                json_str(desc)
+            );
+        }
+        s.push_str("  ],\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let comma = if i + 1 < self.findings.len() { "," } else { "" };
+            let allowed = match &f.allowed {
+                Some(reason) => json_str(reason),
+                None => "null".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \
+                 \"allowed\": {allowed}}}{comma}",
+                json_str(f.rule),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.message),
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Human-readable rendering for the CLI's text mode.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            match &f.allowed {
+                Some(reason) => {
+                    let _ = writeln!(
+                        s,
+                        "allowed  {}:{} [{}] {} (reason: {reason})",
+                        f.path, f.line, f.rule, f.message
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        s,
+                        "DENIED   {}:{} [{}] {}",
+                        f.path, f.line, f.rule, f.message
+                    );
+                }
+            }
+        }
+        let denied = self.denied().count();
+        let _ = writeln!(
+            s,
+            "{} files scanned, {} rules, {} denied, {} allowed",
+            self.files_scanned,
+            self.rules.len(),
+            denied,
+            self.allowed().count()
+        );
+        s
+    }
+}
+
+fn json_str(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Runs every rule over the workspace and resolves pragmas.
+pub fn run(ws: &Workspace, rules: &[&dyn Rule]) -> Report {
+    let mut findings = Vec::new();
+    for rule in rules {
+        rule.check(ws, &mut findings);
+    }
+
+    // Resolve pragmas: a pragma covers findings of its rule on its own
+    // line or the line directly below (pragma-above-the-statement being
+    // the common layout).
+    for f in &mut findings {
+        let Some(file) = ws.file(&f.path) else {
+            continue;
+        };
+        f.allowed = file
+            .pragmas
+            .iter()
+            .find(|p| {
+                p.rule == f.rule
+                    && if p.own_line {
+                        p.line + 1 == f.line
+                    } else {
+                        p.line == f.line
+                    }
+            })
+            .and_then(|p| p.reason.clone());
+    }
+
+    // A pragma with no reason is a violation in its own right, and a
+    // denied one at that (the `pragma` pseudo-rule has no allow form).
+    for file in &ws.files {
+        for p in &file.pragmas {
+            if p.reason.is_none() {
+                findings.push(Finding::new(
+                    "pragma",
+                    &file.path,
+                    p.line,
+                    format!(
+                        "allow({}) pragma has no reason — write \
+                         `// cup-lint: allow({}, \"why this is sound\")`",
+                        p.rule, p.rule
+                    ),
+                ));
+            }
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+
+    Report {
+        files_scanned: ws.files.len(),
+        rules: rules.iter().map(|r| (r.name(), r.description())).collect(),
+        findings,
+    }
+}
+
+/// Iterates lines of a masked view with 1-based numbers — the shared
+/// shape of every token rule.
+pub fn masked_lines(
+    file: &PreparedFile,
+    include_tests: bool,
+) -> impl Iterator<Item = (usize, &str)> {
+    let view = if include_tests {
+        &file.masked
+    } else {
+        &file.masked_no_tests
+    };
+    view.lines().enumerate().map(|(i, l)| (i + 1, l))
+}

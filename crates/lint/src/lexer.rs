@@ -1,0 +1,298 @@
+//! A small Rust lexer that separates *code* from *prose*.
+//!
+//! Every rule in this crate works on a **masked** view of a source file:
+//! the original text with comments, string literals, raw strings, byte
+//! strings, and char literals blanked out (each non-newline byte replaced
+//! by a space). Byte offsets and line numbers are preserved exactly, so a
+//! finding located in masked text maps 1:1 onto the original file — but a
+//! banned construct mentioned in a doc comment or an error string can
+//! never fire a rule.
+//!
+//! The same pass extracts `// cup-lint: allow(<rule>, "<reason>")`
+//! pragmas (which live *in* comments, so they are read from the original
+//! text, not the mask) and can additionally blank `#[cfg(test)]` items
+//! for rules that only police production code paths.
+
+/// An inline suppression comment: `// cup-lint: allow(rule, "reason")`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on. A trailing pragma covers
+    /// findings of its rule on its own line; a pragma on a line of its
+    /// own covers the line directly below it.
+    pub line: usize,
+    /// True when the pragma is the whole line (nothing but the comment),
+    /// i.e. it annotates the *next* line rather than its own.
+    pub own_line: bool,
+    /// Rule name the pragma targets.
+    pub rule: String,
+    /// Stated justification. `None` when the pragma omits it — the engine
+    /// turns that into a finding of its own, so every suppression in the
+    /// tree carries a reason.
+    pub reason: Option<String>,
+}
+
+/// Replaces every comment, string/raw-string/byte-string literal, and
+/// char literal with spaces (newlines are kept), returning a same-length
+/// string in which only code survives.
+pub fn mask(source: &str) -> String {
+    let b = source.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        blank(&mut out, i, 2);
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        blank(&mut out, i, 2);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if b[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = mask_string(b, &mut out, i),
+            b'r' | b'b' if !ident_before(b, i) => {
+                if let Some(r_at) = raw_string_at(b, i) {
+                    i = mask_raw(b, &mut out, i, r_at);
+                } else if b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'"' {
+                    // Plain byte string `b"…"`: blank the prefix, then
+                    // the literal like any other string.
+                    blank(&mut out, i, 1);
+                    i = mask_string(b, &mut out, i + 1);
+                } else if b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'\'' {
+                    blank(&mut out, i, 1);
+                    i = mask_char(b, &mut out, i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => i = mask_char(b, &mut out, i),
+            _ => i += 1,
+        }
+    }
+    // Masked regions were blanked byte-wise, so multi-byte UTF-8 inside
+    // them collapses to ASCII spaces; code regions are copied verbatim.
+    String::from_utf8(out).expect("mask preserves code bytes and blanks the rest to ASCII")
+}
+
+fn blank(out: &mut [u8], at: usize, n: usize) {
+    for slot in out.iter_mut().skip(at).take(n) {
+        if *slot != b'\n' {
+            *slot = b' ';
+        }
+    }
+}
+
+/// True when the byte before `i` continues an identifier, i.e. the `r` /
+/// `b` at `i` is the tail of a name like `attr` rather than a literal
+/// prefix.
+fn ident_before(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// If `i` starts a raw or raw-byte string (`r"`, `r#…#"`, `br"`,
+/// `br#…#"`), returns the index of its `r`.
+fn raw_string_at(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        let mut k = j + 1;
+        while k < b.len() && b[k] == b'#' {
+            k += 1;
+        }
+        if k < b.len() && b[k] == b'"' {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// Masks a `"..."` literal starting at the quote; returns the index after
+/// the closing quote.
+fn mask_string(b: &[u8], out: &mut [u8], start: usize) -> usize {
+    blank(out, start, 1);
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                blank(out, i, 2.min(b.len() - i));
+                i += 2;
+            }
+            b'"' => {
+                blank(out, i, 1);
+                return i + 1;
+            }
+            _ => {
+                if b[i] != b'\n' {
+                    out[i] = b' ';
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Masks a raw (or raw byte) string. `start` is the first byte of the
+/// whole literal (possibly a `b`); `r_at` the index of its `r`.
+fn mask_raw(b: &[u8], out: &mut [u8], start: usize, r_at: usize) -> usize {
+    let mut hashes = 0usize;
+    let mut i = r_at + 1;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert!(i < b.len() && b[i] == b'"');
+    blank(out, start, i - start + 1);
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            blank(out, i, hashes + 1);
+            return i + hashes + 1;
+        }
+        if b[i] != b'\n' {
+            out[i] = b' ';
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Distinguishes a char literal from a lifetime at a `'`. A char literal
+/// is masked; a lifetime is code and left alone.
+fn mask_char(b: &[u8], out: &mut [u8], start: usize) -> usize {
+    let rest = &b[start + 1..];
+    let lit_len = match rest.first() {
+        Some(b'\\') => {
+            // Escape: find the closing quote within a short window
+            // (longest escape is `\u{10FFFF}` = 10 bytes).
+            rest.iter()
+                .take(12)
+                .position(|&c| c == b'\'')
+                .map(|p| p + 1)
+        }
+        Some(&c) if c != b'\'' => {
+            // One char (possibly multi-byte UTF-8) then a quote.
+            let n = utf8_len(c);
+            (rest.len() > n && rest[n] == b'\'').then_some(n + 1)
+        }
+        _ => None,
+    };
+    match lit_len {
+        Some(n) => {
+            blank(out, start, n + 1);
+            start + n + 1
+        }
+        // A lifetime (or stray quote): leave it in the code view.
+        None => start + 1,
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Extracts `// cup-lint: allow(rule, "reason")` pragmas from the
+/// *original* text (pragmas live inside comments, which the mask erases).
+pub fn pragmas(source: &str) -> Vec<Pragma> {
+    const MARKER: &str = "cup-lint: allow(";
+    let mut out = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        let Some(at) = line.find(MARKER) else {
+            continue;
+        };
+        // Only honor the marker inside a line comment.
+        if !line[..at].contains("//") {
+            continue;
+        }
+        let body = &line[at + MARKER.len()..];
+        let Some(close) = body.find(')') else {
+            continue;
+        };
+        let inner = &body[..close];
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => {
+                let why = why.trim().trim_matches('"').trim();
+                (r.trim(), (!why.is_empty()).then(|| why.to_string()))
+            }
+            None => (inner.trim(), None),
+        };
+        if !rule.is_empty() {
+            let comment_at = line[..at].rfind("//").expect("checked above");
+            out.push(Pragma {
+                line: idx + 1,
+                own_line: line[..comment_at].trim().is_empty(),
+                rule: rule.to_string(),
+                reason,
+            });
+        }
+    }
+    out
+}
+
+/// Blanks the bodies of `#[cfg(test)]` items in an already-masked view,
+/// for rules that only police production code. Matches the attribute in
+/// code (so a doc-comment mention never triggers it), then blanks from
+/// the next `{` to its matching `}`.
+pub fn mask_cfg_test(masked: &str) -> String {
+    let mut out = masked.as_bytes().to_vec();
+    let mut search = 0usize;
+    while let Some(rel) = masked[search..].find("#[cfg(test)]") {
+        let attr = search + rel;
+        let after = attr + "#[cfg(test)]".len();
+        let Some(open_rel) = masked[after..].find('{') else {
+            break;
+        };
+        let open = after + open_rel;
+        let mut depth = 0usize;
+        let mut end = masked.len();
+        for (off, c) in masked[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + off + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        blank(&mut out, attr, end - attr);
+        search = end;
+    }
+    String::from_utf8(out).expect("blanking preserves UTF-8")
+}

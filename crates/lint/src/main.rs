@@ -1,0 +1,70 @@
+//! `cup-lint` CLI: run the determinism lint pass over the workspace.
+//!
+//! ```text
+//! cargo run -p cup-lint                      # human-readable report
+//! cargo run -p cup-lint -- --format json     # LINT.json to stdout + disk
+//! cargo run -p cup-lint -- --out report.json # choose the report path
+//! ```
+//!
+//! Exit status is non-zero when any finding is *denied* (no matching
+//! `// cup-lint: allow(rule, "reason")` pragma), which is what fails
+//! the CI `lint` job.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut format_json = false;
+    let mut out_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                other => {
+                    eprintln!("--format expects `json` or `text`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => {
+                let Some(p) = args.next() else {
+                    eprintln!("--out expects a path");
+                    return ExitCode::from(2);
+                };
+                out_path = Some(p);
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: cup-lint [--format json|text] [--out LINT.json]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = cup_lint::run_workspace();
+    let json = report.to_json();
+
+    // JSON mode always leaves LINT.json on disk (the CI artifact);
+    // --out overrides the location in either mode.
+    let out_path = out_path.or_else(|| format_json.then(|| "LINT.json".to_string()));
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if format_json {
+        print!("{json}");
+    } else {
+        print!("{}", report.to_text());
+    }
+
+    let denied = report.denied().count();
+    if denied > 0 {
+        eprintln!("cup-lint: {denied} denied finding(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

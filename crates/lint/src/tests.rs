@@ -1,0 +1,362 @@
+//! Unit tests: the lexer's code/prose split and each rule against
+//! minimal positive/negative fixtures.
+
+use crate::engine::{self, Rule, Workspace};
+use crate::lexer;
+use crate::parity::{ConformanceParity, ParityCheck};
+use crate::rules::{PanicPath, RelaxedAtomic, UnorderedIteration, WallClock};
+
+fn run_rule(rule: &dyn Rule, sources: &[(&str, &str)]) -> engine::Report {
+    let ws = Workspace::from_sources(sources);
+    engine::run(&ws, &[rule])
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[test]
+fn mask_blanks_line_comments_but_keeps_code() {
+    let m = lexer::mask("let x = 1; // Instant::now() here\nlet y = 2;");
+    assert!(m.contains("let x = 1;"));
+    assert!(m.contains("let y = 2;"));
+    assert!(!m.contains("Instant::now"));
+    assert_eq!(
+        m.len(),
+        "let x = 1; // Instant::now() here\nlet y = 2;".len()
+    );
+}
+
+#[test]
+fn mask_blanks_nested_block_comments() {
+    let m = lexer::mask("a /* outer /* inner SystemTime */ still out */ b");
+    assert!(m.contains('a') && m.contains('b'));
+    assert!(!m.contains("SystemTime"));
+    assert!(!m.contains("still out"));
+}
+
+#[test]
+fn mask_blanks_strings_and_escapes() {
+    let m = lexer::mask(r#"panic!("thread::sleep \" quoted"); x"#);
+    assert!(!m.contains("thread::sleep"));
+    assert!(m.contains("panic!("));
+    assert!(m.contains("; x"));
+}
+
+#[test]
+fn mask_blanks_raw_and_byte_strings() {
+    let m = lexer::mask(r###"let s = r#"SystemTime " inside"#; let b = b"thread::sleep";"###);
+    assert!(!m.contains("SystemTime"));
+    assert!(!m.contains("thread::sleep"));
+    assert!(m.contains("let s ="));
+    assert!(m.contains("let b ="));
+}
+
+#[test]
+fn mask_distinguishes_chars_from_lifetimes() {
+    let m = lexer::mask("fn f<'a>(x: &'a str) { let c = 'y'; let n = '\\n'; }");
+    // Lifetimes survive (they are code)…
+    assert!(m.contains("<'a>"));
+    assert!(m.contains("&'a str"));
+    // …char literal contents do not.
+    assert!(!m.contains('y'));
+    assert!(!m.contains("\\n"));
+}
+
+#[test]
+fn mask_preserves_line_structure() {
+    let src = "line one // comment\n/* multi\nline */ code\n\"str\ning\" tail\n";
+    let m = lexer::mask(src);
+    assert_eq!(m.lines().count(), src.lines().count());
+    assert!(m.lines().nth(2).unwrap().contains("code"));
+    assert!(m.lines().nth(4).unwrap().contains("tail"));
+}
+
+#[test]
+fn pragmas_parse_rule_and_reason() {
+    let src = "\
+x(); // cup-lint: allow(wall-clock, \"bench timing is the point\")
+y(); // cup-lint: allow(panic-path)
+";
+    let ps = lexer::pragmas(src);
+    assert_eq!(ps.len(), 2);
+    assert_eq!(ps[0].line, 1);
+    assert_eq!(ps[0].rule, "wall-clock");
+    assert_eq!(ps[0].reason.as_deref(), Some("bench timing is the point"));
+    assert_eq!(ps[1].rule, "panic-path");
+    assert_eq!(ps[1].reason, None);
+}
+
+#[test]
+fn cfg_test_bodies_are_blanked() {
+    let src = "\
+fn live() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+";
+    let m = lexer::mask_cfg_test(&lexer::mask(src));
+    assert!(m.contains("x.unwrap()"));
+    assert!(!m.contains("y.unwrap()"));
+    assert_eq!(m.lines().count(), src.lines().count());
+}
+
+// --------------------------------------------------------------- engine
+
+#[test]
+fn pragma_on_same_line_or_line_above_allows_a_finding() {
+    let src = "\
+use std::time::Instant;
+// cup-lint: allow(wall-clock, \"fixture: pragma above\")
+let a = Instant::now();
+let b = Instant::now(); // cup-lint: allow(wall-clock, \"fixture: same line\")
+let c = Instant::now();
+";
+    let report = run_rule(&WallClock, &[("crates/core/src/x.rs", src)]);
+    let denied: Vec<_> = report.denied().collect();
+    assert_eq!(denied.len(), 1, "only the unpragma'd site stays denied");
+    assert_eq!(denied[0].line, 5);
+    assert_eq!(report.allowed().count(), 2);
+}
+
+#[test]
+fn pragma_without_reason_is_itself_denied() {
+    let src = "let a = Instant::now(); // cup-lint: allow(wall-clock)\n";
+    let report = run_rule(&WallClock, &[("crates/core/src/x.rs", src)]);
+    let rules: Vec<_> = report.denied().map(|f| f.rule).collect();
+    // The wall-clock finding stays denied (no reason → no suppression)
+    // and the naked pragma is reported too.
+    assert!(rules.contains(&"wall-clock"));
+    assert!(rules.contains(&"pragma"));
+}
+
+#[test]
+fn report_serializes_to_json() {
+    let src = "let a = Instant::now();\n";
+    let report = run_rule(&WallClock, &[("crates/core/src/x.rs", src)]);
+    let json = report.to_json();
+    assert!(json.contains("\"rule\": \"wall-clock\""));
+    assert!(json.contains("\"path\": \"crates/core/src/x.rs\""));
+    assert!(json.contains("\"denied\": 1"));
+}
+
+// ----------------------------------------------------------- wall-clock
+
+#[test]
+fn wall_clock_fires_in_code_not_prose() {
+    let report = run_rule(
+        &WallClock,
+        &[(
+            "crates/runtime/src/x.rs",
+            "// thread::sleep is banned\nlet s = \"SystemTime\";\nthread::sleep(d);\n",
+        )],
+    );
+    let denied: Vec<_> = report.denied().collect();
+    assert_eq!(denied.len(), 1);
+    assert_eq!(denied[0].line, 3);
+}
+
+#[test]
+fn wall_clock_exempts_the_designated_module_and_other_crates() {
+    let report = run_rule(
+        &WallClock,
+        &[
+            ("crates/core/src/clock.rs", "let t = Instant::now();\n"),
+            ("crates/bench/src/lib.rs", "let t = Instant::now();\n"),
+        ],
+    );
+    assert_eq!(report.denied().count(), 0);
+}
+
+// -------------------------------------------------- unordered-iteration
+
+#[test]
+fn iteration_over_hash_field_fires() {
+    let src = "\
+struct S { entries: HashMap<K, V> }
+impl S {
+    fn f(&mut self) { self.entries.retain(|_, v| v.keep()); }
+    fn g(&self) { for (k, v) in &self.entries {} }
+}
+";
+    let report = run_rule(&UnorderedIteration, &[("crates/core/src/d.rs", src)]);
+    let lines: Vec<usize> = report.denied().map(|f| f.line).collect();
+    assert_eq!(lines, vec![3, 4]);
+}
+
+#[test]
+fn iteration_over_hash_let_binding_fires() {
+    let src = "\
+fn f() {
+    let mut seen = HashSet::new();
+    for x in &seen {}
+}
+";
+    let report = run_rule(&UnorderedIteration, &[("crates/simnet/src/n.rs", src)]);
+    assert_eq!(report.denied().count(), 1);
+}
+
+#[test]
+fn lookups_and_btree_iteration_do_not_fire() {
+    let src = "\
+struct S { entries: BTreeMap<K, V>, index: HashMap<K, V> }
+impl S {
+    fn f(&self) -> Option<&V> { self.index.get(&k) }
+    fn g(&mut self) { self.entries.retain(|_, v| v.keep()); }
+    fn h(&self) { for (k, v) in &self.entries {} }
+}
+";
+    let report = run_rule(&UnorderedIteration, &[("crates/core/src/d.rs", src)]);
+    assert_eq!(report.denied().count(), 0);
+}
+
+#[test]
+fn iteration_rule_ignores_out_of_scope_crates() {
+    let src = "struct S { m: HashMap<K, V> }\nfn f(s: &S) { for x in &s.m {} }\n";
+    let report = run_rule(&UnorderedIteration, &[("crates/workload/src/w.rs", src)]);
+    assert_eq!(report.denied().count(), 0);
+}
+
+// ------------------------------------------------------- relaxed-atomic
+
+#[test]
+fn relaxed_on_monotone_counter_is_fine() {
+    let src = "fn f(s: &S) { s.hops.fetch_add(1, Ordering::Relaxed); }\n";
+    let report = run_rule(&RelaxedAtomic, &[("crates/runtime/src/s.rs", src)]);
+    assert_eq!(report.denied().count(), 0);
+}
+
+#[test]
+fn relaxed_on_a_flag_fires_even_across_line_wraps() {
+    let src = "\
+fn f(s: &S) -> bool {
+    s.faults_on
+        .load(Ordering::Relaxed)
+}
+";
+    let report = run_rule(&RelaxedAtomic, &[("crates/runtime/src/s.rs", src)]);
+    let denied: Vec<_> = report.denied().collect();
+    assert_eq!(denied.len(), 1);
+    assert!(denied[0].message.contains("faults_on"));
+    assert_eq!(denied[0].line, 3, "reported at the Ordering::Relaxed token");
+}
+
+#[test]
+fn acquire_and_out_of_scope_relaxed_do_not_fire() {
+    let report = run_rule(
+        &RelaxedAtomic,
+        &[
+            (
+                "crates/runtime/src/a.rs",
+                "s.flag.load(Ordering::Acquire);\n",
+            ),
+            ("crates/core/src/b.rs", "s.flag.load(Ordering::Relaxed);\n"),
+        ],
+    );
+    assert_eq!(report.denied().count(), 0);
+}
+
+// ----------------------------------------------------------- panic-path
+
+#[test]
+fn unwrap_on_live_path_fires_but_tests_and_recovery_do_not() {
+    let src = "\
+fn live(m: &Mutex<u32>) {
+    let a = m.lock().unwrap();
+    let b = m.lock().unwrap_or_else(|e| e.into_inner());
+}
+#[cfg(test)]
+mod tests {
+    fn t(m: &Mutex<u32>) { m.lock().unwrap(); }
+}
+";
+    let report = run_rule(&PanicPath, &[("crates/runtime/src/s.rs", src)]);
+    let denied: Vec<_> = report.denied().collect();
+    assert_eq!(denied.len(), 1);
+    assert_eq!(denied[0].line, 2);
+}
+
+#[test]
+fn expect_fires_and_pragma_with_reason_suppresses() {
+    let src = "\
+fn start() {
+    // cup-lint: allow(panic-path, \"before workers exist, panicking is the report\")
+    spawn().expect(\"worker thread must spawn\");
+    join().expect(\"joined\");
+}
+";
+    let report = run_rule(&PanicPath, &[("crates/runtime/src/n.rs", src)]);
+    assert_eq!(report.denied().count(), 1);
+    assert_eq!(report.allowed().count(), 1);
+}
+
+// --------------------------------------------------- conformance-parity
+
+const STATS_FIXTURE: &str = "\
+pub struct NodeStats {
+    pub client_queries: u64,
+    pub updates_received: u64,
+}
+impl NodeStats {
+    pub fn merge(&mut self, other: &NodeStats) {
+        self.client_queries += other.client_queries;
+    }
+}
+";
+
+#[test]
+fn field_missing_from_merge_fires() {
+    let rule = ConformanceParity {
+        checks: vec![ParityCheck::MergedInto {
+            struct_file: "crates/core/src/stats.rs".into(),
+            struct_name: "NodeStats".into(),
+            fn_name: "merge".into(),
+        }],
+    };
+    let report = run_rule(&rule, &[("crates/core/src/stats.rs", STATS_FIXTURE)]);
+    let denied: Vec<_> = report.denied().collect();
+    assert_eq!(denied.len(), 1);
+    assert!(denied[0].message.contains("updates_received"));
+    assert_eq!(denied[0].line, 3, "reported at the field's declaration");
+}
+
+#[test]
+fn consumption_via_helper_method_closure_counts() {
+    let metrics = "\
+pub struct NetMetrics {
+    pub query_hops: u64,
+    pub first_time_hops: u64,
+}
+impl NetMetrics {
+    pub fn miss_cost(&self) -> u64 { self.query_hops + self.first_time_hops }
+    pub fn total_cost(&self) -> u64 { self.miss_cost() }
+}
+";
+    // The consumer only calls total_cost(), two hops away from the
+    // fields — the closure must still count both as consumed.
+    let consumer = "fn check(m: &NetMetrics) { assert_eq!(m.total_cost(), 0); }\n";
+    let rule = ConformanceParity {
+        checks: vec![ParityCheck::ConsumedBy {
+            struct_file: "crates/simnet/src/metrics.rs".into(),
+            struct_name: "NetMetrics".into(),
+            consumer_files: vec!["crates/testkit/src/conformance.rs".into()],
+        }],
+    };
+    let report = run_rule(
+        &rule,
+        &[
+            ("crates/simnet/src/metrics.rs", metrics),
+            ("crates/testkit/src/conformance.rs", consumer),
+        ],
+    );
+    assert_eq!(report.denied().count(), 0);
+}
+
+#[test]
+fn missing_parity_input_file_is_a_finding() {
+    let rule = ConformanceParity::workspace();
+    let report = run_rule(&rule, &[("crates/core/src/other.rs", "fn f() {}\n")]);
+    assert!(
+        report.denied().any(|f| f.message.contains("not found")),
+        "moving a parity input file must fail loudly, not silently pass"
+    );
+}

@@ -1,0 +1,129 @@
+//! Property tests for the lexer's code/prose split.
+//!
+//! The invariant every rule depends on: a banned pattern embedded in a
+//! comment, a string literal, or a raw string must never survive into
+//! the masked view, while the same pattern in code always does — and
+//! masking never disturbs line structure, so findings map back to real
+//! source lines.
+
+use proptest::prelude::*;
+use proptest::proptest;
+
+/// The patterns the token rules actually hunt for.
+const PATTERNS: &[&str] = &[
+    "Instant::now(",
+    "thread::sleep",
+    "SystemTime",
+    "Ordering::Relaxed",
+    ".unwrap()",
+    ".expect(",
+];
+
+/// Ways to wrap a pattern in prose — none of which may survive masking.
+fn prose_wrap(which: usize, pat: &str) -> String {
+    match which % 6 {
+        0 => format!("// says {pat} in a comment\n"),
+        1 => format!("/* block {pat} comment */\n"),
+        2 => format!("/* outer /* nested {pat} */ tail */\n"),
+        3 => format!("let s = \"quoted {pat} text\";\n"),
+        4 => format!("let s = r#\"raw {pat} with \" inside\"#;\n"),
+        5 => format!("let s = b\"bytes {pat}\";\n"),
+        _ => unreachable!(),
+    }
+}
+
+/// Ways to place the same pattern in code — all of which must survive.
+fn code_wrap(which: usize, pat: &str) -> String {
+    match which % 3 {
+        0 => format!("let t = {pat};\n"),
+        1 => format!("call({pat}, 1);\n"),
+        2 => format!("if x {{ {pat} }}\n"),
+        _ => unreachable!(),
+    }
+}
+
+/// Filler lines interleaved around the interesting line, to exercise
+/// offsets: plain code, comments, strings, lifetimes, chars.
+fn filler(which: usize) -> &'static str {
+    match which % 6 {
+        0 => "fn id<'a>(x: &'a str) -> &'a str { x }\n",
+        1 => "// an ordinary comment line\n",
+        2 => "let c = 'x'; let nl = '\\n';\n",
+        3 => "let s = \"plain string\";\n",
+        4 => "struct T { field: u64 }\n",
+        5 => "let v: Vec<u64> = Vec::new();\n",
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn patterns_in_prose_never_survive_masking(
+        pat_i in 0usize..6,
+        wrap_i in 0usize..6,
+        pre in 0usize..6,
+        post in 0usize..6,
+    ) {
+        let pat = PATTERNS[pat_i % PATTERNS.len()];
+        let src = format!(
+            "{}{}{}",
+            filler(pre),
+            prose_wrap(wrap_i, pat),
+            filler(post)
+        );
+        let masked = cup_lint::lexer::mask(&src);
+        prop_assert!(
+            !masked.contains(pat),
+            "pattern {pat:?} leaked out of prose wrap {wrap_i} in:\n{src}\nmasked:\n{masked}"
+        );
+        prop_assert_eq!(masked.lines().count(), src.lines().count());
+        prop_assert_eq!(masked.len(), src.len());
+    }
+
+    #[test]
+    fn patterns_in_code_always_survive_masking(
+        pat_i in 0usize..6,
+        wrap_i in 0usize..3,
+        pre in 0usize..6,
+        post in 0usize..6,
+    ) {
+        let pat = PATTERNS[pat_i % PATTERNS.len()];
+        let src = format!(
+            "{}{}{}",
+            filler(pre),
+            code_wrap(wrap_i, pat),
+            filler(post)
+        );
+        let masked = cup_lint::lexer::mask(&src);
+        prop_assert!(
+            masked.contains(pat),
+            "pattern {pat:?} was wrongly masked out of code wrap {wrap_i} in:\n{src}"
+        );
+        // And it survives on the same line it was written on.
+        let line_in_src = src.lines().position(|l| l.contains(pat));
+        let line_in_masked = masked.lines().position(|l| l.contains(pat));
+        prop_assert_eq!(line_in_src, line_in_masked);
+    }
+
+    #[test]
+    fn prose_and_code_mix_fires_exactly_once(
+        pat_i in 0usize..6,
+        prose_i in 0usize..6,
+        code_i in 0usize..3,
+        flip in 0usize..2,
+    ) {
+        // One prose occurrence and one code occurrence of the same
+        // pattern, in either order: masking must keep exactly the code
+        // one.
+        let pat = PATTERNS[pat_i % PATTERNS.len()];
+        let (a, b) = (prose_wrap(prose_i, pat), code_wrap(code_i, pat));
+        let src = if flip == 0 {
+            format!("{a}{b}")
+        } else {
+            format!("{b}{a}")
+        };
+        let masked = cup_lint::lexer::mask(&src);
+        let count = masked.matches(pat).count();
+        prop_assert_eq!(count, 1, "expected exactly the code occurrence in:\n{}", src);
+    }
+}

@@ -165,6 +165,7 @@ impl LiveNetwork {
             let handle = std::thread::Builder::new()
                 .name(format!("cup-shard-{shard}"))
                 .spawn(move || worker_main(shard, base, nodes, rx, shared))
+                // cup-lint: allow(panic-path, "start-up, before any worker dispatches: failing to spawn the pool has nothing to degrade to")
                 .expect("worker thread must spawn");
             handles.push(handle);
         }
@@ -472,7 +473,14 @@ impl LiveNetwork {
         }
         let client = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = channel();
-        self.shared.clients.lock().unwrap().insert(client, tx);
+        // Recover a poisoned registry rather than panicking the caller:
+        // the map only holds channel senders, so it is valid after any
+        // worker panic (which the quiesce barrier reports separately).
+        self.shared
+            .clients
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(client, tx);
         self.shared.post(
             self.shared.shard_of(node),
             Envelope::Client {
@@ -501,6 +509,7 @@ impl LiveNetwork {
         }
         let mut nodes = Vec::with_capacity(self.node_ids.len());
         for handle in self.handles {
+            // cup-lint: allow(panic-path, "shutdown, after the last quiesce: surfacing a worker panic to the caller is the report, not a degradation")
             nodes.extend(handle.join().expect("worker thread must not panic"));
         }
         nodes

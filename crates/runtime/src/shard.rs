@@ -262,14 +262,18 @@ impl Shared {
         }
     }
 
-    /// Whether justification accounting is live.
+    /// Whether justification accounting is live. Acquire pairs with the
+    /// SeqCst store in `track_justification`: a worker that observes the
+    /// flag also observes the tracker state installed before the flip.
     pub(crate) fn justify_enabled(&self) -> bool {
-        self.justify_on.load(Ordering::Relaxed)
+        self.justify_on.load(Ordering::Acquire)
     }
 
-    /// Whether the fault plane vets sends.
+    /// Whether the fault plane vets sends. Acquire pairs with the SeqCst
+    /// store in `enable_faults`, so a worker that sees the flag also
+    /// sees the fault state it guards.
     pub(crate) fn faults_enabled(&self) -> bool {
-        self.faults_on.load(Ordering::Relaxed)
+        self.faults_on.load(Ordering::Acquire)
     }
 
     /// Sender-side fault verdict for one message (call exactly once per
@@ -303,9 +307,10 @@ impl Shared {
     }
 
     /// Whether staleness ground truth is being recorded (a fault plane
-    /// was armed at some point this run).
+    /// was armed at some point this run). Acquire for the same reason as
+    /// [`Shared::faults_enabled`]: the flag guards the dead-replica map.
     pub(crate) fn faults_armed(&self) -> bool {
-        self.faults_armed.load(Ordering::Relaxed)
+        self.faults_armed.load(Ordering::Acquire)
     }
 
     /// Records a replica as globally dead from `now` (first death wins,
@@ -373,8 +378,16 @@ impl Shared {
     }
 
     /// Delivers a query answer to a waiting client, if it still waits.
+    /// A poisoned registry is recovered, not propagated: the map only
+    /// holds channel senders, so it is valid after any panic, and a
+    /// worker must keep dispatching (the barrier reports the panic).
     fn respond_client(&self, client: ClientId, entries: Vec<IndexEntry>) {
-        if let Some(tx) = self.clients.lock().unwrap().get(&client) {
+        if let Some(tx) = self
+            .clients
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&client)
+        {
             let _ = tx.send(entries);
         }
     }

@@ -10,6 +10,10 @@
 //!   hard wall-clock budget, so a scheduler regression fails loudly
 //!   instead of silently rotting the benches.
 
+// Wall-clock budgets are this suite's point (see module docs): exempt
+// from clippy.toml's disallowed-methods wall, like cup-bench.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 use cup::prelude::*;

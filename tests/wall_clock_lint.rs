@@ -2,69 +2,30 @@
 //!
 //! The live runtime's determinism story rests on one invariant: "now"
 //! comes from `cup_core::clock::Clock` and nowhere else, so a virtual-
-//! clock run is bit-reproducible and conformant with the DES. This test
-//! (and the matching grep gate in CI) scans the protocol crates —
-//! `cup-core` and `cup-runtime` — for wall-time constructs and fails if
-//! any appear outside the single designated wall-clock module,
-//! `crates/core/src/clock.rs`. Bench crates and the shims are exempt:
-//! measuring wall time is their job.
+//! clock run is bit-reproducible and conformant with the DES.
+//!
+//! Historically this file carried its own substring scanner and CI
+//! duplicated it as a grep; both are now thin callers of the `cup-lint`
+//! engine's `wall-clock` rule, so the banned-construct list lives in
+//! exactly one place (`cup_lint::rules`) and matches *code* — a banned
+//! name in a doc comment or an error string no longer trips the gate.
 
-use std::fs;
-use std::path::{Path, PathBuf};
-
-/// Source trees the ban covers.
-const SCANNED: &[&str] = &["crates/core/src", "crates/runtime/src"];
-
-/// The one file allowed to touch the wall clock.
-const DESIGNATED: &str = "clock.rs";
-
-/// Banned constructs. `Instant::now(` covers every way of reading the
-/// wall clock through `std::time::Instant`; sleeping and `SystemTime`
-/// are banned outright (a sleeping worker is a timing-dependent test
-/// waiting to flake; protocol state never needs calendar time).
-const BANNED: &[&str] = &["Instant::now(", "thread::sleep", "SystemTime"];
-
-fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
-    for entry in fs::read_dir(dir).expect("scanned source dir exists") {
-        let path = entry.expect("readable dir entry").path();
-        if path.is_dir() {
-            rust_sources(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
+use cup_lint::engine::{self, Rule, Workspace};
+use cup_lint::rules::{WallClock, WALL_CLOCK_BANNED, WALL_CLOCK_DESIGNATED, WALL_CLOCK_SCOPE};
 
 #[test]
 fn wall_time_never_leaks_into_protocol_crates() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let mut violations = Vec::new();
-    let mut scanned = 0usize;
-    for tree in SCANNED {
-        let mut sources = Vec::new();
-        rust_sources(&root.join(tree), &mut sources);
-        assert!(!sources.is_empty(), "{tree} has sources to scan");
-        for path in sources {
-            if path.file_name().is_some_and(|f| f == DESIGNATED) {
-                continue;
-            }
-            scanned += 1;
-            let text = fs::read_to_string(&path).expect("source file reads");
-            for (i, line) in text.lines().enumerate() {
-                for token in BANNED {
-                    if line.contains(token) {
-                        violations.push(format!(
-                            "{}:{}: `{}` — use cup_core::clock::Clock instead",
-                            path.strip_prefix(root).unwrap_or(&path).display(),
-                            i + 1,
-                            token
-                        ));
-                    }
-                }
-            }
-        }
-    }
-    assert!(scanned > 10, "the scan must actually cover the crates");
+    let root = cup_lint::workspace_root();
+    let ws = Workspace::load(&root, WALL_CLOCK_SCOPE);
+    assert!(
+        ws.files.len() > 10,
+        "the scan must actually cover the crates"
+    );
+    let report = engine::run(&ws, &[&WallClock as &dyn Rule]);
+    let violations: Vec<String> = report
+        .denied()
+        .map(|f| format!("{}:{}: {}", f.path, f.line, f.message))
+        .collect();
     assert!(
         violations.is_empty(),
         "wall-time constructs outside the designated clock module:\n{}",
@@ -73,12 +34,32 @@ fn wall_time_never_leaks_into_protocol_crates() {
 }
 
 #[test]
+fn the_rule_still_fires_on_a_planted_violation() {
+    // Guard against the gate rotting into a vacuous pass (the fate of
+    // its predecessor, which silently fell out of the test wiring): a
+    // planted `thread::sleep` in scope must produce a finding.
+    let ws = Workspace::from_sources(&[(
+        "crates/runtime/src/planted.rs",
+        "fn nap(d: Duration) { std::thread::sleep(d); }\n",
+    )]);
+    let report = engine::run(&ws, &[&WallClock as &dyn Rule]);
+    assert_eq!(report.denied().count(), 1);
+}
+
+#[test]
 fn the_designated_module_still_exists() {
-    // If clock.rs is ever renamed, the exemption above must move with
-    // it rather than silently exempting nothing.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    // If clock.rs is ever renamed, the exemption must move with it
+    // rather than silently exempting nothing.
+    let root = cup_lint::workspace_root();
     assert!(
-        root.join("crates/core/src").join(DESIGNATED).is_file(),
-        "crates/core/src/{DESIGNATED} is the designated wall-clock module"
+        root.join("crates/core/src")
+            .join(WALL_CLOCK_DESIGNATED)
+            .is_file(),
+        "crates/core/src/{WALL_CLOCK_DESIGNATED} is the one module allowed to touch the wall \
+         clock; update cup_lint::rules if it moved"
+    );
+    assert!(
+        WALL_CLOCK_BANNED.contains(&"thread::sleep"),
+        "the banned-construct list must keep covering sleeps"
     );
 }
