@@ -1,12 +1,15 @@
 //! Emits `BENCH_live.json`: the worker-pool live runtime throughput
-//! sweep (queries/sec, updates/sec, worker count) per overlay kind.
+//! sweep (queries/sec, updates/sec, batch amortization, cross-shard
+//! ratio) per overlay kind, population size, and shard-map mode.
 //!
 //! Usage:
 //!
 //! ```text
-//! bench_live [--nodes 10000] [--queries 5000] [--updates 5000]
-//!            [--workers N] [--overlays can,chord] [--seed 42]
-//!            [--out BENCH_live.json] [--budget-secs N]
+//! bench_live [--nodes 10000 | --sizes 10000,50000,100000]
+//!            [--queries 5000] [--updates 5000]
+//!            [--workers N] [--overlays can,chord]
+//!            [--shard-map contiguous|overlay-aware|both]
+//!            [--seed 42] [--out BENCH_live.json] [--budget-secs N]
 //! ```
 //!
 //! With `--budget-secs`, the process exits non-zero if any single run
@@ -20,14 +23,15 @@
 use cup_bench::cli::{parse_or_exit, value_of};
 use cup_bench::live_bench::{render_json, run_point};
 use cup_overlay::OverlayKind;
-use cup_runtime::LiveNetwork;
+use cup_runtime::{LiveNetwork, ShardMapMode};
 
 fn main() {
-    let mut nodes: usize = 10_000;
+    let mut sizes: Vec<usize> = vec![10_000];
     let mut queries: u64 = 5_000;
     let mut updates: u64 = 5_000;
     let mut workers: usize = LiveNetwork::default_workers();
     let mut overlays: Vec<OverlayKind> = OverlayKind::ALL.to_vec();
+    let mut maps: Vec<ShardMapMode> = vec![ShardMapMode::Contiguous];
     let mut seed: u64 = 42;
     let mut out_path = String::from("BENCH_live.json");
     let mut budget_secs: Option<u64> = None;
@@ -36,7 +40,13 @@ fn main() {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--nodes" => nodes = parse_or_exit(&value_of(&mut it, "--nodes"), "--nodes"),
+            "--nodes" => sizes = vec![parse_or_exit(&value_of(&mut it, "--nodes"), "--nodes")],
+            "--sizes" => {
+                sizes = value_of(&mut it, "--sizes")
+                    .split(',')
+                    .map(|s| parse_or_exit(s.trim(), "--sizes"))
+                    .collect();
+            }
             "--queries" => queries = parse_or_exit(&value_of(&mut it, "--queries"), "--queries"),
             "--updates" => updates = parse_or_exit(&value_of(&mut it, "--updates"), "--updates"),
             "--workers" => workers = parse_or_exit(&value_of(&mut it, "--workers"), "--workers"),
@@ -51,6 +61,18 @@ fn main() {
                     })
                     .collect();
             }
+            "--shard-map" => {
+                let v = value_of(&mut it, "--shard-map");
+                maps = match v.trim() {
+                    "both" => ShardMapMode::ALL.to_vec(),
+                    s => vec![ShardMapMode::parse(s).unwrap_or_else(|| {
+                        eprintln!(
+                            "bad --shard-map value '{s}' (contiguous | overlay-aware | both)"
+                        );
+                        std::process::exit(2);
+                    })],
+                };
+            }
             "--seed" => seed = parse_or_exit(&value_of(&mut it, "--seed"), "--seed"),
             "--out" => out_path = value_of(&mut it, "--out"),
             "--budget-secs" => {
@@ -61,8 +83,9 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: bench_live [--nodes N] [--queries N] [--updates N] \
-                     [--workers N] [--overlays can,chord] [--seed N] \
+                    "usage: bench_live [--nodes N | --sizes N,N,...] [--queries N] \
+                     [--updates N] [--workers N] [--overlays can,chord] \
+                     [--shard-map contiguous|overlay-aware|both] [--seed N] \
                      [--out PATH] [--budget-secs N]"
                 );
                 return;
@@ -74,35 +97,43 @@ fn main() {
         }
     }
 
-    let mut points = Vec::with_capacity(overlays.len());
+    let mut points = Vec::with_capacity(sizes.len() * overlays.len() * maps.len());
     let mut over_budget = false;
-    for &kind in &overlays {
-        let start = std::time::Instant::now();
-        let p = run_point(kind, nodes, queries, updates, workers, seed);
-        let wall = start.elapsed();
-        println!(
-            "{:>5}  {:>7} nodes  {:>2} workers  {:>9.0} queries/s  {:>9.0} updates/s  \
-             {:>9} hops ({} cross-shard)",
-            kind.name(),
-            p.nodes,
-            p.workers,
-            p.queries_per_sec(),
-            p.updates_per_sec(),
-            p.hops,
-            p.cross_shard,
-        );
-        if let Some(budget) = budget_secs {
-            if wall.as_secs() >= budget {
-                eprintln!(
-                    "BUDGET EXCEEDED: {} at {} nodes took {:.2} s (budget {budget} s)",
+    for &nodes in &sizes {
+        for &kind in &overlays {
+            for &map in &maps {
+                let start = std::time::Instant::now();
+                let p = run_point(kind, nodes, queries, updates, workers, map, seed);
+                let wall = start.elapsed();
+                println!(
+                    "{:>5}  {:>7} nodes  {:>2} workers  {:>13}  {:>9.0} queries/s  \
+                     {:>9.0} updates/s  {:>10} hops  {:.1}% cross-shard  \
+                     mean batch {:.1}",
                     kind.name(),
-                    nodes,
-                    wall.as_secs_f64()
+                    p.nodes,
+                    p.workers,
+                    map.name(),
+                    p.queries_per_sec(),
+                    p.updates_per_sec(),
+                    p.hops,
+                    p.cross_shard_ratio() * 100.0,
+                    p.mean_batch(),
                 );
-                over_budget = true;
+                if let Some(budget) = budget_secs {
+                    if wall.as_secs() >= budget {
+                        eprintln!(
+                            "BUDGET EXCEEDED: {} ({}) at {} nodes took {:.2} s (budget {budget} s)",
+                            kind.name(),
+                            map.name(),
+                            nodes,
+                            wall.as_secs_f64()
+                        );
+                        over_budget = true;
+                    }
+                }
+                points.push(p);
             }
         }
-        points.push(p);
     }
     let json = render_json(&points, seed);
     std::fs::write(&out_path, json).unwrap_or_else(|e| {

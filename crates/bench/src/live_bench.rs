@@ -3,16 +3,21 @@
 //! Where `des_bench` measures the simulator's event throughput,
 //! this module measures the *real* worker-pool runtime: queries per
 //! second under concurrent client threads and replica-update events per
-//! second through the shard mailboxes, per overlay kind and worker
-//! count. CI uploads the JSON as an artifact next to `BENCH_des.json`,
-//! so the live runtime's throughput trajectory is tracked per commit.
+//! second through the shard mailboxes, per overlay kind, worker count,
+//! population size, and [`ShardMapMode`]. Each point also reports the
+//! batch plane's amortization stats — flush count, mean batch size, and
+//! the cross-shard traffic ratio — so placement quality is tracked next
+//! to raw throughput. CI uploads the JSON as an artifact next to
+//! `BENCH_des.json`, so the live runtime's trajectory is tracked per
+//! commit.
 
 use std::time::{Duration, Instant};
 
+use cup_core::clock::Clock;
 use cup_core::NodeConfig;
 use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration};
 use cup_overlay::OverlayKind;
-use cup_runtime::LiveNetwork;
+use cup_runtime::{LiveNetwork, ShardMapMode};
 
 /// Replica lifetime far beyond any benchmark horizon.
 const LIFETIME: SimDuration = SimDuration::from_secs(1_000_000);
@@ -32,6 +37,8 @@ pub struct LiveBenchPoint {
     pub nodes: usize,
     /// Worker threads the pool ran on.
     pub workers: usize,
+    /// Node→shard placement mode the pool ran under.
+    pub map: ShardMapMode,
     /// Client queries answered.
     pub queries: u64,
     /// Wall-clock time of the query phase.
@@ -44,6 +51,10 @@ pub struct LiveBenchPoint {
     pub hops: u64,
     /// Peer messages that crossed a shard boundary.
     pub cross_shard: u64,
+    /// Cross-shard batch flushes (one amortized counter bump each).
+    pub batch_flushes: u64,
+    /// Envelopes carried by those flushes (== `cross_shard`).
+    pub batched_envelopes: u64,
 }
 
 impl LiveBenchPoint {
@@ -55,6 +66,26 @@ impl LiveBenchPoint {
     /// Replica-update throughput (events injected, propagated, drained).
     pub fn updates_per_sec(&self) -> f64 {
         per_sec(self.updates, self.update_wall)
+    }
+
+    /// Mean envelopes per cross-shard flush — the batch plane's
+    /// amortization factor (0 when nothing crossed a shard boundary).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batch_flushes == 0 {
+            0.0
+        } else {
+            self.batched_envelopes as f64 / self.batch_flushes as f64
+        }
+    }
+
+    /// Fraction of peer messages that crossed a shard boundary — the
+    /// placement-quality number the overlay-aware map drives down.
+    pub fn cross_shard_ratio(&self) -> f64 {
+        if self.hops == 0 {
+            0.0
+        } else {
+            self.cross_shard as f64 / self.hops as f64
+        }
     }
 }
 
@@ -79,12 +110,20 @@ pub fn run_point(
     queries: u64,
     updates: u64,
     workers: usize,
+    map: ShardMapMode,
     seed: u64,
 ) -> LiveBenchPoint {
     let mut rng = DetRng::seed_from(seed);
-    let net =
-        LiveNetwork::start_with_workers(kind, nodes, NodeConfig::cup_default(), workers, &mut rng)
-            .expect("live network must start");
+    let net = LiveNetwork::start_with_map(
+        kind,
+        nodes,
+        NodeConfig::cup_default(),
+        workers,
+        map,
+        Clock::wall(),
+        &mut rng,
+    )
+    .expect("live network must start");
     let keys = KEYS.min(nodes as u32);
     for k in 0..keys {
         net.replica_birth(KeyId(k), ReplicaId(k), LIFETIME);
@@ -133,12 +172,15 @@ pub fn run_point(
         overlay: kind,
         nodes,
         workers: net.workers(),
+        map,
         queries,
         query_wall,
         updates,
         update_wall,
         hops: net.hops(),
         cross_shard: net.cross_shard_messages(),
+        batch_flushes: net.batch_flushes(),
+        batched_envelopes: net.batched_envelopes(),
     };
     net.shutdown();
     point
@@ -158,13 +200,17 @@ pub fn render_json(points: &[LiveBenchPoint], seed: u64) -> String {
         let comma = if i + 1 < points.len() { "," } else { "" };
         out.push_str(&format!(
             "    {{\"overlay\": \"{}\", \"nodes\": {}, \"workers\": {}, \
+             \"shard_map\": \"{}\", \
              \"queries\": {}, \"queries_per_sec\": {:.0}, \
              \"updates\": {}, \"updates_per_sec\": {:.0}, \
              \"query_wall_ms\": {:.3}, \"update_wall_ms\": {:.3}, \
-             \"hops\": {}, \"cross_shard\": {}}}{comma}\n",
+             \"hops\": {}, \"cross_shard\": {}, \
+             \"cross_shard_ratio\": {:.4}, \"batch_flushes\": {}, \
+             \"mean_batch\": {:.2}}}{comma}\n",
             p.overlay.name(),
             p.nodes,
             p.workers,
+            p.map.name(),
             p.queries,
             p.queries_per_sec(),
             p.updates,
@@ -173,6 +219,9 @@ pub fn render_json(points: &[LiveBenchPoint], seed: u64) -> String {
             p.update_wall.as_secs_f64() * 1e3,
             p.hops,
             p.cross_shard,
+            p.cross_shard_ratio(),
+            p.batch_flushes,
+            p.mean_batch(),
         ));
     }
     out.push_str("  ]\n}\n");
@@ -185,33 +234,54 @@ mod tests {
 
     #[test]
     fn point_runs_and_renders() {
-        let p = run_point(OverlayKind::Can, 128, 64, 64, 2, 9);
+        let p = run_point(
+            OverlayKind::Can,
+            128,
+            64,
+            64,
+            2,
+            ShardMapMode::Contiguous,
+            9,
+        );
         assert_eq!(p.nodes, 128);
         assert_eq!(p.workers, 2);
         assert_eq!(p.queries, 64);
         assert!(p.hops > 0);
         assert!(p.queries_per_sec() > 0.0);
         assert!(p.updates_per_sec() > 0.0);
+        // Every cross-shard envelope travels in exactly one flush.
+        assert_eq!(p.batched_envelopes, p.cross_shard);
+        assert!(p.mean_batch() >= 1.0);
+        assert!(p.cross_shard_ratio() > 0.0 && p.cross_shard_ratio() <= 1.0);
         let json = render_json(&[p.clone(), p], 9);
         assert!(json.contains("\"benchmark\": \"cup-runtime worker-pool\""));
         assert_eq!(json.matches("\"overlay\": \"can\"").count(), 2);
+        assert_eq!(json.matches("\"shard_map\": \"contiguous\"").count(), 2);
+        assert!(json.contains("\"mean_batch\""));
+        assert!(json.contains("\"cross_shard_ratio\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
-    fn both_overlays_run() {
+    fn both_overlays_run_under_both_maps() {
         for kind in OverlayKind::ALL {
-            let p = run_point(kind, 64, 32, 32, 2, 11);
-            assert_eq!(p.overlay, kind);
-            assert!(p.queries_per_sec() > 0.0);
+            for map in ShardMapMode::ALL {
+                let p = run_point(kind, 64, 32, 32, 2, map, 11);
+                assert_eq!(p.overlay, kind);
+                assert_eq!(p.map, map);
+                assert!(p.queries_per_sec() > 0.0);
+            }
         }
     }
 
     #[test]
     fn degenerate_populations_do_not_panic() {
         // Fewer keys than client threads: the thread count adapts.
-        let p = run_point(OverlayKind::Can, 2, 8, 8, 2, 13);
+        let p = run_point(OverlayKind::Can, 2, 8, 8, 2, ShardMapMode::OverlayAware, 13);
         assert_eq!(p.queries, 8);
         assert!(p.queries_per_sec() > 0.0);
+        // Batch stats stay well-defined however tiny the network.
+        assert!(p.mean_batch() >= 0.0);
+        assert_eq!(p.batched_envelopes, p.cross_shard);
     }
 }

@@ -60,7 +60,7 @@ pub mod prelude {
     pub use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration, SimTime};
     pub use cup_faults::{Behavior, FaultAction, FaultCounters, FaultPlan, FaultState};
     pub use cup_overlay::{AnyOverlay, Overlay, OverlayKind};
-    pub use cup_runtime::{LiveNetwork, PendingQuery, RuntimeError};
+    pub use cup_runtime::{LiveNetwork, PendingQuery, RuntimeError, ShardMap, ShardMapMode};
     pub use cup_simnet::{run_experiment, ExperimentConfig, ExperimentResult};
     pub use cup_workload::{CapacityProfile, ChurnSchedule, KeySelector, QueryGen, Scenario};
 }

@@ -295,6 +295,8 @@ pub const ATOMIC_SCOPE: &[&str] = &["crates/runtime/src"];
 pub const MONOTONE_COUNTERS: &[&str] = &[
     "hops",
     "cross_shard",
+    "batch_flushes",
+    "batched_envelopes",
     "routing_failures",
     "stale_answers",
     "stale_age_micros",

@@ -241,6 +241,24 @@ fn f(s: &S) -> bool {
 }
 
 #[test]
+fn relaxed_batch_counters_pass_but_a_relaxed_flush_flag_fires() {
+    // The batch plane's throughput counters are monotone — Relaxed is
+    // the point — but its dirty/flush *flags* gate worker wakeups and
+    // must carry ordering.
+    let src = "\
+fn f(s: &S) {
+    s.batch_flushes.fetch_add(1, Ordering::Relaxed);
+    s.batched_envelopes.fetch_add(n as u64, Ordering::Relaxed);
+    s.flush_dirty.store(true, Ordering::Relaxed);
+}
+";
+    let report = run_rule(&RelaxedAtomic, &[("crates/runtime/src/s.rs", src)]);
+    let denied: Vec<_> = report.denied().collect();
+    assert_eq!(denied.len(), 1, "only the flag store may fire");
+    assert!(denied[0].message.contains("flush_dirty"));
+}
+
+#[test]
 fn acquire_and_out_of_scope_relaxed_do_not_fire() {
     let report = run_rule(
         &RelaxedAtomic,

@@ -2,13 +2,20 @@
 //!
 //! The protocol core is a pure state machine; this crate demonstrates
 //! that it runs unchanged outside the simulator — and at scale. The node
-//! population is cut into contiguous shards, one per worker thread
-//! (default: the machine's available parallelism), so a 10k-node network
-//! costs a handful of OS threads instead of 10k. Each worker owns its
-//! shard's [`cup_core::CupNode`]s and a mailbox: intra-shard messages
-//! are handled inline through a local FIFO, cross-shard messages go
-//! through the target shard's mailbox, and the overlay substrate (CAN or
-//! Chord) is a constructor parameter.
+//! population is cut into shards by a [`ShardMap`], one shard per worker
+//! thread (default: the machine's available parallelism), so a 100k-node
+//! network costs a handful of OS threads instead of 100k. Placement is
+//! pluggable ([`ShardMapMode`]): balanced contiguous id ranges by
+//! default, or **overlay-aware** runs that co-locate CAN zone neighbors
+//! and Chord successor arcs so neighbor-heavy protocol traffic stays
+//! intra-shard. Each worker owns its shard's [`cup_core::CupNode`]s:
+//! intra-shard messages are handled inline through a local FIFO, and
+//! cross-shard messages are **batched** — accumulated into
+//! per-destination buffers during dispatch and flushed as whole batches
+//! into per-(sender, receiver) swap-buffer slots at loop boundaries, so
+//! queue locking and the quiesce barrier's atomic in-flight counter are
+//! amortized over whole batches instead of paid per envelope. The
+//! overlay substrate (CAN or Chord) is a constructor parameter.
 //!
 //! **Two clock modes** ([`cup_core::clock::Clock`]): the default
 //! constructors map the wall clock onto [`cup_des::SimTime`]
@@ -24,9 +31,12 @@
 //! DES exactly; the conformance harness asserts it byte for byte.
 //!
 //! [`LiveNetwork::quiesce`] is the runtime's barrier: it blocks until
-//! every mailbox is drained and no worker is mid-dispatch, the live
-//! equivalent of running a simulation until its event queue empties.
-//! Tests and benchmarks synchronize on it instead of sleeping.
+//! every inbox and transfer slot is drained and no worker is
+//! mid-dispatch, the live equivalent of running a simulation until its
+//! event queue empties. It stays exact under batching because workers
+//! flush their outbound buffers before retiring consumed work and
+//! before parking. Tests and benchmarks synchronize on it instead of
+//! sleeping.
 //!
 //! The runtime keeps the overlay static (no churn) — it exists to
 //! exercise the protocol under real concurrency, not to be a full
@@ -61,5 +71,7 @@
 
 pub mod network;
 mod shard;
+pub mod shard_map;
 
 pub use network::{LiveNetwork, PendingQuery, RuntimeError};
+pub use shard_map::{ShardMap, ShardMapMode};

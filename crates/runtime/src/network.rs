@@ -14,6 +14,7 @@ use cup_faults::{FaultAction, FaultCounters, FaultEvent, FaultPlan, FaultState};
 use cup_overlay::{AnyOverlay, Overlay, OverlayError, OverlayKind};
 
 use crate::shard::{worker_main, Envelope, Shared};
+use crate::shard_map::{ShardMap, ShardMapMode};
 
 /// Errors surfaced by the live runtime.
 #[derive(Debug)]
@@ -68,9 +69,10 @@ impl LiveNetwork {
     /// Like [`LiveNetwork::start`] with an explicit worker count.
     ///
     /// `workers` is clamped to `1..=n` and then honored exactly: each
-    /// worker owns one contiguous shard of nodes (shard sizes differ by
-    /// at most one) and one mailbox. Runs on the wall-mapped clock; use
-    /// [`LiveNetwork::start_virtual`] for deterministic logical time.
+    /// worker owns one shard of nodes (shard sizes differ by at most
+    /// one) under the default contiguous [`ShardMapMode`]. Runs on the
+    /// wall-mapped clock; use [`LiveNetwork::start_virtual`] for
+    /// deterministic logical time.
     ///
     /// # Errors
     ///
@@ -127,44 +129,85 @@ impl LiveNetwork {
         clock: Clock,
         rng: &mut DetRng,
     ) -> Result<Self, RuntimeError> {
+        Self::start_with_map(
+            kind,
+            n,
+            config,
+            workers,
+            ShardMapMode::Contiguous,
+            clock,
+            rng,
+        )
+    }
+
+    /// Like [`LiveNetwork::start_virtual`] with an explicit
+    /// [`ShardMapMode`] — the constructor the conformance harness uses
+    /// to prove sharding invisible across placement modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Overlay`] if the overlay cannot be built.
+    pub fn start_virtual_with_map(
+        kind: OverlayKind,
+        n: usize,
+        config: NodeConfig,
+        workers: usize,
+        map: ShardMapMode,
+        rng: &mut DetRng,
+    ) -> Result<Self, RuntimeError> {
+        Self::start_with_map(
+            kind,
+            n,
+            config,
+            workers,
+            map,
+            Clock::virtual_at(SimTime::ZERO),
+            rng,
+        )
+    }
+
+    /// The fully explicit constructor: overlay kind, population, worker
+    /// count, node→shard placement mode, and clock. Every other `start_*`
+    /// delegates here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Overlay`] if the overlay cannot be built.
+    pub fn start_with_map(
+        kind: OverlayKind,
+        n: usize,
+        config: NodeConfig,
+        workers: usize,
+        map: ShardMapMode,
+        clock: Clock,
+        rng: &mut DetRng,
+    ) -> Result<Self, RuntimeError> {
         let overlay = AnyOverlay::build(kind, n, rng).map_err(RuntimeError::Overlay)?;
         let node_ids = overlay.nodes();
-        // Shard arithmetic and the O(1) node check in `query` rely on the
-        // static builders assigning dense ids 0..n.
+        // The shard map's dense tables and the O(1) node check in
+        // `query` rely on the static builders assigning dense ids 0..n.
         assert!(
             node_ids.iter().enumerate().all(|(i, id)| id.index() == i),
             "static overlay builders must assign dense node ids"
         );
-        // Exactly `workers` contiguous shards under the balanced
-        // partition (sizes differ by at most one node), so a pinned
-        // worker count is honored for every n/workers combination.
+        // Exactly `workers` shards under the balanced partition (sizes
+        // differ by at most one node), so a pinned worker count is
+        // honored for every n/workers combination.
         let workers = workers.clamp(1, node_ids.len().max(1));
-        let mut mailboxes = Vec::with_capacity(workers);
-        let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (tx, rx) = channel();
-            mailboxes.push(tx);
-            receivers.push(rx);
-        }
-        let shared = Arc::new(Shared::new(
-            mailboxes,
-            node_ids.len(),
-            overlay,
-            config,
-            clock,
-        ));
+        let map = ShardMap::build(map, &overlay, workers);
+        let shared = Arc::new(Shared::new(map, overlay, config, clock));
         let mut handles = Vec::with_capacity(workers);
-        for (shard, rx) in receivers.into_iter().enumerate() {
-            let base = Shared::shard_base(node_ids.len(), workers, shard);
-            let end = Shared::shard_base(node_ids.len(), workers, shard + 1);
-            let nodes: Vec<CupNode> = node_ids[base..end]
+        for shard in 0..workers {
+            let nodes: Vec<CupNode> = shared
+                .map
+                .owned(shard)
                 .iter()
                 .map(|&id| CupNode::new(id, config))
                 .collect();
             let shared = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("cup-shard-{shard}"))
-                .spawn(move || worker_main(shard, base, nodes, rx, shared))
+                .spawn(move || worker_main(shard, nodes, shared))
                 // cup-lint: allow(panic-path, "start-up, before any worker dispatches: failing to spawn the pool has nothing to degrade to")
                 .expect("worker thread must spawn");
             handles.push(handle);
@@ -200,9 +243,30 @@ impl LiveNetwork {
     }
 
     /// Peer messages that crossed a shard boundary (subset of
-    /// [`LiveNetwork::hops`]).
+    /// [`LiveNetwork::hops`]). Batching does not change the count:
+    /// every envelope inside a flushed batch is charged individually
+    /// at flush time.
     pub fn cross_shard_messages(&self) -> u64 {
         self.shared.cross_shard.load(Ordering::Relaxed)
+    }
+
+    /// The node→shard placement mode this network was started with.
+    pub fn shard_map_mode(&self) -> ShardMapMode {
+        self.shared.map.mode()
+    }
+
+    /// Batches deposited into cross-shard transfer slots so far
+    /// (non-empty flushes). Call after [`LiveNetwork::quiesce`] for a
+    /// stable reading.
+    pub fn batch_flushes(&self) -> u64 {
+        self.shared.batch_flushes.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes that traveled inside those batches (equals
+    /// [`LiveNetwork::cross_shard_messages`]; the ratio of the two is
+    /// the mean batch size).
+    pub fn batched_envelopes(&self) -> u64 {
+        self.shared.batched_envelopes.load(Ordering::Relaxed)
     }
 
     /// Messages dropped because an overlay routing lookup failed
@@ -504,14 +568,17 @@ impl LiveNetwork {
     /// [`LiveNetwork::crash_retained_stats`].
     pub fn shutdown(self) -> Vec<CupNode> {
         self.quiesce();
-        for tx in &self.shared.mailboxes {
-            let _ = tx.send(Envelope::Shutdown);
+        for inbox in &self.shared.inboxes {
+            inbox.shutdown();
         }
         let mut nodes = Vec::with_capacity(self.node_ids.len());
         for handle in self.handles {
             // cup-lint: allow(panic-path, "shutdown, after the last quiesce: surfacing a worker panic to the caller is the report, not a degradation")
             nodes.extend(handle.join().expect("worker thread must not panic"));
         }
+        // Overlay-aware shards own non-contiguous id sets, so the
+        // concatenation above is not id-sorted in every mode.
+        nodes.sort_unstable_by_key(|n| n.id().index());
         nodes
     }
 }
@@ -710,11 +777,75 @@ mod tests {
             let node = net.nodes()[rng.choose_index(32)];
             net.query(node, KeyId(rng.next_below(8) as u32)).unwrap();
         }
+        net.quiesce();
         assert!(
             net.cross_shard_messages() > 0,
             "a 4-shard network must route some messages across shards"
         );
         assert!(net.cross_shard_messages() <= net.hops());
+        // Batched transfer still counts individual envelopes: every
+        // cross-shard message traveled inside some deposited batch.
+        assert_eq!(net.batched_envelopes(), net.cross_shard_messages());
+        assert!(net.batch_flushes() > 0);
+        assert!(
+            net.batch_flushes() <= net.batched_envelopes(),
+            "a non-empty flush carries at least one envelope"
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn overlay_aware_map_serves_queries_and_returns_id_order() {
+        for kind in OverlayKind::ALL {
+            let mut rng = DetRng::seed_from(23);
+            let net = LiveNetwork::start_with_map(
+                kind,
+                24,
+                NodeConfig::cup_default(),
+                4,
+                ShardMapMode::OverlayAware,
+                Clock::wall(),
+                &mut rng,
+            )
+            .unwrap();
+            assert_eq!(net.shard_map_mode(), ShardMapMode::OverlayAware);
+            net.replica_birth(KeyId(1), ReplicaId(0), LIFE);
+            net.quiesce();
+            for &node in net.nodes() {
+                assert_eq!(
+                    net.query(node, KeyId(1)).unwrap().len(),
+                    1,
+                    "{kind}: {node}"
+                );
+            }
+            assert_eq!(net.routing_failures(), 0);
+            let nodes = net.shutdown();
+            assert_eq!(nodes.len(), 24);
+            assert!(
+                nodes.iter().enumerate().all(|(i, n)| n.id().index() == i),
+                "{kind}: shutdown must return id order under any shard map"
+            );
+        }
+    }
+
+    #[test]
+    fn single_worker_networks_never_batch() {
+        let mut rng = DetRng::seed_from(29);
+        let net = LiveNetwork::start_with_workers(
+            OverlayKind::Can,
+            16,
+            NodeConfig::cup_default(),
+            1,
+            &mut rng,
+        )
+        .unwrap();
+        net.replica_birth(KeyId(1), ReplicaId(0), LIFE);
+        net.quiesce();
+        net.query(net.nodes()[7], KeyId(1)).unwrap();
+        net.quiesce();
+        assert_eq!(net.cross_shard_messages(), 0);
+        assert_eq!(net.batch_flushes(), 0);
+        assert_eq!(net.batched_envelopes(), 0);
         net.shutdown();
     }
 

@@ -1,20 +1,34 @@
 //! The sharded worker pool behind [`crate::LiveNetwork`].
 //!
-//! The node population is cut into contiguous shards of equal size; one
-//! OS worker thread owns each shard's [`CupNode`]s and its mpsc mailbox.
-//! A message whose target lives on the same shard is handled inline
-//! through a local FIFO (no channel round-trip); a cross-shard message
-//! goes through the target shard's mailbox. An atomic in-flight counter
-//! brackets every mailbox envelope from send to fully-dispatched, which
-//! is what makes the [`Shared::wait_quiescent`] barrier exact: zero
-//! in-flight envelopes means every mailbox is drained *and* no worker is
-//! mid-dispatch (workers send an envelope's children before finishing
-//! it, so the counter can never dip to zero while work remains).
+//! The node population is cut into shards by a [`crate::ShardMap`]
+//! (balanced contiguous ranges by default, overlay-locality runs in
+//! [`crate::ShardMapMode::OverlayAware`] mode); one OS worker thread
+//! owns each shard's [`CupNode`]s. A message whose target lives on the
+//! same shard is handled inline through a local FIFO (no queue
+//! round-trip); a cross-shard message is *batched*: the sending worker
+//! accumulates envelopes into per-destination `Vec` buffers during
+//! dispatch and flushes whole batches into per-(sender, receiver)
+//! swap-buffer slots at loop boundaries, so queue locking and the
+//! atomic in-flight counter are paid once per batch, not once per
+//! envelope. Control traffic from the runtime handle (client queries,
+//! replica events, crash resets) goes through a small per-shard inbox
+//! queue next to the slots.
+//!
+//! The in-flight counter still brackets every envelope from enqueue to
+//! fully-dispatched — one `fetch_add(batch_len)` when a batch is
+//! deposited, one `fetch_sub(consumed)` after the receiver dispatched a
+//! round — which keeps the [`Shared::wait_quiescent`] barrier exact:
+//! zero means every slot and inbox is drained *and* no worker is
+//! mid-dispatch. Two orderings make that true under batching: a worker
+//! flushes its outbound buffers *before* decrementing the counter for
+//! the work it consumed (children are in flight before the parent
+//! retires), and *before* parking (a parked worker never sits on a
+//! partial batch, so the barrier cannot deadlock).
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use cup_core::clock::Clock;
 use cup_core::justify::JustificationTracker;
@@ -26,7 +40,9 @@ use cup_des::{KeyId, NodeId, ReplicaId, SimTime};
 use cup_faults::{DropVerdict, FaultState};
 use cup_overlay::{AnyOverlay, Overlay};
 
-/// What a shard mailbox can receive.
+use crate::shard_map::ShardMap;
+
+/// What a shard's inbox (or a transfer slot) can carry.
 pub(crate) enum Envelope {
     /// A protocol message for `to` from peer `from`.
     Peer {
@@ -61,9 +77,68 @@ pub(crate) enum Envelope {
         /// The crashing node (owned by this shard).
         at: NodeId,
     },
-    /// Stop the worker. Not tracked as in-flight work: shutdown is the
-    /// one envelope [`Shared::wait_quiescent`] must not wait for.
-    Shutdown,
+}
+
+/// A shard's control inbox: the queue the runtime handle posts into
+/// (client queries, replica events, crash resets), plus the flags that
+/// park and wake the worker. Batched peer traffic does *not* travel
+/// through here — it sits in [`TransferSlot`]s and only raises `dirty`.
+pub(crate) struct Inbox {
+    state: Mutex<InboxState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct InboxState {
+    /// Handle-posted control envelopes, FIFO.
+    control: VecDeque<Envelope>,
+    /// Some sender deposited a batch into one of this shard's transfer
+    /// slots since the worker last scanned them. Set under this mutex
+    /// *after* the deposit and cleared before the scan, so a deposit
+    /// racing the scan re-arms the flag and the worker rescans instead
+    /// of parking on unseen work (no missed wakeups).
+    dirty: bool,
+    /// The pool is stopping. Checked only when no work remains, so a
+    /// worker always drains before exiting.
+    shutdown: bool,
+}
+
+impl Inbox {
+    fn new() -> Inbox {
+        Inbox {
+            state: Mutex::new(InboxState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, InboxState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn push_control(&self, env: Envelope) {
+        self.lock().control.push_back(env);
+        self.cv.notify_one();
+    }
+
+    fn signal_dirty(&self) {
+        self.lock().dirty = true;
+        self.cv.notify_one();
+    }
+
+    pub(crate) fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One (sender shard → receiver shard) swap-buffer batch queue. The
+/// sender deposits a whole `Vec` of envelopes per flush (a swap when the
+/// slot is empty, an append when the receiver is behind); the receiver
+/// swaps the slot out against an empty scratch vector. The two sides
+/// ping-pong the same allocations, so steady-state transfer allocates
+/// nothing.
+struct TransferSlot {
+    buf: Mutex<Vec<Envelope>>,
 }
 
 /// Marker for a failed overlay routing lookup: the message carrying the
@@ -72,13 +147,13 @@ pub(crate) struct RoutingFailed;
 
 /// State shared between the runtime handle and every worker.
 pub(crate) struct Shared {
-    /// Per-shard mailbox senders, indexed by shard.
-    pub(crate) mailboxes: Vec<Sender<Envelope>>,
-    /// Total node population (ids are dense `0..population`).
-    population: usize,
-    /// Shard count; nodes map onto shards by the balanced contiguous
-    /// partition (shard sizes differ by at most one node).
-    shards: usize,
+    /// Per-shard control inboxes, indexed by shard.
+    pub(crate) inboxes: Vec<Inbox>,
+    /// The (sender, receiver) transfer slots, row-major by sender:
+    /// `slots[sender * shards + receiver]`.
+    slots: Vec<TransferSlot>,
+    /// The frozen node→shard assignment (and its O(1) lookup tables).
+    pub(crate) map: ShardMap,
     /// The static overlay all routing decisions come from.
     pub(crate) overlay: AnyOverlay,
     /// Client response channels, keyed by the id carried in the query.
@@ -90,7 +165,16 @@ pub(crate) struct Shared {
     /// Total peer messages delivered (the live equivalent of hop counts).
     pub(crate) hops: AtomicU64,
     /// Peer messages that crossed a shard boundary (subset of `hops`).
+    /// Charged at flush time, one bump of `batch_len` per deposited
+    /// batch, so the count still reflects individual envelopes while the
+    /// atomic is paid per batch.
     pub(crate) cross_shard: AtomicU64,
+    /// Batches deposited into transfer slots (non-empty flushes).
+    pub(crate) batch_flushes: AtomicU64,
+    /// Envelopes that traveled inside those batches. Equals
+    /// `cross_shard` today (only peer traffic batches); kept separate so
+    /// batch-size accounting survives if control traffic ever batches.
+    pub(crate) batched_envelopes: AtomicU64,
     /// Messages dropped because the overlay failed to route them.
     pub(crate) routing_failures: AtomicU64,
     /// §3.1 justified-update accounting, shared with the DES through
@@ -126,9 +210,11 @@ pub(crate) struct Shared {
     /// Counters retained from crashed nodes (the live mirror of the
     /// DES arena's departed-stats aggregate).
     pub(crate) crash_retained: Mutex<NodeStats>,
-    /// In-flight envelopes: incremented before a mailbox send,
-    /// decremented after the receiving worker fully dispatched the
-    /// envelope, including its inline intra-shard cascade.
+    /// In-flight envelopes: incremented before an envelope (or a whole
+    /// batch of them) enters an inbox or transfer slot, decremented
+    /// after the receiving worker fully dispatched it — including its
+    /// inline intra-shard cascade *and* the flush of any cross-shard
+    /// children it produced (flush-before-decrement).
     pending: AtomicU64,
     /// Set when a worker unwinds mid-dispatch; `wait_quiescent` turns
     /// it into a panic instead of waiting forever on an in-flight
@@ -140,22 +226,27 @@ pub(crate) struct Shared {
 
 impl Shared {
     pub(crate) fn new(
-        mailboxes: Vec<Sender<Envelope>>,
-        population: usize,
+        map: ShardMap,
         overlay: AnyOverlay,
         config: NodeConfig,
         clock: Clock,
     ) -> Self {
-        let shards = mailboxes.len();
+        let shards = map.shards();
         Shared {
-            mailboxes,
-            population,
-            shards,
+            inboxes: (0..shards).map(|_| Inbox::new()).collect(),
+            slots: (0..shards * shards)
+                .map(|_| TransferSlot {
+                    buf: Mutex::new(Vec::new()),
+                })
+                .collect(),
+            map,
             overlay,
             clients: Mutex::new(HashMap::new()),
             clock,
             hops: AtomicU64::new(0),
             cross_shard: AtomicU64::new(0),
+            batch_flushes: AtomicU64::new(0),
+            batched_envelopes: AtomicU64::new(0),
             routing_failures: AtomicU64::new(0),
             justify: Mutex::new(JustificationTracker::new()),
             justify_on: AtomicBool::new(false),
@@ -179,34 +270,70 @@ impl Shared {
         self.clock.now()
     }
 
-    /// The shard owning `node`: the balanced contiguous partition of
-    /// `0..population` into `shards` ranges whose sizes differ by at
-    /// most one. Shard `s` owns ids `⌈s·N/M⌉..⌈(s+1)·N/M⌉`, and this
-    /// is its O(1) inverse.
+    /// The shard owning `node` — an O(1) [`ShardMap`] table lookup.
     pub(crate) fn shard_of(&self, node: NodeId) -> usize {
-        node.index() * self.shards / self.population
+        self.map.shard_of(node)
     }
 
-    /// First node id owned by `shard` under the balanced partition.
-    pub(crate) fn shard_base(population: usize, shards: usize, shard: usize) -> usize {
-        (shard * population).div_ceil(shards)
-    }
-
-    /// Sends an envelope to the shard owning its target, tracking it as
-    /// in-flight work for the quiesce barrier.
+    /// Posts one control envelope to `shard`'s inbox, tracking it as
+    /// in-flight work for the quiesce barrier. This is the handle-side
+    /// path (scripted events, not the hot path), so it stays
+    /// per-envelope.
     pub(crate) fn post(&self, shard: usize, env: Envelope) {
         self.pending.fetch_add(1, Ordering::SeqCst);
-        if self.mailboxes[shard].send(env).is_err() {
-            // Shutdown raced the send; losing a message then is
-            // acceptable, but the barrier must stay honest.
-            self.finish();
-        }
+        self.inboxes[shard].push_control(env);
     }
 
-    /// Marks one posted envelope as fully dispatched, waking quiescing
-    /// threads when the network drains.
-    pub(crate) fn finish(&self) {
-        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+    /// The (sender → receiver) transfer slot's buffer.
+    fn slot(&self, sender: usize, receiver: usize) -> &Mutex<Vec<Envelope>> {
+        &self.slots[sender * self.map.shards() + receiver].buf
+    }
+
+    /// Deposits a whole outbound batch into the (sender → receiver)
+    /// transfer slot and wakes the receiver. The in-flight counter is
+    /// bumped by the full batch length *before* the deposit — one
+    /// amortized `fetch_add` per flush — so the barrier can never
+    /// observe a deposited envelope it has not counted. `buf` comes
+    /// back empty but with capacity (the slot's previous vector when
+    /// the swap path was taken).
+    fn deposit(&self, sender: usize, receiver: usize, buf: &mut Vec<Envelope>) {
+        let n = buf.len() as u64;
+        self.pending.fetch_add(n, Ordering::SeqCst);
+        // Cross-shard accounting: charged at flush, still counting
+        // individual envelopes.
+        self.cross_shard.fetch_add(n, Ordering::Relaxed);
+        self.batched_envelopes.fetch_add(n, Ordering::Relaxed);
+        self.batch_flushes.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut slot = self
+                .slot(sender, receiver)
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if slot.is_empty() {
+                std::mem::swap(&mut *slot, buf);
+            } else {
+                slot.append(buf);
+            }
+        }
+        self.inboxes[receiver].signal_dirty();
+    }
+
+    /// Collects whatever the (sender → receiver) slot holds into `buf`
+    /// (expected empty), leaving the slot's allocation behind for the
+    /// sender to refill.
+    fn collect(&self, sender: usize, receiver: usize, buf: &mut Vec<Envelope>) {
+        let mut slot = self
+            .slot(sender, receiver)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        std::mem::swap(&mut *slot, buf);
+    }
+
+    /// Marks `n` in-flight envelopes as fully dispatched, waking
+    /// quiescing threads when the network drains. Callers must have
+    /// flushed their outbound buffers first (flush-before-decrement).
+    pub(crate) fn finish_n(&self, n: u64) {
+        if n > 0 && self.pending.fetch_sub(n, Ordering::SeqCst) == n {
             let _idle = self.idle_lock.lock().unwrap_or_else(|e| e.into_inner());
             self.idle_cv.notify_all();
         }
@@ -396,14 +523,20 @@ impl Shared {
 /// One worker thread's state: its shard of nodes plus reusable buffers.
 struct Worker {
     shard: usize,
-    /// Dense id of the first node this shard owns.
-    base: usize,
+    /// This shard's nodes, indexed by [`ShardMap::slot_of`].
     nodes: Vec<CupNode>,
     shared: Arc<Shared>,
     /// Intra-shard messages handled inline, FIFO (to, from, msg).
     local: VecDeque<(NodeId, NodeId, Message)>,
     /// Reusable action buffer for the allocation-free `_into` handlers.
     actions: Vec<Action>,
+    /// Control envelopes swapped out of the inbox for this round.
+    control: VecDeque<Envelope>,
+    /// Scratch vector batches are collected into (ping-pongs allocations
+    /// with the transfer slots).
+    incoming: Vec<Envelope>,
+    /// Per-destination outbound buffers, flushed at loop boundaries.
+    outbox: Vec<Vec<Envelope>>,
 }
 
 /// Flags the unwind of a worker that panics mid-dispatch, so quiescing
@@ -419,30 +552,70 @@ impl Drop for PanicGuard {
     }
 }
 
-/// The worker thread body: drain the mailbox until shutdown, then hand
-/// the shard's final node states back.
-pub(crate) fn worker_main(
-    shard: usize,
-    base: usize,
-    nodes: Vec<CupNode>,
-    rx: Receiver<Envelope>,
-    shared: Arc<Shared>,
-) -> Vec<CupNode> {
+/// Control envelopes a worker dispatches per round before it re-scans
+/// its transfer slots and flushes — the dispatch quantum. Bounding the
+/// round keeps the protocol's *feedback* latency low: a replica-event
+/// storm posted to an authority's shard would otherwise be consumed as
+/// one giant round, pumping every update downstream before a single
+/// cross-shard clear-bit (a cut-off policy's unsubscribe, §3.4) gets
+/// applied, defeating the very mechanism that collapses unjustified
+/// propagation. Chunking lets clear-bits prune the interest tree while
+/// the storm is still being injected — the same behavior a serial run
+/// gets for free from its inline FIFO — and pipelines output to the
+/// other shards instead of sitting on it until the storm ends.
+const CONTROL_QUANTUM: usize = 64;
+
+/// The worker thread body: rounds of (park until work → pull in control
+/// envelopes and batch slots → dispatch incoming, then one control
+/// quantum → flush outbound batches → retire the consumed count) until
+/// shutdown, then hand the shard's final node states back.
+pub(crate) fn worker_main(shard: usize, nodes: Vec<CupNode>, shared: Arc<Shared>) -> Vec<CupNode> {
     let guard = PanicGuard(Arc::clone(&shared));
+    let shards = shared.map.shards();
     let mut worker = Worker {
         shard,
-        base,
         nodes,
-        shared,
+        shared: Arc::clone(&shared),
         local: VecDeque::new(),
         actions: Vec::new(),
+        control: VecDeque::new(),
+        incoming: Vec::new(),
+        outbox: (0..shards).map(|_| Vec::new()).collect(),
     };
-    while let Ok(env) = rx.recv() {
-        if matches!(env, Envelope::Shutdown) {
+    loop {
+        let stop = {
+            let inbox = &shared.inboxes[shard];
+            let mut st = inbox.lock();
+            loop {
+                if !st.control.is_empty() || st.dirty {
+                    // Fresh control queues behind any quantum remainder
+                    // from the last round, preserving FIFO order.
+                    worker.control.append(&mut st.control);
+                    st.dirty = false;
+                    break false;
+                }
+                if !worker.control.is_empty() {
+                    // A quantum remainder is still in hand: keep
+                    // working, never park on unconsumed envelopes.
+                    break false;
+                }
+                if st.shutdown {
+                    break true;
+                }
+                // Flush-before-park already happened (end of the last
+                // round), so waiting here cannot strand a partial batch.
+                st = inbox.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        if stop {
             break;
         }
-        worker.dispatch(env);
-        worker.shared.finish();
+        let consumed = worker.drain_round();
+        // Flush-before-decrement: cross-shard children enter the
+        // in-flight count before their parents retire, so the barrier
+        // can never observe zero while this round's output is in hand.
+        worker.flush();
+        shared.finish_n(consumed);
     }
     drop(guard);
     worker.nodes
@@ -450,20 +623,66 @@ pub(crate) fn worker_main(
 
 impl Worker {
     fn node_mut(&mut self, id: NodeId) -> &mut CupNode {
-        &mut self.nodes[id.index() - self.base]
+        &mut self.nodes[self.shared.map.slot_of(id)]
     }
 
     fn owns(&self, id: NodeId) -> bool {
         self.shared.shard_of(id) == self.shard
     }
 
-    /// Handles one mailbox envelope plus the whole intra-shard cascade
-    /// it sets off.
+    /// Dispatches one round's work: every sender's transfer slot first
+    /// — peer traffic carries the protocol's feedback (clear-bits,
+    /// query answers), so it is applied before new control work is
+    /// started — then at most [`CONTROL_QUANTUM`] control envelopes;
+    /// any remainder stays in hand for the next round. Returns the
+    /// number of in-flight envelopes consumed.
+    fn drain_round(&mut self) -> u64 {
+        let mut consumed = 0u64;
+        let shards = self.outbox.len();
+        for sender in 0..shards {
+            if sender == self.shard {
+                continue;
+            }
+            let mut batch = std::mem::take(&mut self.incoming);
+            self.shared.collect(sender, self.shard, &mut batch);
+            for env in batch.drain(..) {
+                self.dispatch(env);
+                consumed += 1;
+            }
+            self.incoming = batch;
+        }
+        for _ in 0..CONTROL_QUANTUM {
+            let Some(env) = self.control.pop_front() else {
+                break;
+            };
+            self.dispatch(env);
+            consumed += 1;
+        }
+        consumed
+    }
+
+    /// Flushes the round's accumulated output: the per-destination
+    /// outbound batches into their transfer slots. Runs before
+    /// `finish_n` and before parking — see the module docs for why both
+    /// orderings are load-bearing.
+    fn flush(&mut self) {
+        for dest in 0..self.outbox.len() {
+            if self.outbox[dest].is_empty() {
+                continue;
+            }
+            let mut buf = std::mem::take(&mut self.outbox[dest]);
+            self.shared.deposit(self.shard, dest, &mut buf);
+            self.outbox[dest] = buf;
+        }
+    }
+
+    /// Handles one envelope plus the whole intra-shard cascade it sets
+    /// off. Cross-shard children are only *buffered* here; the caller
+    /// flushes them at the round boundary.
     fn dispatch(&mut self, env: Envelope) {
         match env {
-            Envelope::Shutdown => unreachable!("worker_main filters Shutdown before dispatch"),
             Envelope::CrashReset { at } => {
-                let idx = at.index() - self.base;
+                let idx = self.shared.map.slot_of(at);
                 let cold = CupNode::new(at, self.shared.config);
                 let dead = std::mem::replace(&mut self.nodes[idx], cold);
                 self.shared
@@ -599,19 +818,22 @@ impl Worker {
     }
 
     /// Turns `from`'s protocol actions into traffic: intra-shard sends
-    /// join the inline FIFO, cross-shard sends go through mailboxes,
-    /// client responses go to their waiting channel.
+    /// join the inline FIFO, cross-shard sends join the per-destination
+    /// outbound buffers (flushed at the round boundary), client
+    /// responses go to their waiting channel.
     fn deliver(&mut self, from: NodeId, actions: &mut Vec<Action>) {
         for action in actions.drain(..) {
             match action {
                 Action::Send { to, mut msg } => {
                     // Decide-before-enqueue: a fault-plane drop never
-                    // enters a mailbox (the quiesce barrier stays exact)
+                    // enters a buffer (the quiesce barrier stays exact)
                     // and never counts as a hop — exactly like the DES,
                     // which never schedules the delivery. Behavior
                     // faults run first: a suppressed (or rewritten) send
                     // never advances the per-link loss counter, in
-                    // either runtime.
+                    // either runtime. Verdicts are rolled here at
+                    // dispatch time, in send order, so batching does not
+                    // move them.
                     if self.shared.faults_enabled() {
                         if !self.shared.behavior_send(from, &mut msg) {
                             continue;
@@ -620,13 +842,17 @@ impl Worker {
                             continue;
                         }
                     }
+                    // Hops stay per-envelope (a relaxed add, not the
+                    // SeqCst barrier counter): a client answer can
+                    // unblock its caller mid-round, and callers may read
+                    // `hops()` immediately — a round-deferred count
+                    // would lag behind answers derived from it.
                     self.shared.hops.fetch_add(1, Ordering::Relaxed);
                     if self.owns(to) {
                         self.local.push_back((to, from, msg));
                     } else {
-                        self.shared.cross_shard.fetch_add(1, Ordering::Relaxed);
                         let shard = self.shared.shard_of(to);
-                        self.shared.post(shard, Envelope::Peer { to, from, msg });
+                        self.outbox[shard].push(Envelope::Peer { to, from, msg });
                     }
                 }
                 Action::RespondClient {

@@ -80,6 +80,10 @@ pub struct ConformanceSpec {
     /// Worker threads for the live side (explicit, so sharding is
     /// exercised even on single-core CI runners).
     pub workers: usize,
+    /// Node→shard placement mode for the live side. Conformance must
+    /// hold under every mode — placement is a performance knob, not a
+    /// semantic one.
+    pub shard_map: ShardMapMode,
     /// Runs the spec's standard fault script (see
     /// [`ConformanceSpec::fault_events`]) through both runtimes'
     /// `cup-faults` planes. Queries then may legitimately go unanswered,
@@ -141,6 +145,7 @@ impl ConformanceSpec {
             script_seed: 99,
             step_secs: 10,
             workers: 3,
+            shard_map: ShardMapMode::Contiguous,
             fault_script: false,
             timed_faults: false,
             byzantine: false,
@@ -163,6 +168,7 @@ impl ConformanceSpec {
             // hop each way a cascade still drains well inside 30 s.
             step_secs: 30,
             workers: 4,
+            shard_map: ShardMapMode::Contiguous,
             fault_script: false,
             timed_faults: false,
             byzantine: false,
@@ -717,11 +723,12 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
 /// script demands, or any message hit a routing failure.
 pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
     let mut topo_rng = DetRng::seed_from(spec.topology_seed);
-    let net = LiveNetwork::start_virtual(
+    let net = LiveNetwork::start_virtual_with_map(
         spec.kind,
         spec.nodes,
         spec.config,
         spec.workers,
+        spec.shard_map,
         &mut topo_rng,
     )
     .unwrap();

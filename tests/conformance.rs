@@ -26,7 +26,21 @@
 use cup::prelude::*;
 use cup_testkit::conformance::{run_live, run_sim, ConformanceSpec, DELETED_KEY};
 
+/// The worker-count × shard-map grid the small scenarios sweep: the DES
+/// is worker- and placement-blind, so every cell must reproduce its
+/// outcome byte-for-byte.
+const FULL_MATRIX: [(usize, ShardMapMode); 4] = [
+    (1, ShardMapMode::Contiguous),
+    (4, ShardMapMode::Contiguous),
+    (1, ShardMapMode::OverlayAware),
+    (4, ShardMapMode::OverlayAware),
+];
+
 fn assert_sim_live_agree(spec: ConformanceSpec) {
+    assert_sim_live_agree_matrix(spec, &FULL_MATRIX);
+}
+
+fn assert_sim_live_agree_matrix(spec: ConformanceSpec, matrix: &[(usize, ShardMapMode)]) {
     let (sim, sim_responses) = run_sim(&spec);
     let (live, live_responses) = run_live(&spec);
     let label = format!("{} x {} nodes", spec.kind, spec.nodes);
@@ -129,6 +143,24 @@ fn assert_sim_live_agree(spec: ConformanceSpec) {
             "{label}: k{k} must be cached somewhere"
         );
     }
+
+    // Sharding is invisible: every worker count × placement mode in the
+    // matrix reproduces the DES outcome byte-for-byte, whole-`Outcome`
+    // equality included.
+    for &(workers, shard_map) in matrix {
+        let cell = ConformanceSpec {
+            workers,
+            shard_map,
+            ..spec
+        };
+        let (cell_live, cell_responses) = run_live(&cell);
+        let cell_label = format!("{label} @ {workers} workers / {shard_map}");
+        assert_eq!(
+            sim_responses, cell_responses,
+            "{cell_label}: answered-query counts diverged"
+        );
+        assert_eq!(sim, cell_live, "{cell_label}: outcomes diverged");
+    }
 }
 
 #[test]
@@ -141,14 +173,22 @@ fn sim_and_live_agree_on_chord() {
     assert_sim_live_agree(ConformanceSpec::small(OverlayKind::Chord));
 }
 
+/// At the 2k tier the matrix is thinned to its two extreme cells (the
+/// serial pool and the sharded overlay-aware one) to bound suite
+/// runtime; the full grid runs on the small scenarios above.
+const LARGE_MATRIX: [(usize, ShardMapMode); 2] = [
+    (1, ShardMapMode::Contiguous),
+    (4, ShardMapMode::OverlayAware),
+];
+
 #[test]
 fn sim_and_live_agree_on_can_at_2k_nodes() {
-    assert_sim_live_agree(ConformanceSpec::large(OverlayKind::Can));
+    assert_sim_live_agree_matrix(ConformanceSpec::large(OverlayKind::Can), &LARGE_MATRIX);
 }
 
 #[test]
 fn sim_and_live_agree_on_chord_at_2k_nodes() {
-    assert_sim_live_agree(ConformanceSpec::large(OverlayKind::Chord));
+    assert_sim_live_agree_matrix(ConformanceSpec::large(OverlayKind::Chord), &LARGE_MATRIX);
 }
 
 /// Sim-vs-live agreement under the standard fault script: a 25%-loss
@@ -159,11 +199,16 @@ fn sim_and_live_agree_on_chord_at_2k_nodes() {
 /// script must actually bite (messages dropped in every category).
 fn assert_sim_live_agree_under_faults(base: ConformanceSpec, label: &str) {
     let (sim, sim_responses) = run_sim(&base);
-    // The DES is worker-blind; the live side must match it from the
-    // serial pool and from a sharded one.
-    for workers in [1, 4] {
-        let spec = ConformanceSpec { workers, ..base };
-        let label = format!("{label} @ {workers} workers");
+    // The DES is worker- and placement-blind; the live side must match
+    // it from the serial pool, from a sharded one, and under either
+    // shard-map mode.
+    for &(workers, shard_map) in &FULL_MATRIX {
+        let spec = ConformanceSpec {
+            workers,
+            shard_map,
+            ..base
+        };
+        let label = format!("{label} @ {workers} workers / {shard_map}");
         let (live, live_responses) = run_live(&spec);
 
         // Byte-identical outcomes, including every fault counter.
@@ -318,12 +363,17 @@ fn assert_sim_live_agree_under_byzantine(kind: OverlayKind) {
         "{kind} byzantine: the audit never repaired the poisoned cache"
     );
 
-    // The DES is worker-blind; the live side must match it from the
-    // serial pool and from a sharded one (audit replies then interleave
-    // differently — the repair outcome must not care).
-    for workers in [1, 4] {
-        let live_spec = ConformanceSpec { workers, ..spec };
-        let label = format!("{kind} byzantine @ {workers} workers");
+    // The DES is worker- and placement-blind; the live side must match
+    // it from the serial pool and from a sharded one under either
+    // shard-map mode (audit replies then interleave differently — the
+    // repair outcome must not care).
+    for &(workers, shard_map) in &FULL_MATRIX {
+        let live_spec = ConformanceSpec {
+            workers,
+            shard_map,
+            ..spec
+        };
+        let label = format!("{kind} byzantine @ {workers} workers / {shard_map}");
         let (live, live_responses) = run_live(&live_spec);
 
         assert_eq!(

@@ -134,6 +134,86 @@ fn live_10k_mixed_workload_completes() {
     assert!(updates > 0, "the update stream reached the caches");
 }
 
+/// The flagship *live* scale: a 100k-node worker pool on the virtual
+/// clock, overlay-aware sharding, mixed query/update/deletion traffic.
+/// This population is the batched transfer plane's reason to exist —
+/// per-envelope mailbox sends paid one SeqCst barrier bump and one
+/// queue lock per message, which at 100k-node traffic volumes could not
+/// drain inside any reasonable budget; batch flushes amortize both, so
+/// the run must now complete within the same kind of wall-clock gate as
+/// the DES flagship.
+#[test]
+fn live_100k_overlay_aware_completes_within_budget() {
+    const NODES: usize = 100_000;
+    const KEYS: u32 = 32;
+    const LIFETIME: SimDuration = SimDuration::from_secs(1_000_000);
+    let budget = if cfg!(debug_assertions) {
+        Duration::from_secs(300)
+    } else {
+        Duration::from_secs(90)
+    };
+
+    let start = Instant::now();
+    let mut rng = DetRng::seed_from(83);
+    let net = LiveNetwork::start_virtual_with_map(
+        OverlayKind::Can,
+        NODES,
+        NodeConfig::cup_default(),
+        4,
+        ShardMapMode::OverlayAware,
+        &mut rng,
+    )
+    .expect("100k-node live network must start");
+    assert_eq!(net.shard_map_mode(), ShardMapMode::OverlayAware);
+    for k in 0..KEYS {
+        net.replica_birth(KeyId(k), ReplicaId(k), LIFETIME);
+    }
+    net.quiesce();
+
+    // Two rounds of scattered client queries interleaved with refresh
+    // storms, then a deletion wave walking the built interest trees.
+    let mut script = DetRng::seed_from(84);
+    let mut queries = 0u64;
+    for _ in 0..2 {
+        for _ in 0..50 {
+            let node = net.nodes()[script.choose_index(NODES)];
+            let key = KeyId(script.next_below(u64::from(KEYS)) as u32);
+            net.query(node, key).expect("live query must be answered");
+            queries += 1;
+        }
+        for k in 0..KEYS {
+            net.replica_refresh(KeyId(k), ReplicaId(k), LIFETIME);
+        }
+        net.quiesce();
+    }
+    for k in 0..KEYS / 2 {
+        net.replica_deletion(KeyId(k), ReplicaId(k));
+    }
+    net.quiesce();
+
+    assert_eq!(net.routing_failures(), 0, "static routing must not fail");
+    assert_eq!(
+        net.batched_envelopes(),
+        net.cross_shard_messages(),
+        "every cross-shard envelope travels in exactly one batch flush"
+    );
+    let cross = net.cross_shard_messages();
+    let flushes = net.batch_flushes();
+    let nodes = net.shutdown();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < budget,
+        "100k-node live workload took {elapsed:?}, budget {budget:?}"
+    );
+    assert_eq!(nodes.len(), NODES);
+    let total_queries: u64 = nodes.iter().map(|n| n.stats.client_queries).sum();
+    assert_eq!(total_queries, queries, "every posted query was handled");
+    assert!(
+        flushes <= cross,
+        "batching must amortize: {flushes} flushes carried {cross} envelopes"
+    );
+}
+
 /// Churn at scale: joins and leaves through the query window must keep
 /// the experiment deterministic and the network serving queries.
 #[test]

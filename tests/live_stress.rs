@@ -9,7 +9,8 @@
 //! births/refreshes/deletions, and clear-bit cascades provoked by
 //! letting the second-chance policy starve (two refresh rounds with no
 //! interleaved queries) — and asserts the **per-node** final statistics
-//! of a 4-worker run are identical to a single-worker run.
+//! of a 4-worker run are identical to a single-worker run, and of an
+//! overlay-aware [`ShardMapMode`] run to a contiguous one.
 //!
 //! Concurrent phases only ever overlap operations on *disjoint keys*
 //! (client thread `t` owns keys `k ≡ t (mod THREADS)`), which commute at
@@ -17,6 +18,7 @@
 //! is what makes the comparison exact rather than statistical.
 
 use cup::prelude::*;
+use cup::protocol::clock::Clock;
 use cup::protocol::stats::NodeStats;
 
 const NODES: usize = 192;
@@ -45,15 +47,18 @@ fn query_phase(net: &LiveNetwork, pass: u64) {
     net.quiesce();
 }
 
-/// Runs the full script on `workers` workers and returns the per-node
-/// final statistics plus the runtime's message counters.
-fn run_script(workers: usize) -> (Vec<NodeStats>, u64, u64) {
+/// Runs the full script on `workers` workers under the given placement
+/// mode and returns the per-node final statistics plus the runtime's
+/// message counters.
+fn run_script(workers: usize, map: ShardMapMode) -> (Vec<NodeStats>, u64, u64) {
     let mut rng = DetRng::seed_from(31);
-    let net = LiveNetwork::start_with_workers(
+    let net = LiveNetwork::start_with_map(
         OverlayKind::Can,
         NODES,
         NodeConfig::cup_default(),
         workers,
+        map,
+        Clock::wall(),
         &mut rng,
     )
     .unwrap();
@@ -100,8 +105,8 @@ fn run_script(workers: usize) -> (Vec<NodeStats>, u64, u64) {
 
 #[test]
 fn multi_worker_run_matches_single_worker_run() {
-    let (multi, multi_hops, multi_cross) = run_script(4);
-    let (single, single_hops, single_cross) = run_script(1);
+    let (multi, multi_hops, multi_cross) = run_script(4, ShardMapMode::Contiguous);
+    let (single, single_hops, single_cross) = run_script(1, ShardMapMode::Contiguous);
 
     assert_eq!(single_cross, 0, "one shard has no boundary to cross");
     assert!(
@@ -141,8 +146,30 @@ fn multi_worker_run_matches_single_worker_run() {
 
 #[test]
 fn stress_script_is_reproducible_per_sharding() {
-    let (a, a_hops, _) = run_script(4);
-    let (b, b_hops, _) = run_script(4);
+    let (a, a_hops, _) = run_script(4, ShardMapMode::Contiguous);
+    let (b, b_hops, _) = run_script(4, ShardMapMode::Contiguous);
     assert_eq!(a_hops, b_hops);
     assert_eq!(a, b, "same sharding, same seed, same outcome");
+}
+
+#[test]
+fn shard_map_mode_is_invisible_to_the_protocol() {
+    let (contig, contig_hops, contig_cross) = run_script(4, ShardMapMode::Contiguous);
+    let (aware, aware_hops, aware_cross) = run_script(4, ShardMapMode::OverlayAware);
+
+    // Placement is a performance knob, not a semantic one: the same
+    // script leaves every node in byte-identical final state and pays
+    // the same protocol-level traffic under either cut.
+    assert_eq!(aware_hops, contig_hops, "hop counts diverged across maps");
+    for (i, (a, c)) in aware.iter().zip(&contig).enumerate() {
+        assert_eq!(a, c, "node n{i}: per-node stats diverged across shard maps");
+    }
+
+    // What *does* move is the cross-shard ratio: co-locating CAN zone
+    // neighbors keeps neighbor-heavy traffic intra-shard.
+    assert!(
+        aware_cross < contig_cross,
+        "overlay-aware placement must cut cross-shard traffic \
+         (aware {aware_cross}, contiguous {contig_cross})"
+    );
 }
