@@ -4,8 +4,8 @@
 //! against CUP with and without the rate-limited sampled cache audit)
 //! twice — serially and across the sweep worker pool — and reports
 //! per-point attack/defense economics: poisoned answers and their rate,
-//! audit rounds, repairs, the audit's own hop bill, and the
-//! detection-latency proxy. The rows must be byte-identical between the
+//! audit rounds, repairs, the audit's own hop bill, and the mean/p99
+//! poisoned-exposure ages. The rows must be byte-identical between the
 //! two passes: the audit's sampling draws are counter-mode
 //! deterministic, so the artifact certifies that the defense does not
 //! depend on the pool size.
@@ -151,7 +151,8 @@ pub fn render_json(
             "    {{\"attackers\": {}, \"audited\": {}, \"total_cost\": {}, \
              \"audit_hops\": {}, \"poisoned\": {}, \"poisoned_rate\": {:.4}, \
              \"audits\": {}, \"repairs\": {}, \"hit_rate\": {:.4}, \
-             \"detection_latency_secs\": {:.3}}}{comma}\n",
+             \"poisoned_exposure_secs\": {:.3}, \
+             \"poisoned_age_p99_secs\": {:.3}}}{comma}\n",
             p.attackers,
             p.audited,
             p.total_cost,
@@ -161,7 +162,8 @@ pub fn render_json(
             p.audits,
             p.repairs,
             p.hit_rate,
-            p.detection_latency_secs,
+            p.poisoned_exposure_secs,
+            p.poisoned_age_p99_secs,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -198,6 +200,12 @@ mod tests {
         assert!(json.contains("\"audited\": false"));
         assert!(json.contains("\"audit_interval_secs\": 60"));
         assert!(json.contains("\"rows_identical\": true"));
+        assert!(json.contains("\"poisoned_exposure_secs\""));
+        assert!(json.contains("\"poisoned_age_p99_secs\""));
+        assert!(
+            !json.contains("detection_latency_secs"),
+            "the mislabeled detection field must stay gone"
+        );
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -102,7 +102,8 @@ fn main() {
     for p in &report.points {
         println!(
             "attackers {:>3}  audit {:>5}  poisoned {:>6} ({:.4})  repairs {:>5}  \
-             audits {:>6}  audit_hops {:>8}  hit {:.3}  detect {:>6.1}s  cost {:>9}",
+             audits {:>6}  audit_hops {:>8}  hit {:.3}  exposure {:>6.1}s  \
+             p99 {:>6.1}s  cost {:>9}",
             p.attackers,
             if p.audited { "on" } else { "off" },
             p.poisoned,
@@ -111,7 +112,8 @@ fn main() {
             p.audits,
             p.audit_hops,
             p.hit_rate,
-            p.detection_latency_secs,
+            p.poisoned_exposure_secs,
+            p.poisoned_age_p99_secs,
             p.total_cost,
         );
     }

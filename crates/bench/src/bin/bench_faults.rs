@@ -110,7 +110,8 @@ fn main() {
     for p in &report.points {
         println!(
             "{:>14}  loss {:>5}  crashes {:>3}  hit {:.3}  stale {:.3}  \
-             justified {:>6}/{:<6} ({:.2})  dropped {:>7}  recovery {:>6.1}s  cost {:>9}",
+             justified {:>6}/{:<6} ({:.2})  dropped {:>7}  recovery {:>6.1}s \
+             (p99 {:>6.1}s)  q_p99 {:>6}us  cost {:>9}",
             p.policy,
             p.loss,
             p.crashes,
@@ -121,6 +122,8 @@ fn main() {
             p.justified_ratio(),
             p.dropped,
             p.recovery_latency_secs,
+            p.stale_age_p99_secs,
+            p.query_p99_us,
             p.total_cost,
         );
     }

@@ -108,7 +108,7 @@ fn main() {
                 println!(
                     "{:>5}  {:>7} nodes  {:>2} workers  {:>13}  {:>9.0} queries/s  \
                      {:>9.0} updates/s  {:>10} hops  {:.1}% cross-shard  \
-                     mean batch {:.1}",
+                     mean batch {:.1}  q p50/p99/p999 {}us/{}us/{}us",
                     kind.name(),
                     p.nodes,
                     p.workers,
@@ -118,6 +118,9 @@ fn main() {
                     p.hops,
                     p.cross_shard_ratio() * 100.0,
                     p.mean_batch(),
+                    p.query_latency.quantile(500),
+                    p.query_latency.quantile(990),
+                    p.query_latency.quantile(999),
                 );
                 if let Some(budget) = budget_secs {
                     if wall.as_secs() >= budget {

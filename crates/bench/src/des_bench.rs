@@ -28,6 +28,12 @@ pub struct DesBenchPoint {
     pub total_cost: u64,
     /// Client queries actually posted.
     pub client_queries: u64,
+    /// Median client-query latency (µs of virtual time).
+    pub query_p50_us: u64,
+    /// p99 client-query latency (µs of virtual time).
+    pub query_p99_us: u64,
+    /// p99.9 client-query latency (µs of virtual time).
+    pub query_p999_us: u64,
 }
 
 impl DesBenchPoint {
@@ -58,6 +64,9 @@ pub fn run_point(nodes: usize, queries: u64, seed: u64) -> DesBenchPoint {
         events: result.events,
         total_cost: result.total_cost(),
         client_queries: result.nodes.client_queries,
+        query_p50_us: result.query_latency_us(500),
+        query_p99_us: result.query_latency_us(990),
+        query_p999_us: result.query_latency_us(999),
     }
 }
 
@@ -75,7 +84,9 @@ pub fn render_json(points: &[DesBenchPoint], queries: u64, seed: u64) -> String 
         let comma = if i + 1 < points.len() { "," } else { "" };
         out.push_str(&format!(
             "    {{\"nodes\": {}, \"keys\": {}, \"wall_ms\": {:.3}, \"events\": {}, \
-             \"events_per_sec\": {:.0}, \"total_cost\": {}, \"client_queries\": {}}}{comma}\n",
+             \"events_per_sec\": {:.0}, \"total_cost\": {}, \"client_queries\": {}, \
+             \"query_p50_us\": {}, \"query_p99_us\": {}, \
+             \"query_p999_us\": {}}}{comma}\n",
             p.nodes,
             p.keys,
             p.wall.as_secs_f64() * 1e3,
@@ -83,6 +94,9 @@ pub fn render_json(points: &[DesBenchPoint], queries: u64, seed: u64) -> String 
             p.events_per_sec(),
             p.total_cost,
             p.client_queries,
+            p.query_p50_us,
+            p.query_p99_us,
+            p.query_p999_us,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -100,8 +114,11 @@ mod tests {
         assert!(p.events > 0);
         assert!(p.client_queries > 0);
         assert!(p.events_per_sec() > 0.0);
+        assert!(p.query_p99_us >= p.query_p50_us);
         let json = render_json(&[p.clone(), p], 500, 9);
         assert!(json.contains("\"queries_per_run\": 500"));
+        assert!(json.contains("\"query_p50_us\""));
+        assert!(json.contains("\"query_p999_us\""));
         assert_eq!(json.matches("\"nodes\": 256").count(), 2);
         // Well-formed enough for jq: balanced braces, one trailing brace.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

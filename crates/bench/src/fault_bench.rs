@@ -144,7 +144,10 @@ pub fn render_json(report: &FaultBenchReport, base: &Scenario, seed: u64) -> Str
              \"total_cost\": {}, \"miss_cost\": {}, \"hit_rate\": {:.4}, \
              \"stale_rate\": {:.4}, \"justified\": {}, \"tracked\": {}, \
              \"justified_ratio\": {:.4}, \"dropped\": {}, \
-             \"recovery_latency_secs\": {:.3}}}{comma}\n",
+             \"recovery_latency_secs\": {:.3}, \
+             \"stale_age_p50_secs\": {:.3}, \"stale_age_p99_secs\": {:.3}, \
+             \"query_p50_us\": {}, \"query_p90_us\": {}, \
+             \"query_p99_us\": {}, \"query_p999_us\": {}}}{comma}\n",
             p.policy,
             p.loss,
             p.crashes,
@@ -157,6 +160,12 @@ pub fn render_json(report: &FaultBenchReport, base: &Scenario, seed: u64) -> Str
             p.justified_ratio(),
             p.dropped,
             p.recovery_latency_secs,
+            p.stale_age_p50_secs,
+            p.stale_age_p99_secs,
+            p.query_p50_us,
+            p.query_p90_us,
+            p.query_p99_us,
+            p.query_p999_us,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -192,6 +201,30 @@ mod tests {
         assert!(json.contains("\"policy\": \"always\""));
         assert!(json.contains("\"loss\": 0.1"));
         assert!(json.contains("\"rows_identical\": true"));
+        assert!(json.contains("\"stale_age_p50_secs\""));
+        assert!(json.contains("\"stale_age_p99_secs\""));
+        for q in [
+            "query_p50_us",
+            "query_p90_us",
+            "query_p99_us",
+            "query_p999_us",
+        ] {
+            assert!(json.contains(q), "missing percentile field {q}");
+        }
+        // The query-latency tail is ordered: each percentile dominates
+        // the one below it.
+        assert!(report.points.iter().all(|p| {
+            p.query_p50_us <= p.query_p90_us
+                && p.query_p90_us <= p.query_p99_us
+                && p.query_p99_us <= p.query_p999_us
+        }));
+        // The lossy arm actually serves stale answers, so the tail must
+        // dominate (or equal) nothing — at minimum the field parses as a
+        // number and the p99 is finite and non-negative.
+        assert!(report
+            .points
+            .iter()
+            .all(|p| p.stale_age_p99_secs >= 0.0 && p.stale_age_p99_secs.is_finite()));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

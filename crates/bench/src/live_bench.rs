@@ -14,7 +14,7 @@
 use std::time::{Duration, Instant};
 
 use cup_core::clock::Clock;
-use cup_core::NodeConfig;
+use cup_core::{Hist, NodeConfig};
 use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration};
 use cup_overlay::OverlayKind;
 use cup_runtime::{LiveNetwork, ShardMapMode};
@@ -55,6 +55,15 @@ pub struct LiveBenchPoint {
     pub batch_flushes: u64,
     /// Envelopes carried by those flushes (== `cross_shard`).
     pub batched_envelopes: u64,
+    /// Wall-clock client-query latency distribution (µs, posted →
+    /// answered, queue wait included) — the pool runs on `Clock::wall()`
+    /// here, so these are real microseconds, not virtual time.
+    pub query_latency: Hist,
+    /// Staleness-age distribution (µs). Zero samples in this healthy
+    /// workload; carried so the artifact schema matches the fault runs.
+    pub stale_age: Hist,
+    /// Per-flush cross-shard batch-size distribution.
+    pub batch_sizes: Hist,
 }
 
 impl LiveBenchPoint {
@@ -181,6 +190,9 @@ pub fn run_point(
         cross_shard: net.cross_shard_messages(),
         batch_flushes: net.batch_flushes(),
         batched_envelopes: net.batched_envelopes(),
+        query_latency: net.query_latency_hist(),
+        stale_age: net.stale_age_hist(),
+        batch_sizes: net.batch_size_hist(),
     };
     net.shutdown();
     point
@@ -206,7 +218,11 @@ pub fn render_json(points: &[LiveBenchPoint], seed: u64) -> String {
              \"query_wall_ms\": {:.3}, \"update_wall_ms\": {:.3}, \
              \"hops\": {}, \"cross_shard\": {}, \
              \"cross_shard_ratio\": {:.4}, \"batch_flushes\": {}, \
-             \"mean_batch\": {:.2}}}{comma}\n",
+             \"mean_batch\": {:.2}, \
+             \"query_p50_us\": {}, \"query_p90_us\": {}, \
+             \"query_p99_us\": {}, \"query_p999_us\": {}, \
+             \"stale_age_p50_us\": {}, \"stale_age_p99_us\": {}, \
+             \"batch_p50\": {}, \"batch_p99\": {}}}{comma}\n",
             p.overlay.name(),
             p.nodes,
             p.workers,
@@ -222,6 +238,14 @@ pub fn render_json(points: &[LiveBenchPoint], seed: u64) -> String {
             p.cross_shard_ratio(),
             p.batch_flushes,
             p.mean_batch(),
+            p.query_latency.quantile(500),
+            p.query_latency.quantile(900),
+            p.query_latency.quantile(990),
+            p.query_latency.quantile(999),
+            p.stale_age.quantile(500),
+            p.stale_age.quantile(990),
+            p.batch_sizes.quantile(500),
+            p.batch_sizes.quantile(990),
         ));
     }
     out.push_str("  ]\n}\n");
@@ -253,12 +277,32 @@ mod tests {
         assert_eq!(p.batched_envelopes, p.cross_shard);
         assert!(p.mean_batch() >= 1.0);
         assert!(p.cross_shard_ratio() > 0.0 && p.cross_shard_ratio() <= 1.0);
+        // One wall-clock latency sample per answered query, and a real
+        // (non-degenerate) distribution: wall time moves between post
+        // and answer, so the p999 must be positive and the tail ordered.
+        assert_eq!(p.query_latency.count(), p.queries);
+        assert!(p.query_latency.quantile(999) > 0, "wall latency degenerate");
+        assert!(p.query_latency.quantile(500) <= p.query_latency.quantile(999));
+        // Healthy workload: nothing stale was ever served.
+        assert!(p.stale_age.is_empty());
+        // One batch-size sample per flush.
+        assert_eq!(p.batch_sizes.count(), p.batch_flushes);
         let json = render_json(&[p.clone(), p], 9);
         assert!(json.contains("\"benchmark\": \"cup-runtime worker-pool\""));
         assert_eq!(json.matches("\"overlay\": \"can\"").count(), 2);
         assert_eq!(json.matches("\"shard_map\": \"contiguous\"").count(), 2);
         assert!(json.contains("\"mean_batch\""));
         assert!(json.contains("\"cross_shard_ratio\""));
+        for q in [
+            "query_p50_us",
+            "query_p90_us",
+            "query_p99_us",
+            "query_p999_us",
+        ] {
+            assert!(json.contains(q), "missing percentile field {q}");
+        }
+        assert!(json.contains("\"stale_age_p50_us\""));
+        assert!(json.contains("\"batch_p50\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

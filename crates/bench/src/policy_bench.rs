@@ -158,7 +158,8 @@ pub fn render_json(report: &PolicyBenchReport, base: &Scenario, seed: u64) -> St
         out.push_str(&format!(
             "    {{\"policy\": \"{}\", \"rate\": {}, \"total_cost\": {}, \"miss_cost\": {}, \
              \"justified\": {}, \"tracked\": {}, \"justified_ratio\": {:.4}, \
-             \"hit_rate\": {:.4}}}{comma}\n",
+             \"hit_rate\": {:.4}, \"query_p50_us\": {}, \
+             \"query_p99_us\": {}}}{comma}\n",
             p.policy,
             p.rate,
             p.total_cost,
@@ -167,6 +168,8 @@ pub fn render_json(report: &PolicyBenchReport, base: &Scenario, seed: u64) -> St
             p.tracked,
             p.justified_ratio(),
             p.hit_rate,
+            p.query_p50_us,
+            p.query_p99_us,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -203,6 +206,8 @@ mod tests {
         assert!(json.contains("\"policy\": \"second-chance\""));
         assert!(json.contains("\"rows_identical\": true"));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"query_p50_us\""));
+        assert!(json.contains("\"query_p99_us\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

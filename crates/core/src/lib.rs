@@ -52,6 +52,7 @@ pub mod justify;
 pub mod keystate;
 pub mod message;
 pub mod node;
+pub mod obs;
 pub mod policy;
 pub mod popularity;
 pub mod stats;
@@ -65,5 +66,6 @@ pub use entry::IndexEntry;
 pub use justify::JustificationTracker;
 pub use message::{ClientId, Message, ReplicaEvent, Requester, Update, UpdateKind};
 pub use node::CupNode;
+pub use obs::{trace_diff, Hist, TraceBuf, TraceDivergence, TraceEvent, TraceKind};
 pub use policy::{CutoffPolicy, PolicyState, PropagationPolicy};
 pub use popularity::ResetMode;

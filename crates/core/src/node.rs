@@ -196,6 +196,9 @@ impl CupNode {
                 } else {
                     if flag_stale {
                         self.stats.pfu_retries += 1;
+                        self.stats
+                            .pfu_retry_age
+                            .record(now.saturating_since(st.pfu_since).as_micros());
                     }
                     st.pending_first_update = true;
                     st.pfu_since = now;
@@ -613,6 +616,20 @@ impl CupNode {
             return;
         };
         let my_fresh: Vec<ReplicaId> = st.fresh_entries(now).iter().map(|e| e.replica).collect();
+        // `last_audit` is the instant the currently open round was
+        // started, so for a reply that matches the open round it is the
+        // probe's send time — the round-trip base.
+        let opened = st.last_audit;
+        // Recorded for every reply reaching an auditing key, *before*
+        // the round checks below: whether a reply lands before or after
+        // its round closes depends on arrival interleaving, which the
+        // sharded live runtime does not reproduce — the counters gated
+        // behind it would diverge from the DES. A reply from a
+        // superseded round measures against the newer round's start
+        // (saturating to zero), which keeps the sample set deterministic.
+        self.stats
+            .audit_rtt
+            .record(now.saturating_since(opened).as_micros());
         let Some(tally) = st.audit.as_mut() else {
             return;
         };

@@ -4,6 +4,8 @@
 //! harness aggregates them across nodes and combines them with hop counts
 //! measured at the network layer.
 
+use crate::obs::Hist;
+
 /// Counters maintained by one node.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeStats {
@@ -46,6 +48,13 @@ pub struct NodeStats {
     /// Audit repairs applied: rounds where a dissent quorum made this
     /// node evict condemned replicas and adopt the quorum's entries.
     pub audit_repairs: u64,
+    /// Distribution of how long each retried Pending-First-Update flag
+    /// had been stranded when the retry fired (µs since `pfu_since`) —
+    /// the tail companion of the `pfu_retries` count.
+    pub pfu_retry_age: Hist,
+    /// Distribution of audit round-trips: µs from opening a sampled
+    /// audit round to each reply of that round arriving back.
+    pub audit_rtt: Hist,
 }
 
 impl NodeStats {
@@ -73,6 +82,8 @@ impl NodeStats {
         self.audit_probes_served += other.audit_probes_served;
         self.audit_replies += other.audit_replies;
         self.audit_repairs += other.audit_repairs;
+        self.pfu_retry_age.merge(&other.pfu_retry_age);
+        self.audit_rtt.merge(&other.audit_rtt);
     }
 }
 
@@ -98,5 +109,17 @@ mod tests {
         assert_eq!(a.client_queries, 14);
         assert_eq!(a.coalesced_queries, 1);
         assert_eq!(a.client_misses(), 5);
+    }
+
+    #[test]
+    fn merge_folds_the_latency_histograms() {
+        let mut a = NodeStats::default();
+        a.pfu_retry_age.record(31_000_000);
+        let mut b = NodeStats::default();
+        b.pfu_retry_age.record(45_000_000);
+        b.audit_rtt.record(900);
+        a.merge(&b);
+        assert_eq!(a.pfu_retry_age.count(), 2);
+        assert_eq!(a.audit_rtt.count(), 1);
     }
 }

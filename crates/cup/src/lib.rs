@@ -53,8 +53,9 @@ pub use cup_workload as workload;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use cup_core::{
-        Action, AuditConfig, CupNode, CutoffPolicy, IndexEntry, JustificationTracker, Message,
-        Mode, NodeConfig, PolicyState, PropagationPolicy, ReplicaEvent, Requester, ResetMode,
+        trace_diff, Action, AuditConfig, CupNode, CutoffPolicy, Hist, IndexEntry,
+        JustificationTracker, Message, Mode, NodeConfig, PolicyState, PropagationPolicy,
+        ReplicaEvent, Requester, ResetMode, TraceBuf, TraceDivergence, TraceEvent, TraceKind,
         Update, UpdateKind,
     };
     pub use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration, SimTime};

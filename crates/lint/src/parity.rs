@@ -59,6 +59,14 @@ impl ConformanceParity {
                     struct_name: "NodeStats".into(),
                     fn_name: "merge".into(),
                 },
+                // The histogram itself: every `Hist` field must fold in
+                // `merge`, or parallel sweep aggregation silently loses
+                // whichever component was forgotten.
+                ParityCheck::MergedInto {
+                    struct_file: "crates/core/src/obs.rs".into(),
+                    struct_name: "Hist".into(),
+                    fn_name: "merge".into(),
+                },
                 ParityCheck::ConsumedBy {
                     struct_file: "crates/simnet/src/metrics.rs".into(),
                     struct_name: "NetMetrics".into(),

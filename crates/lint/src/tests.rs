@@ -338,6 +338,38 @@ fn field_missing_from_merge_fires() {
 }
 
 #[test]
+fn hist_field_missing_from_merge_fires() {
+    // A histogram whose `merge` folds the bucket array but forgets the
+    // running total: parallel sweep aggregation would silently return
+    // quantiles over a miscounted population.
+    let src = "\
+pub struct Hist {
+    counts: [u64; HIST_BUCKETS],
+    total: u64,
+}
+impl Hist {
+    pub fn merge(&mut self, other: &Hist) {
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += *o;
+        }
+    }
+}
+";
+    let rule = ConformanceParity {
+        checks: vec![ParityCheck::MergedInto {
+            struct_file: "crates/core/src/obs.rs".into(),
+            struct_name: "Hist".into(),
+            fn_name: "merge".into(),
+        }],
+    };
+    let report = run_rule(&rule, &[("crates/core/src/obs.rs", src)]);
+    let denied: Vec<_> = report.denied().collect();
+    assert_eq!(denied.len(), 1);
+    assert!(denied[0].message.contains("total"));
+    assert_eq!(denied[0].line, 3, "reported at the field's declaration");
+}
+
+#[test]
 fn consumption_via_helper_method_closure_counts() {
     let metrics = "\
 pub struct NetMetrics {

@@ -7,6 +7,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use cup_core::clock::Clock;
+use cup_core::obs::{Hist, TraceBuf};
 use cup_core::stats::NodeStats;
 use cup_core::{ClientId, CupNode, IndexEntry, NodeConfig, ReplicaEvent};
 use cup_des::{DetRng, KeyId, NodeId, ReplicaId, SimDuration, SimTime};
@@ -237,6 +238,22 @@ impl LiveNetwork {
         self.handles.len()
     }
 
+    // Metric-accessor memory ordering policy: the counters below are
+    // monotone event counts written with `Ordering::Relaxed` on the
+    // dispatch hot path and read here with `Relaxed` loads. That is
+    // sound — not merely tolerated — because no reader derives an
+    // invariant from *cross-counter* ordering while traffic is in
+    // flight, and every stable reading is taken after
+    // [`LiveNetwork::quiesce`], whose SeqCst in-flight counter
+    // (`Shared::pending`) makes all worker writes happen-before the
+    // caller's loads. The relaxed-atomic lint's `MONOTONE_COUNTERS`
+    // allowlist enumerates exactly these counters; a new metric must
+    // either satisfy the same contract (monotone, quiesce-published) or
+    // use an `Acquire` load paired with its writer — never grow the
+    // allowlist just to silence the lint. Non-counter observability
+    // state (the latency histograms, the trace buffer) deliberately
+    // lives behind mutexes instead.
+
     /// Peer messages delivered so far (hop count).
     pub fn hops(&self) -> u64 {
         self.shared.hops.load(Ordering::Relaxed)
@@ -377,6 +394,61 @@ impl LiveNetwork {
     /// the live mirror of the DES's `stale_age_micros`.
     pub fn stale_age_micros(&self) -> u64 {
         self.shared.stale_age_micros.load(Ordering::Relaxed)
+    }
+
+    /// The client-query latency histogram: µs from posting to answer,
+    /// one sample per answered query — the live mirror of the DES's
+    /// `NetMetrics::query_latency`. Wall µs under a wall clock; logical
+    /// (virtual-clock) µs otherwise. Call after [`LiveNetwork::quiesce`]
+    /// for a stable reading.
+    pub fn query_latency_hist(&self) -> Hist {
+        self.shared
+            .obs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .query_latency
+    }
+
+    /// The staleness-age histogram: one sample (µs since the deletion)
+    /// per stale answer — the distribution whose sum is
+    /// [`LiveNetwork::stale_age_micros`]. Call after
+    /// [`LiveNetwork::quiesce`] for a stable reading.
+    pub fn stale_age_hist(&self) -> Hist {
+        self.shared
+            .obs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stale_age
+    }
+
+    /// The batch-size histogram: envelopes per non-empty cross-shard
+    /// flush (the distribution behind the
+    /// [`LiveNetwork::batched_envelopes`] / [`LiveNetwork::batch_flushes`]
+    /// mean). Live-only — the DES has no batching. Call after
+    /// [`LiveNetwork::quiesce`] for a stable reading.
+    pub fn batch_size_hist(&self) -> Hist {
+        self.shared
+            .obs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .batch_sizes
+    }
+
+    /// Turns on structured event tracing with a ring buffer of `cap`
+    /// events. Off by default; when off, every emission site costs one
+    /// atomic load and nothing else. Enable before injecting the traffic
+    /// to trace; harvest with [`LiveNetwork::take_trace`].
+    pub fn enable_trace(&self, cap: usize) {
+        self.shared.enable_trace(cap);
+    }
+
+    /// Detaches the trace buffer (tracing turns back off). Call after
+    /// [`LiveNetwork::quiesce`] so the buffer covers all injected
+    /// traffic; compare runs via `TraceBuf::sorted` /
+    /// `cup_core::obs::trace_diff` — worker interleaving makes raw
+    /// arrival order nondeterministic, canonical order is not.
+    pub fn take_trace(&self) -> Option<TraceBuf> {
+        self.shared.take_trace()
     }
 
     /// Protocol counters retained from crashed nodes (the live mirror of
@@ -536,6 +608,7 @@ impl LiveNetwork {
             return Err(RuntimeError::UnknownNode(node));
         }
         let client = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        self.shared.note_posted_query(client, self.shared.now());
         let (tx, rx) = channel();
         // Recover a poisoned registry rather than panicking the caller:
         // the map only holds channel senders, so it is valid after any

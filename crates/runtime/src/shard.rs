@@ -32,6 +32,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use cup_core::clock::Clock;
 use cup_core::justify::JustificationTracker;
+use cup_core::obs::{Hist, TraceBuf, TraceEvent, TraceKind};
 use cup_core::stats::NodeStats;
 use cup_core::{
     Action, ClientId, CupNode, IndexEntry, Message, NodeConfig, ReplicaEvent, Requester, UpdateKind,
@@ -145,6 +146,24 @@ struct TransferSlot {
 /// lookup is dropped (and counted) instead of panicking the worker.
 pub(crate) struct RoutingFailed;
 
+/// Latency histograms shared across workers. Recorded under one mutex —
+/// every site fires at most once per client answer or per batch flush,
+/// orders of magnitude below the per-envelope hot path, and a histogram
+/// is a multiset summary, so concurrent recording in any worker
+/// interleaving yields byte-identical state to a serial run.
+#[derive(Default)]
+pub(crate) struct ObsState {
+    /// µs from a client posting its query to the `RespondClient` answer
+    /// (the live mirror of `NetMetrics::query_latency`).
+    pub(crate) query_latency: Hist,
+    /// µs a served dead replica had been globally deleted (the live
+    /// mirror of `NetMetrics::stale_age_hist`).
+    pub(crate) stale_age: Hist,
+    /// Envelopes per non-empty cross-shard batch flush (live-only: the
+    /// DES has no batching, so this never enters conformance outcomes).
+    pub(crate) batch_sizes: Hist,
+}
+
 /// State shared between the runtime handle and every worker.
 pub(crate) struct Shared {
     /// Per-shard control inboxes, indexed by shard.
@@ -210,6 +229,21 @@ pub(crate) struct Shared {
     /// Counters retained from crashed nodes (the live mirror of the
     /// DES arena's departed-stats aggregate).
     pub(crate) crash_retained: Mutex<NodeStats>,
+    /// Shared latency histograms (see [`ObsState`]).
+    pub(crate) obs: Mutex<ObsState>,
+    /// When each outstanding client query was posted, keyed by the raw
+    /// client id — the live mirror of the DES network's `query_posted`
+    /// map. Inserted handle-side at post time, consumed by the worker
+    /// that answers (or dropped when a crashed node swallows the query,
+    /// which the DES models by never inserting).
+    pub(crate) query_posted: Mutex<HashMap<u64, SimTime>>,
+    /// Whether structured event tracing is on. Acquire pairs with the
+    /// SeqCst store in `enable_trace`, so a worker that observes the
+    /// flag also observes the buffer installed before the flip; off
+    /// costs one load per emission site.
+    trace_on: AtomicBool,
+    /// The trace ring buffer (present iff tracing was enabled).
+    trace: Mutex<Option<TraceBuf>>,
     /// In-flight envelopes: incremented before an envelope (or a whole
     /// batch of them) enters an inbox or transfer slot, decremented
     /// after the receiving worker fully dispatched it — including its
@@ -258,6 +292,10 @@ impl Shared {
             stale_answers: AtomicU64::new(0),
             stale_age_micros: AtomicU64::new(0),
             crash_retained: Mutex::new(NodeStats::default()),
+            obs: Mutex::new(ObsState::default()),
+            query_posted: Mutex::new(HashMap::new()),
+            trace_on: AtomicBool::new(false),
+            trace: Mutex::new(None),
             pending: AtomicU64::new(0),
             panicked: AtomicBool::new(false),
             idle_lock: Mutex::new(()),
@@ -304,6 +342,11 @@ impl Shared {
         self.cross_shard.fetch_add(n, Ordering::Relaxed);
         self.batched_envelopes.fetch_add(n, Ordering::Relaxed);
         self.batch_flushes.fetch_add(1, Ordering::Relaxed);
+        self.obs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .batch_sizes
+            .record(n);
         {
             let mut slot = self
                 .slot(sender, receiver)
@@ -463,9 +506,96 @@ impl Shared {
             .filter_map(|e| dead.get(&(e.key, e.replica)))
             .min();
         if let Some(&died) = stale_since {
+            let age = now.saturating_since(died).as_micros();
             self.stale_answers.fetch_add(1, Ordering::Relaxed);
-            self.stale_age_micros
-                .fetch_add(now.saturating_since(died).as_micros(), Ordering::Relaxed);
+            self.stale_age_micros.fetch_add(age, Ordering::Relaxed);
+            self.obs
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .stale_age
+                .record(age);
+        }
+    }
+
+    /// Installs a fresh trace ring buffer of `cap` events and turns
+    /// emission on (off by default; see [`Shared::trace_event`]).
+    pub(crate) fn enable_trace(&self, cap: usize) {
+        *self.trace.lock().unwrap_or_else(|e| e.into_inner()) = Some(TraceBuf::new(cap));
+        self.trace_on.store(true, Ordering::SeqCst);
+    }
+
+    /// Detaches the trace buffer, turning emission back off.
+    pub(crate) fn take_trace(&self) -> Option<TraceBuf> {
+        self.trace_on.store(false, Ordering::SeqCst);
+        self.trace.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
+    /// Whether trace emission is on (the zero-cost-when-disabled gate:
+    /// one Acquire load per emission site, no lock).
+    pub(crate) fn trace_enabled(&self) -> bool {
+        self.trace_on.load(Ordering::Acquire)
+    }
+
+    /// Records one trace event. Callers gate on
+    /// [`Shared::trace_enabled`] first, so the disabled path never
+    /// reaches this lock.
+    pub(crate) fn trace_event(
+        &self,
+        t: SimTime,
+        node: NodeId,
+        kind: TraceKind,
+        key: KeyId,
+        detail: u64,
+    ) {
+        if let Some(buf) = self
+            .trace
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_mut()
+        {
+            buf.record(TraceEvent {
+                t,
+                node,
+                kind,
+                key,
+                detail,
+            });
+        }
+    }
+
+    /// Remembers when `client`'s query was posted (handle-side, at post
+    /// time, so wall-clock latency includes queue wait).
+    pub(crate) fn note_posted_query(&self, client: ClientId, now: SimTime) {
+        self.query_posted
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(client.0, now);
+    }
+
+    /// Drops `client`'s posted-time record without a sample (a crashed
+    /// node swallowed the query — the DES never inserts one there).
+    pub(crate) fn forget_posted_query(&self, client: ClientId) {
+        self.query_posted
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&client.0);
+    }
+
+    /// Records `client`'s answer latency, consuming its posted-time
+    /// record — one sample per answered query, exactly like the DES's
+    /// `RespondClient` accounting.
+    pub(crate) fn record_query_latency(&self, client: ClientId, now: SimTime) {
+        let t0 = self
+            .query_posted
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&client.0);
+        if let Some(t0) = t0 {
+            self.obs
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .query_latency
+                .record(now.saturating_since(t0).as_micros());
         }
     }
 
@@ -698,9 +828,14 @@ impl Worker {
                 // (the waiting client observes no answer).
                 if self.shared.fault_is_crashed(at) {
                     self.shared.with_faults(FaultState::note_query_at_crashed);
+                    self.shared.forget_posted_query(client);
                     return;
                 }
                 let now = self.shared.now();
+                if self.shared.trace_enabled() {
+                    self.shared
+                        .trace_event(now, at, TraceKind::ClientQuery, key, client.0);
+                }
                 match self.shared.upstream_of(at, key) {
                     Ok(upstream) => {
                         // Justification bookkeeping first, exactly like
@@ -743,6 +878,21 @@ impl Worker {
                     return;
                 }
                 let now = self.shared.now();
+                if self.shared.trace_enabled() {
+                    let (kind, key, replica) = match event {
+                        ReplicaEvent::Birth { key, replica, .. } => {
+                            (TraceKind::ReplicaBirth, key, replica)
+                        }
+                        ReplicaEvent::Refresh { key, replica, .. } => {
+                            (TraceKind::ReplicaRefresh, key, replica)
+                        }
+                        ReplicaEvent::Deletion { key, replica } => {
+                            (TraceKind::ReplicaDeletion, key, replica)
+                        }
+                    };
+                    self.shared
+                        .trace_event(now, at, kind, key, replica.0 as u64);
+                }
                 let mut actions = std::mem::take(&mut self.actions);
                 self.node_mut(at)
                     .handle_replica_event_into(now, event, &mut actions);
@@ -772,6 +922,26 @@ impl Worker {
             return;
         }
         let now = self.shared.now();
+        // Trace only messages that actually reach a handler — the same
+        // gate the DES applies, so the two multisets match.
+        if self.shared.trace_enabled() {
+            let (kind, key) = match &msg {
+                Message::Query { key } => (TraceKind::Query, *key),
+                Message::Update(u) => (
+                    match u.kind {
+                        UpdateKind::FirstTime => TraceKind::UpdateFirstTime,
+                        UpdateKind::Refresh => TraceKind::UpdateRefresh,
+                        UpdateKind::Delete => TraceKind::UpdateDelete,
+                        UpdateKind::Append => TraceKind::UpdateAppend,
+                    },
+                    u.key,
+                ),
+                Message::ClearBit { key } => (TraceKind::ClearBit, *key),
+                Message::AuditProbe { key, .. } => (TraceKind::AuditProbe, *key),
+                Message::AuditReply { key, .. } => (TraceKind::AuditReply, *key),
+            };
+            self.shared.trace_event(now, to, kind, key, from.0 as u64);
+        }
         let mut actions = std::mem::take(&mut self.actions);
         match msg {
             Message::Query { key } => {
@@ -856,10 +1026,23 @@ impl Worker {
                     }
                 }
                 Action::RespondClient {
-                    client, entries, ..
+                    client,
+                    key,
+                    entries,
                 } => {
+                    let now = self.shared.now();
+                    self.shared.record_query_latency(client, now);
+                    if self.shared.trace_enabled() {
+                        self.shared.trace_event(
+                            now,
+                            from,
+                            TraceKind::Respond,
+                            key,
+                            entries.len() as u64,
+                        );
+                    }
                     if self.shared.faults_armed() {
-                        self.shared.note_client_answer(&entries, self.shared.now());
+                        self.shared.note_client_answer(&entries, now);
                     }
                     self.shared.respond_client(client, entries);
                 }

@@ -1,5 +1,6 @@
 //! Network-level cost accounting (the paper's §3.3 cost model).
 
+use cup_core::obs::Hist;
 use cup_core::stats::NodeStats;
 use cup_faults::FaultCounters;
 
@@ -35,6 +36,15 @@ pub struct NetMetrics {
     /// §3.3 `total_cost` so CUP-vs-baseline numbers stay comparable; the
     /// audit bench reports it as the defense's own overhead.
     pub audit_hops: u64,
+    /// Distribution of client-query latency: µs from the client posting
+    /// the query to its `RespondClient` answer, one sample per response.
+    /// Logical (virtual-clock) time in the DES and under the live
+    /// runtime's virtual clock; wall µs under a wall clock.
+    pub query_latency: Hist,
+    /// Distribution of the staleness ages summed in `stale_age_micros`:
+    /// one sample (µs since the deletion) per stale answer, so loss and
+    /// Byzantine sweeps report recovery *tails*, not just the mean.
+    pub stale_age_hist: Hist,
 }
 
 impl NetMetrics {
@@ -204,6 +214,18 @@ impl ExperimentResult {
     pub fn audit_repairs(&self) -> u64 {
         self.nodes.audit_repairs
     }
+
+    /// Client-query latency quantile in µs (`permille`/1000, integer
+    /// arithmetic; see [`NetMetrics::query_latency`]).
+    pub fn query_latency_us(&self, permille: u32) -> u64 {
+        self.net.query_latency.quantile(permille)
+    }
+
+    /// Staleness-age quantile in µs (`permille`/1000) — the tail
+    /// companion of the mean [`ExperimentResult::recovery_latency_secs`].
+    pub fn stale_age_us(&self, permille: u32) -> u64 {
+        self.net.stale_age_hist.quantile(permille)
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +264,23 @@ mod tests {
         r.net.client_responses = 200;
         r.net.stale_answers = 3;
         assert_eq!(r.poisoned_rate(), r.stale_rate());
+    }
+
+    #[test]
+    fn latency_quantiles_read_from_the_histograms() {
+        let mut r = ExperimentResult::default();
+        assert_eq!(r.query_latency_us(999), 0);
+        for us in [100u64, 200, 400, 100_000] {
+            r.net.query_latency.record(us);
+            r.net.stale_age_hist.record(us * 10);
+        }
+        // Bucket floors: within the histogram's 25% quantization below
+        // the true value, never above it.
+        let p50 = r.query_latency_us(500);
+        assert!(p50 > 150 && p50 <= 200, "p50 {p50} off the 200µs sample");
+        assert!(r.query_latency_us(999) >= p50);
+        assert!(r.stale_age_us(999) >= r.stale_age_us(500));
+        assert!(r.stale_age_us(500) > r.query_latency_us(500));
     }
 
     #[test]

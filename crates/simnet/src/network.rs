@@ -6,8 +6,9 @@
 //! protocol actions are drained through one reusable scratch buffer — the
 //! dispatch hot path performs no per-event allocation of its own.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
+use cup_core::obs::{TraceBuf, TraceEvent, TraceKind};
 use cup_core::{
     Action, ClientId, CupNode, Message, NodeConfig, ReplicaEvent, Requester, UpdateKind,
 };
@@ -53,6 +54,12 @@ pub struct Network {
     /// Ground truth for staleness: globally deleted replicas and when
     /// they died (tracked only while a fault plan is active).
     dead_replicas: HashMap<(KeyId, ReplicaId), SimTime>,
+    /// When each outstanding client query was posted (keyed by the raw
+    /// client id), the start time of the `query_latency` histogram's
+    /// samples. `BTreeMap` keeps iteration deterministic.
+    query_posted: BTreeMap<u64, SimTime>,
+    /// Structured event trace (off by default — see [`Network::enable_trace`]).
+    pub trace: Option<TraceBuf>,
     /// The query workload (drained lazily via [`Ev::NextQuery`]).
     pub query_gen: Option<QueryGen>,
     /// Replica lifecycle plan.
@@ -87,11 +94,38 @@ impl Network {
             justify: None,
             faults: None,
             dead_replicas: HashMap::new(),
+            query_posted: BTreeMap::new(),
+            trace: None,
             query_gen: None,
             replica_plan: None,
             next_client: 0,
             node_config,
             scratch: Vec::new(),
+        }
+    }
+
+    /// Turns on structured event tracing with a ring buffer of `cap`
+    /// events. Tracing is off by default and costs nothing when off (one
+    /// `Option` check per emission site).
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Some(TraceBuf::new(cap));
+    }
+
+    /// Detaches the trace buffer (tracing turns back off).
+    pub fn take_trace(&mut self) -> Option<TraceBuf> {
+        self.trace.take()
+    }
+
+    #[inline]
+    fn trace_event(&mut self, t: SimTime, node: NodeId, kind: TraceKind, key: KeyId, detail: u64) {
+        if let Some(buf) = self.trace.as_mut() {
+            buf.record(TraceEvent {
+                t,
+                node,
+                kind,
+                key,
+                detail,
+            });
         }
     }
 
@@ -221,6 +255,8 @@ impl Network {
         }
         let client = ClientId(self.next_client);
         self.next_client += 1;
+        self.query_posted.insert(client.0, now);
+        self.trace_event(now, node, TraceKind::ClientQuery, key, client.0);
         // Justification bookkeeping: this query covers every node on its
         // virtual path to the authority (§3.1 — V(N, K) membership).
         if self.justify.is_some() {
@@ -286,6 +322,26 @@ impl Network {
             if !f.behavior_recv(to, &msg) {
                 return;
             }
+        }
+        // Trace only messages that will actually be handled — the same
+        // gate the live worker applies, so the two multisets match.
+        if self.trace.is_some() {
+            let (kind, key) = match &msg {
+                Message::Query { key } => (TraceKind::Query, *key),
+                Message::Update(u) => (
+                    match u.kind {
+                        UpdateKind::FirstTime => TraceKind::UpdateFirstTime,
+                        UpdateKind::Refresh => TraceKind::UpdateRefresh,
+                        UpdateKind::Delete => TraceKind::UpdateDelete,
+                        UpdateKind::Append => TraceKind::UpdateAppend,
+                    },
+                    u.key,
+                ),
+                Message::ClearBit { key } => (TraceKind::ClearBit, *key),
+                Message::AuditProbe { key, .. } => (TraceKind::AuditProbe, *key),
+                Message::AuditReply { key, .. } => (TraceKind::AuditReply, *key),
+            };
+            self.trace_event(now, to, kind, key, from.0 as u64);
         }
         let mut actions = std::mem::take(&mut self.scratch);
         match msg {
@@ -377,6 +433,12 @@ impl Network {
                 return;
             }
         }
+        let kind = match action.kind {
+            ReplicaActionKind::Birth => TraceKind::ReplicaBirth,
+            ReplicaActionKind::Refresh => TraceKind::ReplicaRefresh,
+            ReplicaActionKind::Death => TraceKind::ReplicaDeletion,
+        };
+        self.trace_event(now, authority, kind, action.key, action.replica.0 as u64);
         let mut actions = std::mem::take(&mut self.scratch);
         self.node_mut(authority)
             .handle_replica_event_into(now, event, &mut actions);
@@ -538,8 +600,18 @@ impl Network {
                         },
                     );
                 }
-                Action::RespondClient { ref entries, .. } => {
+                Action::RespondClient {
+                    client,
+                    key,
+                    ref entries,
+                } => {
                     self.metrics.client_responses += 1;
+                    if let Some(t0) = self.query_posted.remove(&client.0) {
+                        self.metrics
+                            .query_latency
+                            .record(now.saturating_since(t0).as_micros());
+                    }
+                    self.trace_event(now, sender, TraceKind::Respond, key, entries.len() as u64);
                     // Staleness: the answer names a replica the world
                     // already deleted (the cache missed the delete —
                     // under loss, the delete may never arrive).
@@ -549,8 +621,10 @@ impl Network {
                             .filter_map(|e| self.dead_replicas.get(&(e.key, e.replica)))
                             .min();
                         if let Some(&died) = stale_since {
+                            let age = now.saturating_since(died).as_micros();
                             self.metrics.stale_answers += 1;
-                            self.metrics.stale_age_micros += now.saturating_since(died).as_micros();
+                            self.metrics.stale_age_micros += age;
+                            self.metrics.stale_age_hist.record(age);
                         }
                     }
                 }

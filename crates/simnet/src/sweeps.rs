@@ -200,6 +200,11 @@ pub struct PolicyGridPoint {
     pub tracked: u64,
     /// Client cache-hit rate.
     pub hit_rate: f64,
+    /// Median client-query latency (µs of virtual time).
+    pub query_p50_us: u64,
+    /// p99 client-query latency (µs of virtual time) — deeper push
+    /// levels trade maintenance cost for a shorter miss tail.
+    pub query_p99_us: u64,
 }
 
 impl PolicyGridPoint {
@@ -242,6 +247,8 @@ pub fn policy_rate_grid(
             justified: r.justified_updates,
             tracked: r.tracked_updates,
             hit_rate,
+            query_p50_us: r.query_latency_us(500),
+            query_p99_us: r.query_latency_us(990),
         }
     })
 }
@@ -462,6 +469,20 @@ pub struct FaultGridPoint {
     /// Mean staleness age of stale answers (seconds) — how long lost
     /// deletions lingered.
     pub recovery_latency_secs: f64,
+    /// Median staleness age (seconds), read off the staleness histogram.
+    pub stale_age_p50_secs: f64,
+    /// p99 staleness age (seconds) — the recovery *tail* behind the
+    /// `recovery_latency_secs` mean.
+    pub stale_age_p99_secs: f64,
+    /// Client-query latency percentiles (µs of virtual time): p50, p90,
+    /// p99, p999.
+    pub query_p50_us: u64,
+    /// p90 client-query latency (µs).
+    pub query_p90_us: u64,
+    /// p99 client-query latency (µs).
+    pub query_p99_us: u64,
+    /// p99.9 client-query latency (µs).
+    pub query_p999_us: u64,
 }
 
 impl FaultGridPoint {
@@ -555,6 +576,12 @@ pub fn fault_grid_with(
             tracked: r.tracked_updates,
             dropped: r.net.faults.dropped(),
             recovery_latency_secs: r.recovery_latency_secs(),
+            stale_age_p50_secs: r.stale_age_us(500) as f64 / 1e6,
+            stale_age_p99_secs: r.stale_age_us(990) as f64 / 1e6,
+            query_p50_us: r.query_latency_us(500),
+            query_p90_us: r.query_latency_us(900),
+            query_p99_us: r.query_latency_us(990),
+            query_p999_us: r.query_latency_us(999),
         }
     })
 }
@@ -581,9 +608,15 @@ pub struct AuditGridPoint {
     pub repairs: u64,
     /// Client cache-hit rate.
     pub hit_rate: f64,
-    /// Mean age of poisoned answers (seconds since the deletion) — the
-    /// detection-latency proxy: repairs shorten how long poison lingers.
-    pub detection_latency_secs: f64,
+    /// Mean age of poisoned answers (seconds since the deletion): how
+    /// long poison lingered before eviction, repair, or expiry stopped
+    /// it being served. This is an *exposure* measure, not a detection
+    /// clock — it was previously published as `detection_latency_secs`,
+    /// silently reading the recovery-latency accessor.
+    pub poisoned_exposure_secs: f64,
+    /// p99 poisoned-answer age (seconds) — the exposure tail the mean
+    /// hides, read off the staleness histogram.
+    pub poisoned_age_p99_secs: f64,
 }
 
 /// Salt folded into the scenario seed for the audit sampling stream, so
@@ -659,7 +692,8 @@ pub fn audit_grid_with(
             audits: r.nodes.audits_started,
             repairs: r.audit_repairs(),
             hit_rate: r.hit_rate(),
-            detection_latency_secs: r.recovery_latency_secs(),
+            poisoned_exposure_secs: r.recovery_latency_secs(),
+            poisoned_age_p99_secs: r.stale_age_us(990) as f64 / 1e6,
         }
     })
 }

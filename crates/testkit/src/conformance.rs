@@ -480,6 +480,14 @@ pub struct Outcome {
     pub poisoned_age_micros: u64,
     /// The fault plane's full drop/crash breakdown.
     pub faults: cup::faults::FaultCounters,
+    /// Client-query latency histogram (µs, post → answer). Degenerate at
+    /// the conformance latency (zero per-hop delay on a stepped virtual
+    /// clock ⇒ every sample is 0), but its *counts* — one per answered
+    /// query — and its byte-exact `Eq` are part of the comparison.
+    pub query_latency: Hist,
+    /// Staleness-age histogram: one sample per poisoned answer, the
+    /// distribution whose sum is `poisoned_age_micros`.
+    pub stale_age_hist: Hist,
 }
 
 impl Outcome {
@@ -513,6 +521,10 @@ pub struct RunCounters {
     pub poisoned_age_micros: u64,
     /// Fault-plane breakdown.
     pub faults: cup::faults::FaultCounters,
+    /// Client-query latency histogram.
+    pub query_latency: Hist,
+    /// Staleness-age histogram.
+    pub stale_age_hist: Hist,
 }
 
 /// Collects the comparable outcome from final per-node states plus the
@@ -550,6 +562,8 @@ pub fn outcome_of<'a>(
         poisoned_answers: counters.poisoned_answers,
         poisoned_age_micros: counters.poisoned_age_micros,
         faults: counters.faults,
+        query_latency: counters.query_latency,
+        stale_age_hist: counters.stale_age_hist,
     }
 }
 
@@ -560,6 +574,22 @@ pub fn outcome_of<'a>(
 ///
 /// Panics if the overlay cannot be built for the spec.
 pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
+    let (outcome, responses, _) = run_sim_inner(spec, None);
+    (outcome, responses)
+}
+
+/// [`run_sim`] with structured event tracing on (a ring buffer of
+/// `trace_cap` events). Compare against a live trace via
+/// `TraceBuf::sorted` / `cup::prelude::trace_diff`.
+pub fn run_sim_traced(spec: &ConformanceSpec, trace_cap: usize) -> (Outcome, u64, TraceBuf) {
+    let (outcome, responses, trace) = run_sim_inner(spec, Some(trace_cap));
+    (outcome, responses, trace.expect("tracing was enabled"))
+}
+
+fn run_sim_inner(
+    spec: &ConformanceSpec,
+    trace_cap: Option<usize>,
+) -> (Outcome, u64, Option<TraceBuf>) {
     let mut topo_rng = DetRng::seed_from(spec.topology_seed);
     let overlay = AnyOverlay::build(spec.kind, spec.nodes, &mut topo_rng).unwrap();
     // Zero per-hop latency: every handler in a cascade then observes
@@ -577,6 +607,9 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
         DetRng::seed_from(7),
     );
     net.justify = Some(JustificationTracker::new());
+    if let Some(cap) = trace_cap {
+        net.enable_trace(cap);
+    }
     if spec.any_faults() {
         net.faults = Some(FaultState::new(spec.fault_seed));
     }
@@ -675,7 +708,8 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
     let quiesce = t + SimDuration::from_secs(100);
     engine.run_until(quiesce, |net, queue, now, ev| net.dispatch(queue, now, ev));
     let probe = engine.now();
-    let net = engine.into_state();
+    let mut net = engine.into_state();
+    let trace = net.take_trace();
     let responses = net.metrics.client_responses;
     let (justified, tracked) = net
         .justify
@@ -694,6 +728,8 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
         poisoned_answers: net.metrics.stale_answers,
         poisoned_age_micros: net.metrics.stale_age_micros,
         faults,
+        query_latency: net.metrics.query_latency,
+        stale_age_hist: net.metrics.stale_age_hist,
     };
     let ids: Vec<NodeId> = (0..spec.nodes as u32).map(NodeId).collect();
     let mut outcome = outcome_of(
@@ -704,7 +740,7 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
     );
     // Counters wiped by crashes live in the arena's departed aggregate.
     outcome.stats.merge(&net.retained_stats());
-    (outcome, responses)
+    (outcome, responses, trace)
 }
 
 /// Runs the same script through the worker-pool live runtime on a
@@ -722,6 +758,23 @@ pub fn run_sim(spec: &ConformanceSpec) -> (Outcome, u64) {
 /// Panics if the runtime cannot start, a query is not answered as the
 /// script demands, or any message hit a routing failure.
 pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
+    let (outcome, responses, _) = run_live_inner(spec, None);
+    (outcome, responses)
+}
+
+/// [`run_live`] with structured event tracing on (a ring buffer of
+/// `trace_cap` events). Raw live arrival order is scheduling-dependent;
+/// compare via `TraceBuf::sorted` / `cup::prelude::trace_diff`, which
+/// the canonical ordering makes deterministic.
+pub fn run_live_traced(spec: &ConformanceSpec, trace_cap: usize) -> (Outcome, u64, TraceBuf) {
+    let (outcome, responses, trace) = run_live_inner(spec, Some(trace_cap));
+    (outcome, responses, trace.expect("tracing was enabled"))
+}
+
+fn run_live_inner(
+    spec: &ConformanceSpec,
+    trace_cap: Option<usize>,
+) -> (Outcome, u64, Option<TraceBuf>) {
     let mut topo_rng = DetRng::seed_from(spec.topology_seed);
     let net = LiveNetwork::start_virtual_with_map(
         spec.kind,
@@ -733,6 +786,9 @@ pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
     )
     .unwrap();
     net.track_justification(true);
+    if let Some(cap) = trace_cap {
+        net.enable_trace(cap);
+    }
     if spec.any_faults() {
         net.enable_faults(spec.fault_seed);
     }
@@ -865,8 +921,11 @@ pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
         poisoned_answers: net.stale_answers(),
         poisoned_age_micros: net.stale_age_micros(),
         faults,
+        query_latency: net.query_latency_hist(),
+        stale_age_hist: net.stale_age_hist(),
     };
     let crash_retained = net.crash_retained_stats();
+    let trace = net.take_trace();
     // The probe instant is the virtual clock's final reading — the very
     // same instant `run_sim` probes (`engine.now()` after its final
     // `run_until`), so freshness horizons agree bit for bit.
@@ -874,7 +933,7 @@ pub fn run_live(spec: &ConformanceSpec) -> (Outcome, u64) {
     let final_nodes = net.shutdown();
     let mut outcome = outcome_of(final_nodes.iter(), spec.keys, probe, counters);
     outcome.stats.merge(&crash_retained);
-    (outcome, responses)
+    (outcome, responses, trace)
 }
 
 #[cfg(test)]

@@ -124,6 +124,34 @@ fn assert_sim_live_agree_matrix(spec: ConformanceSpec, matrix: &[(usize, ShardMa
     );
     assert_eq!(sim.faults, live.faults, "{label}: fault counters diverged");
 
+    // The observability plane agrees byte-for-byte: the latency and
+    // staleness histograms are multiset summaries of per-event samples,
+    // so identical protocol behavior must produce identical bucket
+    // state. Under the conformance clock (zero per-hop latency) the
+    // latency samples are all zero — degenerate, but the *counts* still
+    // pin one sample per answered query / retried PFU / audit reply.
+    assert_eq!(
+        sim.query_latency, live.query_latency,
+        "{label}: query-latency histograms diverged"
+    );
+    assert_eq!(
+        sim.query_latency.count(),
+        sim_responses,
+        "{label}: one latency sample per answered query"
+    );
+    assert_eq!(
+        sim.stale_age_hist, live.stale_age_hist,
+        "{label}: staleness-age histograms diverged"
+    );
+    assert_eq!(
+        sim.stats.pfu_retry_age, live.stats.pfu_retry_age,
+        "{label}: PFU-retry-age histograms diverged"
+    );
+    assert_eq!(
+        sim.stats.audit_rtt, live.stats.audit_rtt,
+        "{label}: audit round-trip histograms diverged"
+    );
+
     // No stale state at quiesce: the deleted key is gone everywhere.
     assert!(
         sim.cached_by[DELETED_KEY as usize].is_empty(),
@@ -247,7 +275,25 @@ fn assert_sim_live_agree_under_faults(base: ConformanceSpec, label: &str) {
             (live.faults.crashes, live.faults.restarts),
             "{label}: crash-recovery counters diverged"
         );
+        // Observability under fire: the latency/staleness histograms
+        // must keep agreeing byte-for-byte even when drops and crashes
+        // reshuffle delivery — swallowed queries must be *forgotten* by
+        // both runtimes, not recorded by one.
+        assert_eq!(
+            sim.query_latency, live.query_latency,
+            "{label}: query-latency histograms diverged under faults"
+        );
+        assert_eq!(
+            sim.stale_age_hist, live.stale_age_hist,
+            "{label}: staleness-age histograms diverged under faults"
+        );
     }
+    // Each fired retry contributed a PFU-age sample.
+    assert_eq!(
+        sim.stats.pfu_retry_age.count(),
+        sim.stats.pfu_retries,
+        "{label}: one age sample per PFU retry"
+    );
     // The timeout must be live, not parked: with the paper-default 30 s
     // `pfu_timeout`, losses strand Pending-First-Update flags and later
     // queries past the timeout retry upstream.
